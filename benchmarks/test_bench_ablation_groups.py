@@ -1,0 +1,79 @@
+"""Ablation bench: group-count sweep at fixed rank.
+
+DESIGN.md calls out the group count as the knob that trades extra ``L_i``
+parameters (mapped onto otherwise-idle rows) for reconstruction accuracy.
+This bench measures, at a fixed rank divisor, how the reconstruction error,
+proxy accuracy and computing cycles move as the group count grows — the
+mechanism behind Theorem 1 and the Table I trend "even with just 2 groups we
+witness significant mitigation of accuracy drop".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import lowrank_network_cycles
+from repro.mapping.geometry import ArrayDims
+
+from .conftest import run_once
+
+GROUPS = (1, 2, 4, 8)
+RANK_DIVISOR = 8
+
+
+@pytest.mark.benchmark(group="ablation-groups")
+def test_bench_group_sweep_resnet20(benchmark, resnet20_workload):
+    array = ArrayDims.square(64)
+
+    def sweep():
+        rows = []
+        for groups in GROUPS:
+            rows.append(
+                {
+                    "groups": groups,
+                    "error": resnet20_workload.proxy.mean_relative_error(RANK_DIVISOR, groups),
+                    "accuracy": resnet20_workload.proxy.lowrank_accuracy(RANK_DIVISOR, groups),
+                    "cycles": lowrank_network_cycles(resnet20_workload, array, RANK_DIVISOR, groups),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    errors = [row["error"] for row in rows]
+    accuracies = [row["accuracy"] for row in rows]
+    cycles = [row["cycles"] for row in rows]
+
+    # Theorem 1 mechanism: error strictly non-increasing, accuracy non-decreasing.
+    assert all(errors[i] >= errors[i + 1] - 1e-12 for i in range(len(errors) - 1))
+    assert all(accuracies[i] <= accuracies[i + 1] + 1e-9 for i in range(len(accuracies) - 1))
+    # The extra L_i matrices cost at most a modest cycle increase (they reuse idle rows/tiles).
+    assert max(cycles) <= 2.5 * min(cycles)
+    # The bulk of the accuracy recovery already comes from 2 groups (paper's observation).
+    assert accuracies[1] - accuracies[0] >= 0.0
+
+    print()
+    for row in rows:
+        print(
+            f"g={row['groups']}: mean rel. error={row['error']:.4f}, "
+            f"accuracy={row['accuracy']:.1f}%, cycles={row['cycles']}"
+        )
+
+
+@pytest.mark.benchmark(group="ablation-groups")
+def test_bench_group_sweep_wrn(benchmark, wrn16_4_workload):
+    array = ArrayDims.square(64)
+
+    def sweep():
+        return [
+            (
+                groups,
+                wrn16_4_workload.proxy.lowrank_accuracy(RANK_DIVISOR, groups),
+                lowrank_network_cycles(wrn16_4_workload, array, RANK_DIVISOR, groups),
+            )
+            for groups in GROUPS
+        ]
+
+    rows = run_once(benchmark, sweep)
+    accuracies = [acc for _, acc, _ in rows]
+    assert accuracies[-1] > accuracies[0]  # grouping recovers accuracy on WRN16-4 too

@@ -1,0 +1,70 @@
+"""Ablation bench: parallel-window size sweep for the SDK-mapped factors.
+
+The paper's motivation section explains the tension: larger parallel windows
+produce more outputs per cycle (better column utilization) but occupy more
+rows and duplicate more kernels (more structural sparsity).  This bench sweeps
+square PW sizes for a representative layer and records cycles and utilization,
+verifying that the VW-SDK search picks (one of) the best candidates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping.cycles import lowrank_cycles, select_lowrank_window
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.sdk import ParallelWindow, SDKMapping
+from repro.mapping.utilization import lowrank_utilization
+
+from .conftest import run_once
+
+#: A representative mid-network ResNet-20 layer (32 channels on a 16×16 map).
+LAYER = ConvGeometry(32, 32, 3, 3, 16, 16, stride=1, padding=1, name="layer2.1.conv1")
+ARRAY = ArrayDims.square(128)
+RANK = 4
+GROUPS = 4
+
+
+@pytest.mark.benchmark(group="ablation-pw")
+def test_bench_parallel_window_sweep(benchmark):
+    def sweep():
+        rows = []
+        for size in (3, 4, 5, 6, 7, 8):
+            window = ParallelWindow(size, size)
+            if size == 3:
+                cycles = lowrank_cycles(LAYER, ARRAY, rank=RANK, groups=GROUPS, use_sdk=False).cycles
+                utilization = lowrank_utilization(LAYER, ARRAY, RANK, GROUPS, use_sdk=False)
+            else:
+                cycles = lowrank_cycles(
+                    LAYER, ARRAY, rank=RANK, groups=GROUPS, use_sdk=True, window=window
+                ).cycles
+                utilization = lowrank_utilization(LAYER, ARRAY, RANK, GROUPS, use_sdk=True, window=window)
+            mapping = SDKMapping(LAYER, window) if size > 3 else None
+            rows.append(
+                {
+                    "pw": size,
+                    "cycles": cycles,
+                    "col_utilization": utilization.col_utilization,
+                    "parallel_outputs": mapping.num_parallel_outputs if mapping else 1,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    # Column utilization improves as the PW grows (more duplicated kernels).
+    assert rows[-1]["col_utilization"] > rows[0]["col_utilization"]
+    # The best swept window is at least as good as the im2col factors (PW = kernel).
+    best_cycles = min(row["cycles"] for row in rows)
+    assert best_cycles <= rows[0]["cycles"]
+    # The automatic VW-SDK search lands on (or beats) the best swept square window.
+    chosen = select_lowrank_window(LAYER, ARRAY, RANK, GROUPS)
+    auto_cycles = lowrank_cycles(LAYER, ARRAY, rank=RANK, groups=GROUPS, use_sdk=True, window=chosen).cycles
+    assert auto_cycles <= best_cycles
+
+    print()
+    for row in rows:
+        print(
+            f"PW {row['pw']}x{row['pw']}: N={row['parallel_outputs']}, "
+            f"cycles={row['cycles']}, column utilization={row['col_utilization']:.2f}"
+        )

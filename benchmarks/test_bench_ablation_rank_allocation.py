@@ -1,0 +1,64 @@
+"""Ablation bench: uniform rank rule vs. sensitivity-driven rank allocation.
+
+The paper assigns every layer the same relative rank (``k = m / divisor``).
+This ablation measures what the library's per-layer allocator buys on top of
+that rule: at the *same* network cycle budget, ranks concentrated on the most
+sensitive layers should achieve a mean reconstruction error at least as low as
+the uniform assignment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowrank.rank_allocation import allocate_ranks_for_cycle_budget, network_sensitivity
+from repro.mapping.cycles import lowrank_cycles
+from repro.mapping.geometry import ArrayDims
+from repro.workloads import compressible_geometries
+
+from .conftest import run_once
+
+GROUPS = 4
+UNIFORM_DIVISOR = 8
+ARRAY = ArrayDims.square(64)
+
+
+@pytest.mark.benchmark(group="ablation-rank-allocation")
+def test_bench_rank_allocation_vs_uniform(benchmark):
+    geometries = compressible_geometries("resnet20")
+
+    def run():
+        sensitivities = network_sensitivity(geometries, groups=GROUPS)
+        uniform_ranks = {g.name: max(1, g.m // UNIFORM_DIVISOR) for g in geometries}
+        uniform_cycles = sum(
+            lowrank_cycles(g, ARRAY, rank=uniform_ranks[g.name], groups=GROUPS, use_sdk=True).cycles
+            for g in geometries
+        )
+        uniform_error = sum(
+            sensitivities[g.name].error_at(uniform_ranks[g.name]) for g in geometries
+        ) / len(geometries)
+        allocation = allocate_ranks_for_cycle_budget(sensitivities, ARRAY, uniform_cycles, groups=GROUPS)
+        return {
+            "uniform_error": uniform_error,
+            "uniform_cycles": uniform_cycles,
+            "allocated_error": allocation.mean_error(sensitivities),
+            "allocated_cycles": allocation.total_cycles(sensitivities, ARRAY),
+        }
+
+    result = run_once(benchmark, run)
+
+    # Same (or lower) cycle cost...
+    assert result["allocated_cycles"] <= result["uniform_cycles"]
+    # ...and a mean reconstruction error no worse than the uniform rule (small
+    # tolerance for the greedy allocator's discreteness).
+    assert result["allocated_error"] <= result["uniform_error"] + 0.02
+
+    print()
+    print(
+        f"uniform k=m/{UNIFORM_DIVISOR}: error={result['uniform_error']:.4f}, "
+        f"cycles={result['uniform_cycles']}"
+    )
+    print(
+        f"allocated ranks:   error={result['allocated_error']:.4f}, "
+        f"cycles={result['allocated_cycles']}"
+    )

@@ -1,0 +1,65 @@
+"""Benchmark: regenerate Fig. 6 (accuracy vs. cycles, ours vs. pattern pruning).
+
+Paper reference: six panels (ResNet-20 / WRN16-4 × 32/64/128 arrays); the
+proposed method is on par with pattern pruning on ResNet-20 and clearly better
+on WRN16-4, with headline gains of up to 2.5× speed-up or +20.9 % accuracy.
+The shape asserted here: on every panel the proposed Pareto front beats the
+baseline cycles, and on WRN16-4 the accuracy gain over aggressive pruning at
+matched cycles is large (double digits).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6 import format_fig6, headline_metrics, run_fig6
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_bench_fig6_all_panels(benchmark):
+    result = run_once(benchmark, run_fig6)
+
+    assert len(result.panels) == 6
+    for panel in result.panels:
+        metrics = headline_metrics(panel)
+        # The proposed method always offers a faster operating point than the baseline.
+        assert min(p.cycles for p in panel.ours_pareto) < panel.baseline.cycles
+        # And a speed-up over at least one pruning operating point at equal-or-better accuracy.
+        assert metrics["max_speedup"] > 1.0
+
+    # WRN16-4 headline: large accuracy gain over pruning at matched cycle budgets
+    # (the paper reports +20.9 % at 32x32; the synthetic-calibration proxy keeps
+    # the gap in double digits).
+    wrn_gain = max(
+        headline_metrics(result.panel("wrn16_4", size))["max_accuracy_gain"] for size in (32, 64, 128)
+    )
+    assert wrn_gain > 10.0
+
+    # ResNet-20: roughly on-par behaviour (gains exist but are smaller than WRN's).
+    resnet_gain = max(
+        headline_metrics(result.panel("resnet20", size))["max_accuracy_gain"] for size in (32, 64, 128)
+    )
+    assert resnet_gain > 0.0
+
+    print()
+    print(format_fig6(result, include_plots=False))
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_bench_fig6_wrn_headline_speedup(benchmark, wrn16_4_workload):
+    """The WRN16-4 speed-up over pruning at iso-accuracy exceeds 1.5× on the small array.
+
+    The paper's 2.5× headline comes from the 32×32 panel (Fig. 6d); the
+    reproduction reaches ~2× there (and ~1.3× on the larger arrays, where the
+    paper also reports smaller gains).
+    """
+    result = run_once(
+        benchmark,
+        run_fig6,
+        networks=("wrn16_4",),
+        array_sizes=(32, 64),
+    )
+    speedup = max(headline_metrics(panel)["max_speedup"] for panel in result.panels)
+    assert speedup > 1.5

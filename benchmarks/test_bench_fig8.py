@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 8 (ours vs. dedicated 1/2/3/4-bit quantized models).
+
+Paper reference: on ResNet-20 with 64×64 and 128×128 arrays, the proposed
+low-rank compression outperforms the quantized models, achieving up to 1.8×
+speed-up.  The shape asserted here: the proposed Pareto front offers a faster
+operating point than every quantized model of equal or lower accuracy, with a
+best speed-up above 1.3×.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8 import format_fig8, quantization_speedup, run_fig8
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_bench_fig8_vs_quantization(benchmark):
+    result = run_once(benchmark, run_fig8)
+
+    assert len(result.panels) == 2  # 64x64 and 128x128
+    for panel in result.panels:
+        assert len(panel.quantized) == 4
+        # Lower bit widths are faster but less accurate (the quantization trade-off curve).
+        by_cycles = sorted(panel.quantized, key=lambda p: p.cycles)
+        accuracies = [p.accuracy for p in by_cycles]
+        assert accuracies == sorted(accuracies)
+        # The proposed method achieves a speed-up at iso-accuracy (paper: up to 1.8x).
+        assert quantization_speedup(panel) > 1.3
+
+    print()
+    print(format_fig8(result, include_plots=False))

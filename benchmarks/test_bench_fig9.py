@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 9 (ours vs. traditional low-rank compression).
+
+Paper reference: against the traditional low-rank baseline (no SDK mapping,
+no grouping), the proposed method reduces cycles from 54K→37K on WRN16-4 and
+40K→25K on ResNet-20 at comparable accuracy — 1.5× / 1.6× speed-ups — and
+maintains better accuracy at low ranks thanks to grouping.  The shape asserted
+here: an iso-accuracy speed-up above 1.3× on both panels, and better accuracy
+at the most aggressive rank.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig9 import format_fig9, iso_accuracy_speedup, run_fig9
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_bench_fig9_vs_traditional_lowrank(benchmark):
+    result = run_once(benchmark, run_fig9)
+
+    assert len(result.panels) == 2
+    for panel in result.panels:
+        summary = iso_accuracy_speedup(panel)
+        assert summary["ours"] is not None and summary["traditional"] is not None
+        # Iso-accuracy speed-up of the proposed method (paper: 1.5x / 1.6x).
+        assert summary["speedup"] is not None and summary["speedup"] > 1.3
+        # Grouping rescues accuracy at the most aggressive rank divisor.
+        ours_worst = min(p.accuracy for p in panel.ours)
+        traditional_worst = min(p.accuracy for p in panel.traditional)
+        assert ours_worst >= traditional_worst
+
+    print()
+    print(format_fig9(result, include_plots=False))

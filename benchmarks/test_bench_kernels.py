@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+These are conventional pytest-benchmark measurements (many rounds) of the
+operations every experiment is built from: the SDK operator, truncated SVD /
+group decomposition, the cycle model, convolution forward/backward, and the
+crossbar MVM.  They are useful for tracking performance regressions of the
+library itself, independent of the paper-figure harnesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imc.tiles import TiledMatrix
+from repro.lowrank.decompose import decompose
+from repro.lowrank.group import group_decompose
+from repro.mapping.cycles import lowrank_cycles
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.sdk import ParallelWindow, SDKMapping
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+LAYER = ConvGeometry(32, 64, 3, 3, 16, 16, stride=1, padding=1, name="bench-layer")
+ARRAY = ArrayDims.square(64)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_sdk_operator(benchmark):
+    mapping = SDKMapping(LAYER, ParallelWindow(5, 5))
+    weight = np.random.default_rng(0).standard_normal((LAYER.m, LAYER.n))
+    mapping.padding_matrices()  # exclude one-time construction from the timing
+    result = benchmark(mapping.apply, weight)
+    assert result.shape == (mapping.num_parallel_outputs * LAYER.m, mapping.flattened_window_size)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_truncated_svd(benchmark):
+    matrix = np.random.default_rng(0).standard_normal((256, 2304))  # WRN16-4's largest layer
+    factors = benchmark(decompose, matrix, 32)
+    assert factors.rank == 32
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_group_decomposition(benchmark):
+    matrix = np.random.default_rng(0).standard_normal((256, 2304))
+    factors = benchmark(group_decompose, matrix, 32, 4)
+    assert factors.groups == 4
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_cycle_model(benchmark):
+    def evaluate():
+        return lowrank_cycles(LAYER, ARRAY, rank=8, groups=4, use_sdk=True, window=ParallelWindow(5, 5))
+
+    entry = benchmark(evaluate)
+    assert entry.cycles > 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_conv2d_forward(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((8, 16, 16, 16)))
+    w = Tensor(rng.standard_normal((32, 16, 3, 3)))
+    out = benchmark(F.conv2d, x, w, None, 1, 1)
+    assert out.shape == (8, 32, 16, 16)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_crossbar_mvm(benchmark):
+    rng = np.random.default_rng(0)
+    tiled = TiledMatrix(rng.standard_normal((64, 256)), ARRAY)
+    vector = rng.standard_normal(256)
+    out = benchmark(tiled.mvm, vector)
+    assert out.shape == (64,)

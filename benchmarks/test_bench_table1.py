@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Table I (accuracy / cycles over the group × rank sweep).
+
+Paper reference values (Table I): the proposed method reaches ~90–91 % on
+ResNet-20 and ~70–72 % on WRN16-4 at moderate ranks, cycles drop monotonically
+with the rank divisor, and the SDK-mapped factors never need more cycles than
+the im2col-mapped factors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_full_sweep(benchmark):
+    """Full Table I sweep: both networks, all 16 (group, rank) configurations."""
+    result = run_once(benchmark, run_table1)
+
+    assert len(result.rows) == 2 * 16
+    # Accuracy trends of the paper's table hold.
+    for network, top_expected in (("resnet20", 88.0), ("wrn16_4", 67.0)):
+        best = result.best_accuracy(network)
+        assert best.accuracy >= top_expected
+        # More groups at fixed rank never hurt accuracy (Theorem 1).
+        for divisor in (2, 4, 8, 16):
+            g1 = result.row(network, 1, divisor).accuracy
+            g8 = result.row(network, 8, divisor).accuracy
+            assert g8 >= g1 - 0.5
+    # Cycle trends: SDK never slower; larger arrays never slower.
+    for row in result.rows:
+        for size in (32, 64):
+            assert row.cycles_with_sdk[size] <= row.cycles_without_sdk[size]
+        assert row.cycles_with_sdk[64] <= row.cycles_with_sdk[32]
+
+    print()
+    print(format_table1(result))
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_resnet20_only(benchmark):
+    """Smaller sweep used for quick regression timing (ResNet-20, 64×64 array)."""
+    result = run_once(benchmark, run_table1, networks=("resnet20",), array_sizes=(64,))
+    assert len(result.rows) == 16
+    # Rank divisor 2 (highest rank) is the most accurate configuration per group.
+    for groups in (1, 2, 4, 8):
+        accs = [result.row("resnet20", groups, d).accuracy for d in (2, 4, 8, 16)]
+        assert accs[0] >= accs[-1]

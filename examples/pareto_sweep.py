@@ -1,0 +1,61 @@
+"""Sweep (group, rank) configurations and plot the accuracy / cycle Pareto front.
+
+Reproduces one panel of Fig. 6 for a chosen network and array size: the full
+proposed-method sweep, the pattern-pruning and PAIRS baselines, the Pareto
+front extraction, and the headline speed-up / accuracy-gain numbers, rendered
+as a text table plus an ASCII scatter plot.
+
+Run with:  python examples/pareto_sweep.py [--network wrn16_4] [--array 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.plots import ascii_scatter
+from repro.analysis.tables import format_cycles, format_table
+from repro.experiments.fig6 import headline_metrics, run_fig6
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--network", choices=("resnet20", "wrn16_4"), default="resnet20")
+    parser.add_argument("--array", type=int, choices=(32, 64, 128), default=64)
+    args = parser.parse_args()
+
+    result = run_fig6(networks=(args.network,), array_sizes=(args.array,))
+    panel = result.panel(args.network, args.array)
+
+    rows = [
+        ["baseline", "im2col, uncompressed", f"{panel.baseline.accuracy:.1f}", format_cycles(panel.baseline.cycles)]
+    ]
+    for point in panel.ours:
+        marker = "*" if point in panel.ours_pareto else " "
+        rows.append([f"ours{marker}", point.detail, f"{point.accuracy:.1f}", format_cycles(point.cycles)])
+    for point in panel.patdnn:
+        rows.append(["PatDNN", point.detail, f"{point.accuracy:.1f}", format_cycles(point.cycles)])
+    for point in panel.pairs:
+        rows.append(["PAIRS", point.detail, f"{point.accuracy:.1f}", format_cycles(point.cycles)])
+
+    print(format_table(
+        ["method", "configuration", "accuracy (%)", "cycles"],
+        rows,
+        title=f"{args.network} on a {args.array}x{args.array} array (* = Pareto-optimal ours)",
+    ))
+    print()
+    print(ascii_scatter(
+        panel.series(),
+        x_label="computing cycles",
+        y_label="accuracy (%)",
+        title=f"Fig. 6 panel — {args.network} @ {args.array}x{args.array}",
+    ))
+    print()
+    metrics = headline_metrics(panel)
+    print(
+        f"headline: up to {metrics['max_speedup']:.1f}x speedup or "
+        f"+{metrics['max_accuracy_gain']:.1f}% accuracy versus the pruning baselines"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed editable in fully offline environments where the
+``wheel`` package (needed by the PEP 660 editable build hooks) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

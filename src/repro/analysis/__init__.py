@@ -1,0 +1,19 @@
+"""Analysis helpers: Pareto fronts, text tables, ASCII plots."""
+
+from .pareto import TradeoffPoint, dominates, hypervolume, pareto_front
+from .plots import ascii_bars, ascii_scatter
+from .tables import format_cycles, format_kv, format_percent, format_table, markdown_table
+
+__all__ = [
+    "TradeoffPoint",
+    "pareto_front",
+    "dominates",
+    "hypervolume",
+    "ascii_scatter",
+    "ascii_bars",
+    "format_table",
+    "format_kv",
+    "format_cycles",
+    "format_percent",
+    "markdown_table",
+]

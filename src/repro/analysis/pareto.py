@@ -1,0 +1,78 @@
+"""Pareto-front extraction over (cost, quality) trade-off points.
+
+Fig. 6 of the paper plots only the Pareto-optimal (computing-cycle, accuracy)
+configurations of the proposed method "for conciseness and clarity"; the same
+selection is provided here as a generic utility usable with any objects that
+expose a cost and a quality attribute (or via explicit key functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["TradeoffPoint", "pareto_front", "dominates", "hypervolume"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """A generic (cost, quality) point with an optional label and payload."""
+
+    cost: float
+    quality: float
+    label: str = ""
+    payload: object = None
+
+
+def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """True when point ``a`` (cost, quality) dominates ``b`` (≤ cost, ≥ quality, one strict)."""
+    better_or_equal = a[0] <= b[0] and a[1] >= b[1]
+    strictly_better = a[0] < b[0] or a[1] > b[1]
+    return better_or_equal and strictly_better
+
+
+def pareto_front(
+    items: Sequence[T],
+    cost: Callable[[T], float] = lambda item: item.cost,  # type: ignore[attr-defined]
+    quality: Callable[[T], float] = lambda item: item.quality,  # type: ignore[attr-defined]
+) -> List[T]:
+    """Return the non-dominated items, sorted by increasing cost.
+
+    Lower cost is better, higher quality is better (cycles vs. accuracy in the
+    paper's plots).
+    """
+    front: List[T] = []
+    points = [(cost(item), quality(item)) for item in items]
+    for index, candidate in enumerate(points):
+        if any(dominates(other, candidate) for j, other in enumerate(points) if j != index):
+            continue
+        front.append(items[index])
+    return sorted(front, key=lambda item: cost(item))
+
+
+def hypervolume(
+    items: Sequence[T],
+    reference_cost: float,
+    reference_quality: float,
+    cost: Callable[[T], float] = lambda item: item.cost,  # type: ignore[attr-defined]
+    quality: Callable[[T], float] = lambda item: item.quality,  # type: ignore[attr-defined]
+) -> float:
+    """Dominated hypervolume w.r.t. a (worst-cost, worst-quality) reference point.
+
+    A simple scalar summary used by the ablation benches to compare sweeps: it
+    grows when configurations are faster and/or more accurate.
+    """
+    front = pareto_front(items, cost, quality)
+    if not front:
+        return 0.0
+    total = 0.0
+    previous_cost = reference_cost
+    for item in sorted(front, key=lambda it: cost(it), reverse=True):
+        c, q = cost(item), quality(item)
+        if c > reference_cost or q < reference_quality:
+            continue
+        total += (previous_cost - c) * (q - reference_quality)
+        previous_cost = c
+    return total

@@ -1,0 +1,84 @@
+"""ASCII scatter / line plots for terminal-friendly figure reproduction.
+
+The paper's figures are accuracy-versus-cycles scatter plots and normalized
+bar charts.  Since the reproduction environment has no plotting backend, the
+experiment harnesses render the same data as ASCII charts; the raw series are
+also returned as dictionaries so they can be exported or re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_scatter", "ascii_bars"]
+
+
+def ascii_scatter(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 70,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Render multiple (x, y) series on one character grid.
+
+    Each series is assigned a marker character; overlapping points show the
+    marker of the last series drawn.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("plot area too small")
+    markers = "ox+*#@%&"
+    points = [(x, y) for values in series.values() for (x, y) in values]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for (x, y) in values:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series.keys())
+    )
+    lines.append(legend)
+    lines.append(f"{y_label} (top={y_max:.2f}, bottom={y_min:.2f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: left={x_min:.0f}, right={x_max:.0f}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: Optional[str] = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart normalized to the maximum value."""
+    if not values:
+        return "(no data)"
+    maximum = max(values.values())
+    if maximum <= 0:
+        maximum = 1.0
+    label_width = max(len(k) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(value / maximum * width))) if value > 0 else ""
+        lines.append(f"{name.ljust(label_width)} | {bar} {value_format.format(value)}")
+    return "\n".join(lines)

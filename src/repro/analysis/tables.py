@@ -1,0 +1,78 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment harnesses print their results in the same row structure the
+paper uses (Table I and the figure series), so a run's output can be compared
+side by side with the publication.  Only standard-library string formatting is
+used; no terminal styling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_kv", "format_cycles", "format_percent", "markdown_table"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_cycles(cycles: Union[int, float]) -> str:
+    """Human-readable cycle count, e.g. ``44k`` / ``1.02M`` like the paper's Table I."""
+    cycles = float(cycles)
+    if cycles >= 1e6:
+        return f"{cycles / 1e6:.2f}M"
+    if cycles >= 1e3:
+        return f"{cycles / 1e3:.0f}k"
+    return f"{cycles:.0f}"
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    return f"{value:.{decimals}f}%"
+
+
+def _render_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table with a header rule."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row} does not match header width {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """GitHub-flavoured markdown table (used by EXPERIMENTS.md generation)."""
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_render_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, Cell], title: Optional[str] = None) -> str:
+    """Aligned key/value listing."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_render_cell(value)}")
+    return "\n".join(lines)

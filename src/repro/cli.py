@@ -1,0 +1,113 @@
+"""Command-line interface: reproduce paper artefacts and run deployment reports.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table1                      # reproduce Table I
+    python -m repro fig6 --network wrn16_4      # one or both Fig. 6 networks
+    python -m repro fig7                        # normalized energy comparison
+    python -m repro fig8                        # vs. quantization
+    python -m repro fig9                        # vs. traditional low-rank
+    python -m repro report                      # everything (Table I + Figs. 6-9)
+    python -m repro compare --network resnet20 --array 64
+                                                # deployment-style method comparison
+
+Every subcommand prints plain text; ``--output FILE`` writes it to a file too.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .experiments.fig6 import format_fig6, run_fig6
+from .experiments.fig7 import format_fig7, run_fig7
+from .experiments.fig8 import format_fig8, run_fig8
+from .experiments.fig9 import format_fig9, run_fig9
+from .experiments.runner import format_report, run_all
+from .experiments.table1 import format_table1, run_table1
+from .imc.reports import MethodSpec, compare_methods
+from .mapping.geometry import ArrayDims
+from .workloads import compressible_geometries
+
+__all__ = ["build_parser", "main"]
+
+
+def _fig6_text(args: argparse.Namespace) -> str:
+    networks = (args.network,) if args.network else ("resnet20", "wrn16_4")
+    return format_fig6(run_fig6(networks=networks), include_plots=args.plots)
+
+
+def _compare_text(args: argparse.Namespace) -> str:
+    geometries = compressible_geometries(args.network)
+    array = ArrayDims.square(args.array)
+    methods = [
+        MethodSpec("im2col (uncompressed)", "im2col"),
+        MethodSpec("VW-SDK (uncompressed)", "sdk"),
+        MethodSpec(f"pattern pruning (e={args.entries})", "pattern", {"entries": args.entries}),
+        MethodSpec(
+            f"ours (g={args.groups}, k=m/{args.rank_divisor})",
+            "lowrank",
+            {"rank_divisor": args.rank_divisor, "groups": args.groups, "use_sdk": True},
+        ),
+    ]
+    comparison = compare_methods(methods, geometries, array)
+    return comparison.describe(
+        title=f"{args.network} compressible layers on a {array} array"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--output", type=str, default="", help="also write the output to this file")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="reproduce Table I")
+
+    fig6 = subparsers.add_parser("fig6", help="reproduce Fig. 6 (vs. pattern pruning)")
+    fig6.add_argument("--network", choices=("resnet20", "wrn16_4"), default=None)
+    fig6.add_argument("--plots", action="store_true", help="include ASCII scatter plots")
+
+    subparsers.add_parser("fig7", help="reproduce Fig. 7 (normalized energy)")
+    subparsers.add_parser("fig8", help="reproduce Fig. 8 (vs. quantization)")
+    subparsers.add_parser("fig9", help="reproduce Fig. 9 (vs. traditional low-rank)")
+
+    report = subparsers.add_parser("report", help="reproduce every table and figure")
+    report.add_argument("--plots", action="store_true")
+
+    compare = subparsers.add_parser("compare", help="deployment-style method comparison")
+    compare.add_argument("--network", choices=("resnet20", "wrn16_4"), default="resnet20")
+    compare.add_argument("--array", type=int, choices=(32, 64, 128), default=64)
+    compare.add_argument("--groups", type=int, default=4)
+    compare.add_argument("--rank-divisor", type=int, default=8)
+    compare.add_argument("--entries", type=int, default=6)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        text = format_table1(run_table1())
+    elif args.command == "fig6":
+        text = _fig6_text(args)
+    elif args.command == "fig7":
+        text = format_fig7(run_fig7(), include_plots=False)
+    elif args.command == "fig8":
+        text = format_fig8(run_fig8(), include_plots=False)
+    elif args.command == "fig9":
+        text = format_fig9(run_fig9(), include_plots=False)
+    elif args.command == "report":
+        text = format_report(run_all(), include_plots=args.plots)
+    elif args.command == "compare":
+        text = _compare_text(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0

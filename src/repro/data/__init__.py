@@ -1,0 +1,23 @@
+"""Synthetic datasets and loaders standing in for CIFAR-10 / CIFAR-100 (DESIGN.md §2)."""
+
+from .augment import Augmentation, random_crop, random_horizontal_flip
+from .loaders import DataLoader
+from .synthetic import (
+    SyntheticImageDataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dataset,
+    make_tiny_dataset,
+)
+
+__all__ = [
+    "SyntheticImageDataset",
+    "make_dataset",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_tiny_dataset",
+    "DataLoader",
+    "Augmentation",
+    "random_crop",
+    "random_horizontal_flip",
+]

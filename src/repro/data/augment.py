@@ -1,0 +1,60 @@
+"""Light-weight data augmentation on numpy image batches.
+
+Standard CIFAR training uses random crops (after padding) and horizontal
+flips; the same augmentations are provided here for the training substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["random_horizontal_flip", "random_crop", "Augmentation"]
+
+
+def random_horizontal_flip(
+    images: np.ndarray, probability: float = 0.5, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    gen = rng if rng is not None else np.random.default_rng()
+    out = images.copy()
+    flips = gen.random(images.shape[0]) < probability
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def random_crop(
+    images: np.ndarray, padding: int = 4, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Pad each image by ``padding`` pixels and crop back to the original size at a random offset."""
+    if padding < 0:
+        raise ValueError(f"padding must be non-negative, got {padding}")
+    if padding == 0:
+        return images.copy()
+    gen = rng if rng is not None else np.random.default_rng()
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(images)
+    tops = gen.integers(0, 2 * padding + 1, size=n)
+    lefts = gen.integers(0, 2 * padding + 1, size=n)
+    for index in range(n):
+        top, left = tops[index], lefts[index]
+        out[index] = padded[index, :, top : top + h, left : left + w]
+    return out
+
+
+class Augmentation:
+    """Composable crop + flip augmentation, usable as the loader's ``augment`` hook."""
+
+    def __init__(self, crop_padding: int = 2, flip_probability: float = 0.5, seed: int = 0) -> None:
+        self.crop_padding = crop_padding
+        self.flip_probability = flip_probability
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        out = random_crop(images, self.crop_padding, self._rng)
+        out = random_horizontal_flip(out, self.flip_probability, self._rng)
+        return out

@@ -1,0 +1,62 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .synthetic import SyntheticImageDataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches, optionally shuffled and augmented.
+
+    Iterating yields ``(images, labels)`` numpy pairs.  The loader is
+    deterministic for a given seed: each epoch re-shuffles with a new
+    generator state derived from the epoch counter so training runs are
+    reproducible across processes.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        augment=None,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.augment = augment
+        self.seed = seed
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed + self._epoch)
+            rng.shuffle(indices)
+        self._epoch += 1
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            images = self.dataset.images[batch_idx]
+            labels = self.dataset.labels[batch_idx]
+            if self.augment is not None:
+                images = self.augment(images)
+            yield images, labels

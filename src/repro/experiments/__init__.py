@@ -1,0 +1,78 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+* :mod:`repro.experiments.table1` — Table I (accuracy / cycles sweep over groups × ranks),
+* :mod:`repro.experiments.fig6`   — Fig. 6 (vs. pattern pruning, six panels),
+* :mod:`repro.experiments.fig7`   — Fig. 7 (normalized energy),
+* :mod:`repro.experiments.fig8`   — Fig. 8 (vs. quantization),
+* :mod:`repro.experiments.fig9`   — Fig. 9 (vs. traditional low-rank),
+* :mod:`repro.experiments.runner` — run everything and format a combined report,
+* :mod:`repro.experiments.common` — shared workload / cycle / energy helpers.
+"""
+
+from .common import (
+    ARRAY_SIZES,
+    GROUP_COUNTS,
+    PRUNING_ENTRIES,
+    QUANTIZATION_BITS,
+    RANK_DIVISORS,
+    MethodPoint,
+    NetworkWorkload,
+    baseline_cycles,
+    baseline_energy,
+    lowrank_network_cycles,
+    lowrank_network_energy,
+    pairs_network_cycles,
+    pattern_network_cycles,
+    pattern_network_energy,
+    quantized_network_cycles,
+)
+from .fig6 import Fig6Panel, Fig6Result, format_fig6, headline_metrics, run_fig6
+from .fig7 import Fig7Bar, Fig7Result, format_fig7, run_fig7
+from .fig8 import Fig8Panel, Fig8Result, format_fig8, quantization_speedup, run_fig8
+from .fig9 import Fig9Panel, Fig9Result, format_fig9, iso_accuracy_speedup, run_fig9
+from .runner import ExperimentSuite, format_report, run_all
+from .table1 import Table1Result, Table1Row, format_table1, run_table1
+
+__all__ = [
+    "ARRAY_SIZES",
+    "RANK_DIVISORS",
+    "GROUP_COUNTS",
+    "PRUNING_ENTRIES",
+    "QUANTIZATION_BITS",
+    "MethodPoint",
+    "NetworkWorkload",
+    "baseline_cycles",
+    "baseline_energy",
+    "lowrank_network_cycles",
+    "lowrank_network_energy",
+    "pattern_network_cycles",
+    "pattern_network_energy",
+    "pairs_network_cycles",
+    "quantized_network_cycles",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "format_table1",
+    "Fig6Panel",
+    "Fig6Result",
+    "run_fig6",
+    "format_fig6",
+    "headline_metrics",
+    "Fig7Bar",
+    "Fig7Result",
+    "run_fig7",
+    "format_fig7",
+    "Fig8Panel",
+    "Fig8Result",
+    "run_fig8",
+    "format_fig8",
+    "quantization_speedup",
+    "Fig9Panel",
+    "Fig9Result",
+    "run_fig9",
+    "format_fig9",
+    "iso_accuracy_speedup",
+    "ExperimentSuite",
+    "run_all",
+    "format_report",
+]

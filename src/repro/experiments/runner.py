@@ -1,0 +1,103 @@
+"""Run every experiment harness and emit a combined report.
+
+``python -m repro.experiments.runner`` reproduces all of Table I and
+Figs. 6–9 in one pass and prints the formatted tables; the same entry point is
+used to populate EXPERIMENTS.md's "measured" columns.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .fig6 import Fig6Result, format_fig6, headline_metrics, run_fig6
+from .fig7 import Fig7Result, format_fig7, run_fig7
+from .fig8 import Fig8Result, format_fig8, quantization_speedup, run_fig8
+from .fig9 import Fig9Result, format_fig9, iso_accuracy_speedup, run_fig9
+from .table1 import Table1Result, format_table1, run_table1
+
+__all__ = ["ExperimentSuite", "run_all", "format_report", "main"]
+
+
+@dataclass
+class ExperimentSuite:
+    """Results of every reproduced table and figure."""
+
+    table1: Table1Result
+    fig6: Fig6Result
+    fig7: Fig7Result
+    fig8: Fig8Result
+    fig9: Fig9Result
+
+    def headline_summary(self) -> str:
+        """One-paragraph summary mirroring the paper's abstract-level claims."""
+        wrn_panel = self.fig6.panel("wrn16_4", 32)
+        metrics = headline_metrics(wrn_panel)
+        fig8_speedup = max(quantization_speedup(p) for p in self.fig8.panels)
+        fig9_lines = []
+        for panel in self.fig9.panels:
+            summary = iso_accuracy_speedup(panel)
+            if summary["speedup"] is not None:
+                fig9_lines.append(f"{panel.network}: {summary['speedup']:.1f}x")
+        return (
+            f"WRN16-4 vs pruning: up to {metrics['max_speedup']:.1f}x speedup / "
+            f"+{metrics['max_accuracy_gain']:.1f}% accuracy;  "
+            f"energy saving vs pattern pruning up to {self.fig7.max_saving_vs_pattern:.0%}, "
+            f"vs im2col up to {self.fig7.max_saving_vs_im2col:.0%};  "
+            f"speedup over quantization up to {fig8_speedup:.1f}x;  "
+            f"iso-accuracy speedup over traditional low-rank: {', '.join(fig9_lines)}"
+        )
+
+
+def run_all(include_fig6_arrays: Optional[Sequence[int]] = None) -> ExperimentSuite:
+    """Execute every harness with the paper's default sweeps."""
+    kwargs = {}
+    if include_fig6_arrays is not None:
+        kwargs["array_sizes"] = tuple(include_fig6_arrays)
+    return ExperimentSuite(
+        table1=run_table1(),
+        fig6=run_fig6(**kwargs),
+        fig7=run_fig7(),
+        fig8=run_fig8(),
+        fig9=run_fig9(),
+    )
+
+
+def format_report(suite: ExperimentSuite, include_plots: bool = False) -> str:
+    """Render the full report as plain text."""
+    sections = [
+        "=" * 78,
+        "Reproduction report — Low-Rank Compression for IMC Arrays (DATE 2025)",
+        "=" * 78,
+        suite.headline_summary(),
+        "",
+        format_table1(suite.table1),
+        "",
+        format_fig6(suite.fig6, include_plots=include_plots),
+        "",
+        format_fig7(suite.fig7, include_plots=include_plots),
+        "",
+        format_fig8(suite.fig8, include_plots=include_plots),
+        "",
+        format_fig9(suite.fig9, include_plots=include_plots),
+    ]
+    return "\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI shim
+    parser = argparse.ArgumentParser(description="Reproduce every table/figure of the paper")
+    parser.add_argument("--plots", action="store_true", help="include ASCII scatter/bar plots")
+    parser.add_argument("--output", type=str, default="", help="write the report to a file")
+    args = parser.parse_args(argv)
+    suite = run_all()
+    report = format_report(suite, include_plots=args.plots)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

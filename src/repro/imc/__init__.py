@@ -1,0 +1,84 @@
+"""IMC hardware substrate: crossbars, peripherals, energy model, noise, simulation."""
+
+from .crossbar import CrossbarArray, conductances_to_weights, weights_to_conductances
+from .energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    LayerEnergy,
+    NetworkEnergy,
+    aggregate_energy,
+)
+from .noise import (
+    NoiseModel,
+    apply_conductance_variation,
+    apply_ir_drop,
+    apply_stuck_at_faults,
+)
+from .peripherals import (
+    ADCSpec,
+    CellSpec,
+    DACSpec,
+    MuxSpec,
+    PeripheralSuite,
+    ZeroSkipSpec,
+    default_peripherals,
+)
+from .bitslicing import (
+    BitSlicedMatrix,
+    codes_to_values,
+    combine_slices,
+    quantize_to_codes,
+    slice_weights,
+)
+from .reports import (
+    LayerHardwareRecord,
+    MethodComparison,
+    MethodSpec,
+    NetworkHardwareReport,
+    build_report,
+    compare_methods,
+)
+from .scheduler import ChipConfig, LayerSchedule, NetworkSchedule, schedule_network
+from .simulator import IMCSimulator, SimulationResult, im2col_columns
+from .tiles import TiledMatrix
+
+__all__ = [
+    "CrossbarArray",
+    "weights_to_conductances",
+    "conductances_to_weights",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "LayerEnergy",
+    "NetworkEnergy",
+    "aggregate_energy",
+    "NoiseModel",
+    "apply_conductance_variation",
+    "apply_stuck_at_faults",
+    "apply_ir_drop",
+    "ADCSpec",
+    "DACSpec",
+    "CellSpec",
+    "MuxSpec",
+    "ZeroSkipSpec",
+    "PeripheralSuite",
+    "default_peripherals",
+    "IMCSimulator",
+    "SimulationResult",
+    "im2col_columns",
+    "TiledMatrix",
+    "MethodSpec",
+    "MethodComparison",
+    "LayerHardwareRecord",
+    "NetworkHardwareReport",
+    "build_report",
+    "compare_methods",
+    "BitSlicedMatrix",
+    "quantize_to_codes",
+    "codes_to_values",
+    "slice_weights",
+    "combine_slices",
+    "ChipConfig",
+    "LayerSchedule",
+    "NetworkSchedule",
+    "schedule_network",
+]

@@ -1,0 +1,140 @@
+"""Crossbar non-ideality (noise) models.
+
+Programming a weight onto an RRAM cell and reading it back is not exact: the
+paper's hardware substrate (and any NeuroSIM-style evaluation) is subject to
+conductance variation, stuck-at faults and IR drop along the bit lines.  The
+noise model here perturbs programmed conductance matrices so the simulator can
+quantify how compressed mappings behave on imperfect hardware — the "crossbar
+noise sim" code path of the reproduction plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["NoiseModel", "apply_conductance_variation", "apply_stuck_at_faults", "apply_ir_drop"]
+
+
+def apply_conductance_variation(
+    conductances: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Multiplicative log-normal device-to-device variation.
+
+    ``sigma`` is the standard deviation of the underlying normal distribution;
+    a typical RRAM characterization uses values between 0.05 and 0.3.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if sigma == 0.0:
+        return conductances.copy()
+    factors = np.exp(rng.normal(0.0, sigma, size=conductances.shape))
+    return conductances * factors
+
+
+def apply_stuck_at_faults(
+    conductances: np.ndarray,
+    rate: float,
+    g_min: float,
+    g_max: float,
+    rng: np.random.Generator,
+    stuck_on_fraction: float = 0.5,
+) -> np.ndarray:
+    """Randomly force a fraction of cells to their extreme conductance values.
+
+    Half of the faulty cells (by default) are stuck at ``g_max`` (SA1) and the
+    rest at ``g_min`` (SA0), matching common fault characterizations.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    if rate == 0.0:
+        return conductances.copy()
+    out = conductances.copy()
+    faulty = rng.random(conductances.shape) < rate
+    stuck_on = rng.random(conductances.shape) < stuck_on_fraction
+    out[faulty & stuck_on] = g_max
+    out[faulty & ~stuck_on] = g_min
+    return out
+
+
+def apply_ir_drop(conductances: np.ndarray, severity: float) -> np.ndarray:
+    """First-order IR-drop model: rows further from the driver see attenuated reads.
+
+    The attenuation grows linearly with row index up to ``severity`` at the far
+    end of the array (a light-weight stand-in for a full SPICE IR-drop solve,
+    sufficient to study relative robustness of mappings).
+    """
+    if not 0.0 <= severity < 1.0:
+        raise ValueError(f"severity must be in [0, 1), got {severity}")
+    if severity == 0.0:
+        return conductances.copy()
+    rows = conductances.shape[0]
+    if rows == 1:
+        return conductances.copy()
+    attenuation = 1.0 - severity * (np.arange(rows) / (rows - 1))
+    return conductances * attenuation[:, None]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Composite non-ideality model applied to programmed conductances.
+
+    Attributes
+    ----------
+    conductance_sigma:
+        Log-normal device variation sigma (0 disables it).
+    stuck_at_rate:
+        Probability of a cell being stuck at an extreme conductance.
+    ir_drop_severity:
+        Linear attenuation at the far end of the bit lines (0 disables it).
+    seed:
+        Seed of the internal random generator, for reproducibility.
+    """
+
+    conductance_sigma: float = 0.0
+    stuck_at_rate: float = 0.0
+    ir_drop_severity: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.conductance_sigma < 0:
+            raise ValueError("conductance_sigma must be non-negative")
+        if not 0.0 <= self.stuck_at_rate <= 1.0:
+            raise ValueError("stuck_at_rate must be in [0, 1]")
+        if not 0.0 <= self.ir_drop_severity < 1.0:
+            raise ValueError("ir_drop_severity must be in [0, 1)")
+
+    @property
+    def is_ideal(self) -> bool:
+        return (
+            self.conductance_sigma == 0.0
+            and self.stuck_at_rate == 0.0
+            and self.ir_drop_severity == 0.0
+        )
+
+    def apply(
+        self,
+        conductances: np.ndarray,
+        g_min: float,
+        g_max: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Return a perturbed copy of the conductance matrix."""
+        if self.is_ideal:
+            return conductances.copy()
+        gen = rng if rng is not None else np.random.default_rng(self.seed)
+        out = apply_conductance_variation(conductances, self.conductance_sigma, gen)
+        out = apply_stuck_at_faults(out, self.stuck_at_rate, g_min, g_max, gen)
+        out = apply_ir_drop(out, self.ir_drop_severity)
+        return np.clip(out, 0.0, None)
+
+    @staticmethod
+    def ideal() -> "NoiseModel":
+        return NoiseModel()
+
+    @staticmethod
+    def typical() -> "NoiseModel":
+        """A moderately noisy RRAM corner used by the robustness ablation."""
+        return NoiseModel(conductance_sigma=0.1, stuck_at_rate=0.001, ir_drop_severity=0.02)

@@ -1,0 +1,141 @@
+"""Peripheral circuit models for IMC crossbar arrays.
+
+The energy model follows the NeuroSIM / ConvMapSIM decomposition of a crossbar
+read into its circuit components: word-line drivers (DACs), the cell array
+itself, column multiplexers, ADCs, and — for the pruning baselines only — the
+sparsity peripherals the paper's introduction calls out (zero-skipping
+wordline logic and input-realignment multiplexers/demultiplexers).
+
+Energies are expressed in picojoules per activation of the component.  The
+default constants are order-of-magnitude values taken from the published
+NeuroSIM characterizations of RRAM crossbars at 32 nm; absolute numbers are
+not the point (the paper reports *normalized* energy), but the relative cost
+structure — ADCs dominating, peripherals adding a meaningful surcharge — is
+what produces the Fig. 7 shape and is preserved here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = [
+    "ADCSpec",
+    "DACSpec",
+    "CellSpec",
+    "MuxSpec",
+    "ZeroSkipSpec",
+    "PeripheralSuite",
+    "default_peripherals",
+]
+
+
+@dataclass(frozen=True)
+class ADCSpec:
+    """Column analog-to-digital converter.
+
+    One conversion is needed per read column per activation; ``share_ratio``
+    columns share one ADC through a column mux (8 is the NeuroSIM default).
+    """
+
+    bits: int = 5
+    energy_per_conversion_pj: float = 2.0
+    latency_ns: float = 1.0
+    share_ratio: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.share_ratio <= 0:
+            raise ValueError("ADC bits and share ratio must be positive")
+        if self.energy_per_conversion_pj < 0 or self.latency_ns < 0:
+            raise ValueError("ADC energy and latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class DACSpec:
+    """Word-line driver / input DAC, one per activated row per activation."""
+
+    bits: int = 1
+    energy_per_conversion_pj: float = 0.02
+    latency_ns: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError("DAC bits must be positive")
+        if self.energy_per_conversion_pj < 0 or self.latency_ns < 0:
+            raise ValueError("DAC energy and latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A single memory cell (RRAM device) read cost."""
+
+    read_energy_pj: float = 0.003
+    write_energy_pj: float = 10.0
+    conductance_levels: int = 16
+    g_min: float = 1e-6
+    g_max: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.read_energy_pj < 0 or self.write_energy_pj < 0:
+            raise ValueError("cell energies must be non-negative")
+        if self.conductance_levels < 2:
+            raise ValueError("a cell must have at least two conductance levels")
+        if not 0 < self.g_min < self.g_max:
+            raise ValueError("conductance range must satisfy 0 < g_min < g_max")
+
+
+@dataclass(frozen=True)
+class MuxSpec:
+    """Input-realignment multiplexer/demultiplexer used by pruning dataflows.
+
+    Pruned models must re-route input activations to match the compacted
+    weight layout; the cost is charged per activated row per array activation.
+    """
+
+    energy_per_route_pj: float = 0.05
+    latency_ns: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.energy_per_route_pj < 0 or self.latency_ns < 0:
+            raise ValueError("mux energy and latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class ZeroSkipSpec:
+    """Zero-skipping wordline logic used by sparsity-aware pruning dataflows.
+
+    Every physical row is checked once per activation (the detection cost),
+    regardless of whether it ends up being skipped.
+    """
+
+    energy_per_row_check_pj: float = 0.02
+    latency_ns: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.energy_per_row_check_pj < 0 or self.latency_ns < 0:
+            raise ValueError("zero-skip energy and latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class PeripheralSuite:
+    """The full set of peripheral specifications used by the energy model."""
+
+    adc: ADCSpec = field(default_factory=ADCSpec)
+    dac: DACSpec = field(default_factory=DACSpec)
+    cell: CellSpec = field(default_factory=CellSpec)
+    mux: MuxSpec = field(default_factory=MuxSpec)
+    zero_skip: ZeroSkipSpec = field(default_factory=ZeroSkipSpec)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "adc": self.adc,
+            "dac": self.dac,
+            "cell": self.cell,
+            "mux": self.mux,
+            "zero_skip": self.zero_skip,
+        }
+
+
+def default_peripherals() -> PeripheralSuite:
+    """The default NeuroSIM-flavoured peripheral suite used across the repo."""
+    return PeripheralSuite()

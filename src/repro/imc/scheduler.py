@@ -1,0 +1,162 @@
+"""Tile scheduler: latency of running a mapped network on a bounded IMC chip.
+
+The computing-cycle model of :mod:`repro.mapping.cycles` counts *array
+activations* assuming every tile of a layer exists on chip.  A real
+accelerator has a fixed number of crossbar arrays, so layers whose mapping
+needs more tiles than are available must time-multiplex them (reprogramming or
+sequential activation), and layers with fewer tiles than available arrays can
+process multiple input positions in parallel.
+
+This scheduler turns the per-layer activation counts into wall-clock latency
+for a chip with ``num_arrays`` crossbars and a per-activation array time
+derived from the ADC share ratio (each of the ``logical_cols`` columns is
+digitized through ``cols / share_ratio`` ADCs):
+
+* weight-stationary operation (the usual IMC assumption): every layer's tiles
+  are resident; if the network needs more tiles than the chip has, the excess
+  is charged with a reprogramming penalty per extra tile,
+* layer latency = activations / (parallelism available to that layer) ×
+  per-activation time.
+
+This is intentionally a first-order model — it reproduces the qualitative
+claims that matter here (fewer mapped tiles and fewer activations both reduce
+latency, and the proposed compression reduces both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..mapping.cycles import LayerCycles
+from ..mapping.geometry import ArrayDims, ceil_div
+from .peripherals import PeripheralSuite, default_peripherals
+
+__all__ = ["ChipConfig", "LayerSchedule", "NetworkSchedule", "schedule_network"]
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A chip with a fixed pool of identical crossbar arrays."""
+
+    array: ArrayDims
+    num_arrays: int = 64
+    peripherals: PeripheralSuite = field(default_factory=default_peripherals)
+    reprogram_time_us: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_arrays <= 0:
+            raise ValueError("num_arrays must be positive")
+        if self.reprogram_time_us < 0:
+            raise ValueError("reprogram_time_us must be non-negative")
+
+    @property
+    def activation_time_ns(self) -> float:
+        """Time of one array activation: ADC conversions dominate, serialized per mux group."""
+        p = self.peripherals
+        conversions_per_adc = p.adc.share_ratio
+        adc_time = conversions_per_adc * p.adc.latency_ns
+        return max(adc_time, p.dac.latency_ns)
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """Scheduling outcome for one layer."""
+
+    layer: str
+    method: str
+    tiles: int
+    activations: int
+    parallel_positions: int
+    latency_us: float
+
+    @property
+    def resident(self) -> bool:
+        """Whether the layer's tiles fit on chip simultaneously (no reprogramming)."""
+        return self.parallel_positions >= 1
+
+
+@dataclass
+class NetworkSchedule:
+    """Latency report of a whole network on one chip configuration."""
+
+    chip: ChipConfig
+    layers: List[LayerSchedule] = field(default_factory=list)
+    reprogram_events: int = 0
+
+    @property
+    def total_latency_us(self) -> float:
+        """Sequential (layer-by-layer) execution latency."""
+        return sum(entry.latency_us for entry in self.layers) + (
+            self.reprogram_events * self.chip.reprogram_time_us
+        )
+
+    @property
+    def pipeline_latency_us(self) -> float:
+        """Per-input latency when layers are pipelined: the bottleneck stage time."""
+        if not self.layers:
+            return 0.0
+        return max(entry.latency_us for entry in self.layers)
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(entry.tiles for entry in self.layers)
+
+    def speedup_over(self, baseline: "NetworkSchedule") -> float:
+        if self.total_latency_us == 0:
+            raise ZeroDivisionError("schedule has zero latency")
+        return baseline.total_latency_us / self.total_latency_us
+
+    def per_layer(self) -> Dict[str, LayerSchedule]:
+        return {entry.layer: entry for entry in self.layers}
+
+
+def schedule_network(
+    entries: Sequence[LayerCycles],
+    chip: ChipConfig,
+) -> NetworkSchedule:
+    """Schedule a list of per-layer cycle-model entries on a chip.
+
+    Parameters
+    ----------
+    entries:
+        Output of the cycle model for every layer under the chosen method
+        (e.g. ``[im2col_cycles(g, array) for g in geometries]``).
+    chip:
+        The chip configuration; its array must match the one used by the
+        cycle model.
+
+    The returned schedule exposes both the sequential latency
+    (:attr:`NetworkSchedule.total_latency_us`) and the pipelined per-input
+    latency (:attr:`NetworkSchedule.pipeline_latency_us`).
+    """
+    schedule = NetworkSchedule(chip=chip)
+    activation_time_us = chip.activation_time_ns / 1000.0
+
+    for entry in entries:
+        tiles = max(entry.arrays, 1)
+        if tiles <= chip.num_arrays:
+            # All tiles resident; spare arrays replicate the layer to process
+            # several input positions concurrently.
+            parallel_positions = max(1, chip.num_arrays // tiles)
+            sequential_steps = ceil_div(entry.window_positions, parallel_positions)
+            latency = sequential_steps * activation_time_us
+        else:
+            # Time-multiplexed: every position needs ceil(tiles / arrays)
+            # sequential array passes, plus reprogramming between passes.
+            passes = ceil_div(tiles, chip.num_arrays)
+            sequential_steps = entry.window_positions * passes
+            latency = sequential_steps * activation_time_us
+            schedule.reprogram_events += passes - 1
+            parallel_positions = 0
+        schedule.layers.append(
+            LayerSchedule(
+                layer=entry.layer,
+                method=entry.method,
+                tiles=tiles,
+                activations=entry.cycles,
+                parallel_positions=parallel_positions,
+                latency_us=latency,
+            )
+        )
+    return schedule

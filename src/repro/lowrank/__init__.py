@@ -1,0 +1,123 @@
+"""Low-rank compression for IMC arrays — the paper's primary contribution.
+
+Sub-modules:
+
+* :mod:`repro.lowrank.decompose`   — truncated SVD ``D(·)`` and rank utilities,
+* :mod:`repro.lowrank.group`       — group low-rank decomposition ``D_g(·)`` (Theorem 1),
+* :mod:`repro.lowrank.sdk_lowrank` — SDK-aware factor mapping ``(I_N ⊗ L)·SDK(R)`` (Theorem 2),
+* :mod:`repro.lowrank.layers`      — drop-in compressed convolution / linear layers,
+* :mod:`repro.lowrank.compress`    — model-level compression API and reports,
+* :mod:`repro.lowrank.search`      — rank / group sweeps and Pareto-front extraction.
+"""
+
+from .compress import (
+    CompressionReport,
+    CompressionSpec,
+    LayerCompressionRecord,
+    compress_conv,
+    compress_linear,
+    compress_model,
+    default_rank_fn,
+    eligible_layers,
+    rank_from_divisor,
+)
+from .decompose import (
+    LowRankFactors,
+    decompose,
+    optimal_rank_for_error,
+    parameter_count,
+    rank_for_compression_ratio,
+    reconstruction_error,
+    relative_error,
+    singular_value_energy,
+    truncated_svd,
+)
+from .group import (
+    GroupLowRankFactors,
+    group_decompose,
+    group_reconstruction_error,
+    group_relative_error,
+    shared_left_factors,
+    split_columns,
+    theorem1_errors,
+)
+from .layers import GroupLowRankConv2d, GroupLowRankLinear, LowRankConv2d, LowRankLinear
+from .rank_allocation import (
+    LayerSensitivity,
+    RankAllocation,
+    allocate_ranks_for_cycle_budget,
+    allocate_ranks_for_error_budget,
+    layer_sensitivity,
+    network_sensitivity,
+)
+from .sdk_lowrank import (
+    SDKLowRankMapping,
+    kron_identity,
+    sdk_group_lowrank_factors,
+    sdk_lowrank_factors,
+    verify_theorem2,
+)
+from .search import (
+    SweepPoint,
+    SweepResult,
+    best_configuration,
+    network_lowrank_cycles,
+    pareto_front,
+    sweep_configurations,
+)
+
+__all__ = [
+    # decompose
+    "LowRankFactors",
+    "truncated_svd",
+    "decompose",
+    "reconstruction_error",
+    "relative_error",
+    "singular_value_energy",
+    "optimal_rank_for_error",
+    "rank_for_compression_ratio",
+    "parameter_count",
+    # group
+    "GroupLowRankFactors",
+    "split_columns",
+    "group_decompose",
+    "group_reconstruction_error",
+    "group_relative_error",
+    "shared_left_factors",
+    "theorem1_errors",
+    # sdk lowrank
+    "SDKLowRankMapping",
+    "kron_identity",
+    "sdk_lowrank_factors",
+    "sdk_group_lowrank_factors",
+    "verify_theorem2",
+    # layers
+    "GroupLowRankConv2d",
+    "LowRankConv2d",
+    "GroupLowRankLinear",
+    "LowRankLinear",
+    # rank allocation
+    "LayerSensitivity",
+    "RankAllocation",
+    "layer_sensitivity",
+    "network_sensitivity",
+    "allocate_ranks_for_error_budget",
+    "allocate_ranks_for_cycle_budget",
+    # compress
+    "CompressionSpec",
+    "LayerCompressionRecord",
+    "CompressionReport",
+    "compress_model",
+    "compress_conv",
+    "compress_linear",
+    "default_rank_fn",
+    "rank_from_divisor",
+    "eligible_layers",
+    # search
+    "SweepPoint",
+    "SweepResult",
+    "network_lowrank_cycles",
+    "sweep_configurations",
+    "pareto_front",
+    "best_configuration",
+]

@@ -1,0 +1,174 @@
+"""Truncated-SVD low-rank decomposition — the ``D(·)`` operator of the paper.
+
+Given a weight matrix ``W ∈ R^{m×n}``, the traditional low-rank decomposition
+approximates it as ``W ≈ L R`` with ``L ∈ R^{m×k}`` and ``R ∈ R^{k×n}``.  The
+Eckart–Young–Mirsky theorem guarantees that the truncated SVD is the optimal
+rank-``k`` approximation in Frobenius norm, which is the fact both theorems of
+the paper build on.
+
+The functions here operate on plain numpy matrices; the layer-level wrappers
+live in :mod:`repro.lowrank.layers` and the model-level API in
+:mod:`repro.lowrank.compress`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LowRankFactors",
+    "truncated_svd",
+    "decompose",
+    "reconstruction_error",
+    "relative_error",
+    "optimal_rank_for_error",
+    "rank_for_compression_ratio",
+    "parameter_count",
+    "singular_value_energy",
+]
+
+
+@dataclass(frozen=True)
+class LowRankFactors:
+    """The pair ``(L, R)`` approximating a matrix as ``W ≈ L @ R``.
+
+    ``L`` has shape ``(m, k)`` and ``R`` has shape ``(k, n)``.  ``rank`` is the
+    retained rank ``k``.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.left.ndim != 2 or self.right.ndim != 2:
+            raise ValueError("low-rank factors must be 2-D matrices")
+        if self.left.shape[1] != self.right.shape[0]:
+            raise ValueError(
+                f"inner dimensions of factors do not match: {self.left.shape} vs {self.right.shape}"
+            )
+
+    @property
+    def rank(self) -> int:
+        return self.left.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape of the reconstructed matrix ``L @ R``."""
+        return self.left.shape[0], self.right.shape[1]
+
+    @property
+    def parameter_count(self) -> int:
+        """Total number of stored parameters in both factors."""
+        return self.left.size + self.right.size
+
+    def reconstruct(self) -> np.ndarray:
+        """Return the dense approximation ``L @ R``."""
+        return self.left @ self.right
+
+    def error(self, matrix: np.ndarray) -> float:
+        """Frobenius-norm reconstruction error against ``matrix``."""
+        return reconstruction_error(matrix, self)
+
+    def compression_ratio(self) -> float:
+        """Dense parameter count divided by factor parameter count (> 1 is smaller)."""
+        m, n = self.shape
+        return (m * n) / self.parameter_count
+
+
+def truncated_svd(matrix: np.ndarray, rank: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(U_k, S_k, Vt_k)`` of the rank-``k`` truncated SVD of ``matrix``."""
+    if matrix.ndim != 2:
+        raise ValueError(f"truncated_svd expects a 2-D matrix, got shape {matrix.shape}")
+    max_rank = min(matrix.shape)
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    rank = min(rank, max_rank)
+    u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+    return u[:, :rank], s[:rank], vt[:rank, :]
+
+
+def decompose(matrix: np.ndarray, rank: int) -> LowRankFactors:
+    """The paper's ``D(·)``: optimal rank-``k`` factorization ``W ≈ L R``.
+
+    The singular values are folded into ``L`` (``L = U Σ``, ``R = V^T``),
+    matching the convention used in the proof of Theorem 2.
+    """
+    u, s, vt = truncated_svd(matrix, rank)
+    left = u * s  # equivalent to U @ diag(S)
+    right = vt
+    return LowRankFactors(left=left, right=right)
+
+
+def reconstruction_error(matrix: np.ndarray, factors: LowRankFactors) -> float:
+    """Frobenius norm ``||W - L R||_F``."""
+    if factors.shape != matrix.shape:
+        raise ValueError(
+            f"factor shape {factors.shape} does not match matrix shape {matrix.shape}"
+        )
+    return float(np.linalg.norm(matrix - factors.reconstruct(), ord="fro"))
+
+
+def relative_error(matrix: np.ndarray, factors: LowRankFactors) -> float:
+    """Reconstruction error normalized by ``||W||_F`` (0 = exact, 1 = all lost)."""
+    denom = float(np.linalg.norm(matrix, ord="fro"))
+    if denom == 0.0:
+        return 0.0
+    return reconstruction_error(matrix, factors) / denom
+
+
+def singular_value_energy(matrix: np.ndarray) -> np.ndarray:
+    """Cumulative fraction of squared-Frobenius energy captured by each rank.
+
+    ``energy[k-1]`` is the fraction of ``||W||_F^2`` retained by the optimal
+    rank-``k`` approximation.
+    """
+    s = np.linalg.svd(matrix, compute_uv=False)
+    squared = s ** 2
+    total = squared.sum()
+    if total == 0.0:
+        return np.ones_like(squared)
+    return np.cumsum(squared) / total
+
+
+def optimal_rank_for_error(matrix: np.ndarray, max_relative_error: float) -> int:
+    """Smallest rank whose optimal approximation has relative error ≤ the target."""
+    if not 0.0 <= max_relative_error <= 1.0:
+        raise ValueError(f"max_relative_error must be in [0, 1], got {max_relative_error}")
+    energy = singular_value_energy(matrix)
+    # relative error^2 = 1 - retained energy
+    target_energy = 1.0 - max_relative_error ** 2
+    for rank, retained in enumerate(energy, start=1):
+        if retained >= target_energy - 1e-12:
+            return rank
+    return len(energy)
+
+
+def rank_for_compression_ratio(shape: Tuple[int, int], ratio: float) -> int:
+    """Largest rank whose factored parameter count is at most ``m·n / ratio``.
+
+    Useful for choosing ranks that match a pruning method's parameter budget.
+    """
+    if ratio <= 0:
+        raise ValueError(f"compression ratio must be positive, got {ratio}")
+    m, n = shape
+    budget = m * n / ratio
+    rank = int(budget // (m + n))
+    return max(1, min(rank, min(m, n)))
+
+
+def parameter_count(shape: Tuple[int, int], rank: int, groups: int = 1) -> int:
+    """Parameter count of a (group) low-rank factorization of an ``m×n`` matrix.
+
+    With ``g`` groups partitioning the columns, each group stores an
+    ``m×k`` left factor and a ``k×(n/g)`` right factor, so the total is
+    ``g·m·k + k·n``.
+    """
+    m, n = shape
+    if groups <= 0:
+        raise ValueError(f"groups must be positive, got {groups}")
+    if n % groups != 0:
+        raise ValueError(f"matrix with {n} columns cannot be split into {groups} equal groups")
+    return groups * m * rank + rank * n

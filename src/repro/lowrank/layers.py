@@ -1,0 +1,394 @@
+"""Low-rank compressed layers for :mod:`repro.nn` models.
+
+The layers realize the paper's group low-rank convolution as two stages:
+
+* **R stage** — a grouped convolution with ``g·k`` output channels: group ``i``
+  convolves its slice of the input channels with ``R_i`` reshaped back to a
+  ``(k, C_in/g, kh, kw)`` kernel, producing the intermediary outputs of
+  Fig. 5a.
+* **L stage** — a 1×1 convolution with the stacked ``[L_1 … L_g]`` matrix
+  mapping the ``g·k`` intermediary channels to the ``C_out`` final outputs.
+
+This is numerically identical to reconstructing the dense kernel and running a
+plain convolution (asserted in the tests), while storing only
+``k·n + g·m·k`` parameters and matching the two-stage dataflow the IMC cycle
+and energy models account for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Conv2d, Linear, Module, Parameter
+from ..nn.tensor import Tensor
+from .decompose import decompose
+from .group import GroupLowRankFactors, group_decompose
+
+__all__ = ["GroupLowRankConv2d", "LowRankConv2d", "GroupLowRankLinear", "LowRankLinear"]
+
+
+def _validate_groups(in_features: int, groups: int) -> None:
+    if groups <= 0:
+        raise ValueError(f"groups must be positive, got {groups}")
+    if in_features % groups != 0:
+        raise ValueError(
+            f"number of groups ({groups}) must divide the input dimension ({in_features})"
+        )
+
+
+def _validate_rank(rank: int, max_rank: int) -> int:
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    return min(rank, max_rank)
+
+
+class GroupLowRankConv2d(Module):
+    """Group low-rank convolution ``y = [L_1 … L_g] · diag(R_1 … R_g) · x``.
+
+    Parameters
+    ----------
+    in_channels, out_channels, kernel_size, stride, padding, bias:
+        Same meaning as :class:`repro.nn.Conv2d`.
+    rank:
+        Per-group rank ``k``.  The paper configures it as ``out_channels``
+        divided by a constant factor (2, 4, 8 or 16).
+    groups:
+        Number of groups ``g`` (1, 2, 4 or 8 in the paper).  Must divide
+        ``in_channels``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        rank: int,
+        groups: int = 1,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        _validate_groups(in_channels, groups)
+        max_rank = min(out_channels, (in_channels // groups) * kh * kw)
+        rank = _validate_rank(rank, max_rank)
+
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = (stride, stride) if isinstance(stride, int) else stride
+        self.padding = (padding, padding) if isinstance(padding, int) else padding
+        self.rank = rank
+        self.groups = groups
+
+        gen = rng if rng is not None else np.random.default_rng(0)
+        group_in = in_channels // groups
+        # R stage: one (rank, group_in, kh, kw) kernel per group, stored stacked.
+        scale_r = 1.0 / np.sqrt(group_in * kh * kw)
+        self.right_weight = Parameter(
+            gen.normal(0.0, scale_r, size=(groups * rank, group_in, kh, kw))
+        )
+        # L stage: the stacked [L_1 … L_g] matrix of shape (out, groups*rank).
+        scale_l = 1.0 / np.sqrt(groups * rank)
+        self.left_weight = Parameter(gen.normal(0.0, scale_l, size=(out_channels, groups * rank)))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels))
+        else:
+            self.bias = None
+
+    # ------------------------------------------------------------------
+    # Construction from an existing dense convolution (SVD initialization)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_conv2d(
+        cls, conv: Conv2d, rank: int, groups: int = 1
+    ) -> "GroupLowRankConv2d":
+        """Build a compressed layer whose factors are the truncated SVD of ``conv``.
+
+        This is the deployment path of the paper: decompose a (pre-)trained
+        kernel, then optionally fine-tune the factors.
+        """
+        layer = cls(
+            in_channels=conv.in_channels,
+            out_channels=conv.out_channels,
+            kernel_size=conv.kernel_size,
+            rank=rank,
+            groups=groups,
+            stride=conv.stride,
+            padding=conv.padding,
+            bias=conv.bias is not None,
+        )
+        layer.load_factors(group_decompose(conv.im2col_weight(), layer.rank, groups))
+        if conv.bias is not None and layer.bias is not None:
+            layer.bias.data[...] = conv.bias.data
+        return layer
+
+    def load_factors(self, factors: GroupLowRankFactors) -> None:
+        """Load per-group ``(L_i, R_i)`` factors into the layer parameters."""
+        if factors.groups != self.groups:
+            raise ValueError(f"expected {self.groups} groups, got {factors.groups}")
+        kh, kw = self.kernel_size
+        group_in = self.in_channels // self.groups
+        for index, pair in enumerate(factors.factors):
+            if pair.rank != self.rank:
+                raise ValueError(
+                    f"group {index} has rank {pair.rank}, layer expects {self.rank}"
+                )
+            right_kernel = pair.right.reshape(self.rank, group_in, kh, kw)
+            self.right_weight.data[index * self.rank : (index + 1) * self.rank] = right_kernel
+            self.left_weight.data[:, index * self.rank : (index + 1) * self.rank] = pair.left
+
+    # ------------------------------------------------------------------
+    # Views used by the mapping / hardware models
+    # ------------------------------------------------------------------
+    def factor_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(stacked L, block-diagonal R)`` as mapped onto the crossbars.
+
+        ``L`` has shape ``(out_channels, g·k)``; ``R`` has shape ``(g·k, n)``
+        with each group occupying its own column block.
+        """
+        kh, kw = self.kernel_size
+        group_in = self.in_channels // self.groups
+        n = self.in_channels * kh * kw
+        right = np.zeros((self.groups * self.rank, n))
+        for g in range(self.groups):
+            block = self.right_weight.data[g * self.rank : (g + 1) * self.rank]
+            right[g * self.rank : (g + 1) * self.rank, g * group_in * kh * kw : (g + 1) * group_in * kh * kw] = (
+                block.reshape(self.rank, group_in * kh * kw)
+            )
+        return self.left_weight.data.copy(), right
+
+    def effective_weight(self) -> np.ndarray:
+        """Reconstructed dense kernel ``(out, in, kh, kw)`` implied by the factors."""
+        kh, kw = self.kernel_size
+        left, right = self.factor_matrices()
+        dense = left @ right  # (out, n)
+        return dense.reshape(self.out_channels, self.in_channels, kh, kw)
+
+    @property
+    def parameter_count(self) -> int:
+        count = self.right_weight.size + self.left_weight.size
+        if self.bias is not None:
+            count += self.bias.size
+        return count
+
+    def compression_ratio(self) -> float:
+        kh, kw = self.kernel_size
+        dense = self.out_channels * self.in_channels * kh * kw
+        return dense / (self.right_weight.size + self.left_weight.size)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        group_in = self.in_channels // self.groups
+        intermediates: List[Tensor] = []
+        for g in range(self.groups):
+            x_slice = x[:, g * group_in : (g + 1) * group_in]
+            kernel = self.right_weight[g * self.rank : (g + 1) * self.rank]
+            intermediates.append(
+                F.conv2d(x_slice, kernel, bias=None, stride=self.stride, padding=self.padding)
+            )
+        hidden = (
+            intermediates[0]
+            if len(intermediates) == 1
+            else Tensor.concatenate(intermediates, axis=1)
+        )
+        # L stage as a 1×1 convolution over the g·k intermediary channels.
+        n, gk, out_h, out_w = hidden.shape
+        flat = hidden.reshape(n, gk, out_h * out_w)
+        out = self.left_weight.matmul(flat)
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.out_channels, 1, 1)
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"rank={self.rank}, groups={self.groups}, stride={self.stride}, padding={self.padding}"
+        )
+
+
+class LowRankConv2d(GroupLowRankConv2d):
+    """Traditional (un-grouped) low-rank convolution — the Fig. 9 baseline."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        rank: int,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(
+            in_channels,
+            out_channels,
+            kernel_size,
+            rank=rank,
+            groups=1,
+            stride=stride,
+            padding=padding,
+            bias=bias,
+            rng=rng,
+        )
+
+    @classmethod
+    def from_conv2d(cls, conv: Conv2d, rank: int, groups: int = 1) -> "LowRankConv2d":
+        if groups != 1:
+            raise ValueError("LowRankConv2d is the un-grouped baseline; use GroupLowRankConv2d")
+        layer = cls(
+            in_channels=conv.in_channels,
+            out_channels=conv.out_channels,
+            kernel_size=conv.kernel_size,
+            rank=rank,
+            stride=conv.stride,
+            padding=conv.padding,
+            bias=conv.bias is not None,
+        )
+        layer.load_factors(group_decompose(conv.im2col_weight(), layer.rank, 1))
+        if conv.bias is not None and layer.bias is not None:
+            layer.bias.data[...] = conv.bias.data
+        return layer
+
+
+class GroupLowRankLinear(Module):
+    """Group low-rank fully-connected layer ``y = [L_1 … L_g] diag(R_1 … R_g) x + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rank: int,
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        _validate_groups(in_features, groups)
+        max_rank = min(out_features, in_features // groups)
+        rank = _validate_rank(rank, max_rank)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.rank = rank
+        self.groups = groups
+
+        gen = rng if rng is not None else np.random.default_rng(0)
+        group_in = in_features // groups
+        scale_r = 1.0 / np.sqrt(group_in)
+        self.right_weight = Parameter(gen.normal(0.0, scale_r, size=(groups * rank, group_in)))
+        scale_l = 1.0 / np.sqrt(groups * rank)
+        self.left_weight = Parameter(gen.normal(0.0, scale_l, size=(out_features, groups * rank)))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_features))
+        else:
+            self.bias = None
+
+    @classmethod
+    def from_linear(cls, linear: Linear, rank: int, groups: int = 1) -> "GroupLowRankLinear":
+        layer = cls(
+            in_features=linear.in_features,
+            out_features=linear.out_features,
+            rank=rank,
+            groups=groups,
+            bias=linear.bias is not None,
+        )
+        layer.load_factors(group_decompose(linear.weight.data, layer.rank, groups))
+        if linear.bias is not None and layer.bias is not None:
+            layer.bias.data[...] = linear.bias.data
+        return layer
+
+    def load_factors(self, factors: GroupLowRankFactors) -> None:
+        if factors.groups != self.groups:
+            raise ValueError(f"expected {self.groups} groups, got {factors.groups}")
+        group_in = self.in_features // self.groups
+        for index, pair in enumerate(factors.factors):
+            if pair.rank != self.rank:
+                raise ValueError(f"group {index} has rank {pair.rank}, layer expects {self.rank}")
+            self.right_weight.data[index * self.rank : (index + 1) * self.rank] = pair.right.reshape(
+                self.rank, group_in
+            )
+            self.left_weight.data[:, index * self.rank : (index + 1) * self.rank] = pair.left
+
+    def factor_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(stacked L, block-diagonal R)`` analogous to the convolutional layer."""
+        group_in = self.in_features // self.groups
+        right = np.zeros((self.groups * self.rank, self.in_features))
+        for g in range(self.groups):
+            right[g * self.rank : (g + 1) * self.rank, g * group_in : (g + 1) * group_in] = (
+                self.right_weight.data[g * self.rank : (g + 1) * self.rank]
+            )
+        return self.left_weight.data.copy(), right
+
+    def effective_weight(self) -> np.ndarray:
+        left, right = self.factor_matrices()
+        return left @ right
+
+    @property
+    def parameter_count(self) -> int:
+        count = self.right_weight.size + self.left_weight.size
+        if self.bias is not None:
+            count += self.bias.size
+        return count
+
+    def compression_ratio(self) -> float:
+        dense = self.out_features * self.in_features
+        return dense / (self.right_weight.size + self.left_weight.size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        group_in = self.in_features // self.groups
+        hidden_parts: List[Tensor] = []
+        for g in range(self.groups):
+            x_slice = x[:, g * group_in : (g + 1) * group_in]
+            r_block = self.right_weight[g * self.rank : (g + 1) * self.rank]
+            hidden_parts.append(x_slice.matmul(r_block.transpose()))
+        hidden = (
+            hidden_parts[0] if len(hidden_parts) == 1 else Tensor.concatenate(hidden_parts, axis=1)
+        )
+        out = hidden.matmul(self.left_weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_features}, {self.out_features}, rank={self.rank}, groups={self.groups}, "
+            f"bias={self.bias is not None}"
+        )
+
+
+class LowRankLinear(GroupLowRankLinear):
+    """Un-grouped low-rank linear layer (single SVD factor pair)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rank: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(in_features, out_features, rank=rank, groups=1, bias=bias, rng=rng)
+
+    @classmethod
+    def from_linear(cls, linear: Linear, rank: int, groups: int = 1) -> "LowRankLinear":
+        if groups != 1:
+            raise ValueError("LowRankLinear is the un-grouped baseline; use GroupLowRankLinear")
+        layer = cls(
+            in_features=linear.in_features,
+            out_features=linear.out_features,
+            rank=rank,
+            bias=linear.bias is not None,
+        )
+        layer.load_factors(group_decompose(linear.weight.data, layer.rank, 1))
+        if linear.bias is not None and layer.bias is not None:
+            layer.bias.data[...] = linear.bias.data
+        return layer

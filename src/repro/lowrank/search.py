@@ -1,0 +1,154 @@
+"""Rank / group configuration search for low-rank compression.
+
+The paper sweeps group counts (1, 2, 4, 8) and rank divisors (2, 4, 8, 16) and
+reports the accuracy / computing-cycle trade-off (Table I), selecting the
+Pareto-front configurations for the Fig. 6 comparison.  This module provides
+that sweep as a reusable search: given the layer geometries of a network, an
+array size and an accuracy evaluator, it scores every configuration and
+extracts the Pareto-optimal set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..mapping.cycles import NetworkCycles, aggregate, lowrank_cycles
+from ..mapping.geometry import ArrayDims, ConvGeometry
+from .compress import CompressionSpec
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "network_lowrank_cycles",
+    "sweep_configurations",
+    "pareto_front",
+    "best_configuration",
+]
+
+AccuracyFn = Callable[[CompressionSpec], float]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (groups, rank divisor) configuration scored on accuracy and cycles."""
+
+    spec: CompressionSpec
+    accuracy: float
+    cycles: int
+    use_sdk: bool
+
+    @property
+    def label(self) -> str:
+        mapping = "SDK" if self.use_sdk else "im2col"
+        return f"{self.spec.label} ({mapping})"
+
+
+@dataclass
+class SweepResult:
+    """All scored configurations of a sweep plus convenience accessors."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add(self, point: SweepPoint) -> None:
+        self.points.append(point)
+
+    def sorted_by_cycles(self) -> List[SweepPoint]:
+        return sorted(self.points, key=lambda p: (p.cycles, -p.accuracy))
+
+    def pareto(self) -> List[SweepPoint]:
+        return pareto_front(self.points)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "groups": p.spec.groups,
+                "rank_divisor": p.spec.rank_divisor,
+                "use_sdk": p.use_sdk,
+                "accuracy": p.accuracy,
+                "cycles": p.cycles,
+            }
+            for p in self.points
+        ]
+
+
+def network_lowrank_cycles(
+    geometries: Sequence[ConvGeometry],
+    array: ArrayDims,
+    rank_divisor: int,
+    groups: int,
+    use_sdk: bool = True,
+    min_rank: int = 1,
+) -> NetworkCycles:
+    """Total computing cycles of a network compressed with the given configuration.
+
+    The per-layer rank follows the paper's ``m / rank_divisor`` rule; strided
+    layers automatically fall back to im2col factors inside
+    :func:`repro.mapping.cycles.lowrank_cycles`.
+    """
+    entries = []
+    for geometry in geometries:
+        rank = max(min_rank, geometry.m // rank_divisor)
+        entries.append(
+            lowrank_cycles(geometry, array, rank=rank, groups=groups, use_sdk=use_sdk)
+        )
+    label = f"lowrank(g={groups},k=m/{rank_divisor},{'sdk' if use_sdk else 'im2col'})"
+    return aggregate(label, entries)
+
+
+def sweep_configurations(
+    geometries: Sequence[ConvGeometry],
+    array: ArrayDims,
+    accuracy_fn: AccuracyFn,
+    rank_divisors: Iterable[int] = (2, 4, 8, 16),
+    group_counts: Iterable[int] = (1, 2, 4, 8),
+    use_sdk: bool = True,
+) -> SweepResult:
+    """Score every (groups, rank divisor) configuration of the Table I sweep."""
+    result = SweepResult()
+    for groups in group_counts:
+        for divisor in rank_divisors:
+            spec = CompressionSpec(rank_divisor=divisor, groups=groups)
+            cycles = network_lowrank_cycles(
+                geometries, array, rank_divisor=divisor, groups=groups, use_sdk=use_sdk
+            ).total_cycles
+            accuracy = accuracy_fn(spec)
+            result.add(SweepPoint(spec=spec, accuracy=accuracy, cycles=cycles, use_sdk=use_sdk))
+    return result
+
+
+def pareto_front(points: Sequence[SweepPoint]) -> List[SweepPoint]:
+    """Configurations not dominated in (higher accuracy, fewer cycles)."""
+    front: List[SweepPoint] = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            better_or_equal = other.accuracy >= candidate.accuracy and other.cycles <= candidate.cycles
+            strictly_better = other.accuracy > candidate.accuracy or other.cycles < candidate.cycles
+            if better_or_equal and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda p: p.cycles)
+
+
+def best_configuration(
+    result: SweepResult,
+    max_accuracy_drop: float,
+    baseline_accuracy: float,
+) -> Optional[SweepPoint]:
+    """Fastest configuration whose accuracy drop stays within the budget.
+
+    This mirrors the paper's Fig. 7 model selection: "the model with group = 4
+    and rank = m/8, which exhibits high accuracy (less than 1 or 2% drop from
+    the uncompressed model) while achieving significant cycle reduction".
+    """
+    admissible = [
+        p for p in result.points if baseline_accuracy - p.accuracy <= max_accuracy_drop
+    ]
+    if not admissible:
+        return None
+    return min(admissible, key=lambda p: p.cycles)

@@ -1,0 +1,68 @@
+"""Convolutional weight mapping for IMC crossbar arrays.
+
+This package implements the mapping substrate of the paper:
+
+* :mod:`repro.mapping.geometry`     — layer / array shape descriptions,
+* :mod:`repro.mapping.im2col`       — image-to-column baseline mapping (Fig. 2a/c),
+* :mod:`repro.mapping.sdk`          — shift-and-duplicate-kernel mapping with the
+  padding-matrix formulation of Theorem 2 (Fig. 2b/d),
+* :mod:`repro.mapping.vw_sdk`       — variable-window SDK parallel-window search,
+* :mod:`repro.mapping.cycles`       — the AR/AC computing-cycle model for every
+  compression method compared in the paper,
+* :mod:`repro.mapping.utilization`  — cell/row/column utilization metrics.
+"""
+
+from .cycles import (
+    LayerCycles,
+    NetworkCycles,
+    aggregate,
+    im2col_cycles,
+    lowrank_cycles,
+    pairs_cycles,
+    pattern_pruning_cycles,
+    sdk_cycles,
+    tiles_for_block_diagonal,
+    tiles_for_matrix,
+)
+from .geometry import ArrayDims, ConvGeometry, ceil_div, standard_array_sizes
+from .im2col import Im2colMapping, im2col_weight_matrix, unroll_kernel
+from .sdk import ParallelWindow, SDKMapping, build_padding_matrix, sdk_operator
+from .utilization import (
+    UtilizationReport,
+    im2col_utilization,
+    lowrank_utilization,
+    sdk_utilization,
+)
+from .vw_sdk import WindowSearchResult, best_mapping, candidate_windows, search_parallel_window
+
+__all__ = [
+    "ArrayDims",
+    "ConvGeometry",
+    "ceil_div",
+    "standard_array_sizes",
+    "Im2colMapping",
+    "unroll_kernel",
+    "im2col_weight_matrix",
+    "ParallelWindow",
+    "SDKMapping",
+    "build_padding_matrix",
+    "sdk_operator",
+    "WindowSearchResult",
+    "candidate_windows",
+    "search_parallel_window",
+    "best_mapping",
+    "LayerCycles",
+    "NetworkCycles",
+    "aggregate",
+    "im2col_cycles",
+    "sdk_cycles",
+    "lowrank_cycles",
+    "pattern_pruning_cycles",
+    "pairs_cycles",
+    "tiles_for_matrix",
+    "tiles_for_block_diagonal",
+    "UtilizationReport",
+    "im2col_utilization",
+    "sdk_utilization",
+    "lowrank_utilization",
+]

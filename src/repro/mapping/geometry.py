@@ -1,0 +1,169 @@
+"""Geometric descriptions of convolutional layers and IMC arrays.
+
+Every mapping / cycle / energy computation in the reproduction starts from a
+:class:`ConvGeometry` (what the layer computes) and an :class:`ArrayDims`
+(how big one IMC crossbar is).  Keeping these in small frozen dataclasses
+makes the rest of the code declarative: mappings are pure functions of the
+geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["ConvGeometry", "ArrayDims", "ceil_div"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division; used throughout the AR/AC cycle model."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class ConvGeometry:
+    """Shape description of a single convolutional layer.
+
+    Attributes mirror the paper's notation: the im2col weight matrix is
+    ``m × n`` with ``m = out_channels`` (one row per vectorized output-channel
+    kernel) and ``n = in_channels * kh * kw``.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel_h: int
+    kernel_w: int
+    input_h: int
+    input_w: int
+    stride: int = 1
+    padding: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel_h, self.kernel_w) <= 0:
+            raise ValueError(f"ConvGeometry dimensions must be positive: {self}")
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        if self.output_h <= 0 or self.output_w <= 0:
+            raise ValueError(f"ConvGeometry produces empty output: {self}")
+
+    # -- im2col matrix dimensions (paper notation) ----------------------
+    @property
+    def m(self) -> int:
+        """Number of rows of the im2col weight matrix (= output channels)."""
+        return self.out_channels
+
+    @property
+    def n(self) -> int:
+        """Number of columns of the im2col weight matrix (= C_in * kh * kw)."""
+        return self.in_channels * self.kernel_h * self.kernel_w
+
+    # -- output feature map ---------------------------------------------
+    @property
+    def output_h(self) -> int:
+        return (self.input_h + 2 * self.padding - self.kernel_h) // self.stride + 1
+
+    @property
+    def output_w(self) -> int:
+        return (self.input_w + 2 * self.padding - self.kernel_w) // self.stride + 1
+
+    @property
+    def num_windows(self) -> int:
+        """Total number of sliding-window positions (= outputs per channel)."""
+        return self.output_h * self.output_w
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the layer (dense, uncompressed)."""
+        return self.num_windows * self.m * self.n
+
+    @property
+    def weight_count(self) -> int:
+        return self.m * self.n
+
+    @property
+    def is_pointwise(self) -> bool:
+        return self.kernel_h == 1 and self.kernel_w == 1
+
+    @classmethod
+    def from_conv2d(cls, conv, input_hw: Tuple[int, int], name: str = "") -> "ConvGeometry":
+        """Build the geometry from a :class:`repro.nn.Conv2d`-like module."""
+        kh, kw = conv.kernel_size
+        stride = conv.stride[0] if isinstance(conv.stride, tuple) else conv.stride
+        padding = conv.padding[0] if isinstance(conv.padding, tuple) else conv.padding
+        return cls(
+            in_channels=conv.in_channels,
+            out_channels=conv.out_channels,
+            kernel_h=kh,
+            kernel_w=kw,
+            input_h=input_hw[0],
+            input_w=input_hw[1],
+            stride=stride,
+            padding=padding,
+            name=name,
+        )
+
+    def scaled(self, channel_scale: float = 1.0, spatial_scale: float = 1.0) -> "ConvGeometry":
+        """Return a scaled copy (used to derive fast-test variants of networks)."""
+        return ConvGeometry(
+            in_channels=max(1, int(round(self.in_channels * channel_scale))),
+            out_channels=max(1, int(round(self.out_channels * channel_scale))),
+            kernel_h=self.kernel_h,
+            kernel_w=self.kernel_w,
+            input_h=max(self.kernel_h, int(round(self.input_h * spatial_scale))),
+            input_w=max(self.kernel_w, int(round(self.input_w * spatial_scale))),
+            stride=self.stride,
+            padding=self.padding,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class ArrayDims:
+    """Dimensions of a single IMC crossbar array.
+
+    ``weight_bits`` and ``cell_bits`` control how many physical columns a
+    logical weight occupies (bit-slicing), matching the NeuroSIM convention.
+    The paper quantizes weights to 4 bits and reports array sizes 32×32,
+    64×64 and 128×128.
+    """
+
+    rows: int
+    cols: int
+    weight_bits: int = 4
+    cell_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.weight_bits <= 0 or self.cell_bits <= 0:
+            raise ValueError("bit widths must be positive")
+
+    @property
+    def cols_per_weight(self) -> int:
+        """Physical columns needed to store one logical weight."""
+        return ceil_div(self.weight_bits, self.cell_bits)
+
+    @property
+    def logical_cols(self) -> int:
+        """Number of logical weight columns available per array."""
+        return self.cols // self.cols_per_weight
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+    def __str__(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+    @classmethod
+    def square(cls, size: int, weight_bits: int = 4, cell_bits: int = 4) -> "ArrayDims":
+        return cls(rows=size, cols=size, weight_bits=weight_bits, cell_bits=cell_bits)
+
+
+def standard_array_sizes(weight_bits: int = 4, cell_bits: int = 4) -> List[ArrayDims]:
+    """The three array sizes evaluated in the paper."""
+    return [ArrayDims.square(s, weight_bits, cell_bits) for s in (32, 64, 128)]

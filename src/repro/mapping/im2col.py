@@ -1,0 +1,108 @@
+"""Image-to-column (im2col) convolutional weight mapping.
+
+im2col is the baseline mapping of the paper (Fig. 2a/c): every output-channel
+kernel is unrolled into one logical column of the IMC array and a single
+sliding window of the input feature map is applied per computing cycle.  The
+number of utilized logical columns therefore equals the number of output
+channels, which is what causes the low column utilization that SDK mapping
+(Fig. 2b/d) fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .geometry import ArrayDims, ConvGeometry, ceil_div
+
+__all__ = ["Im2colMapping", "unroll_kernel", "im2col_weight_matrix"]
+
+
+def unroll_kernel(weight: np.ndarray) -> np.ndarray:
+    """Unroll a (out, in, kh, kw) kernel into the paper's m × n weight matrix.
+
+    Row ``i`` is the vectorized kernel of output channel ``i`` (the paper's
+    ``w_i``); columns are ordered channel-major then row-major spatially,
+    matching :meth:`repro.nn.Conv2d.im2col_weight` and ``Tensor.unfold2d``.
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"expected a 4-D convolution kernel, got shape {weight.shape}")
+    c_out, c_in, kh, kw = weight.shape
+    return weight.reshape(c_out, c_in * kh * kw)
+
+
+def im2col_weight_matrix(weight: np.ndarray) -> np.ndarray:
+    """Alias of :func:`unroll_kernel` kept for readability at call sites."""
+    return unroll_kernel(weight)
+
+
+@dataclass
+class Im2colMapping:
+    """im2col mapping of one convolutional layer onto IMC arrays."""
+
+    geometry: ConvGeometry
+
+    # -- logical dimensions of the mapped matrix -------------------------
+    @property
+    def mapped_rows(self) -> int:
+        """Array rows occupied (= unrolled kernel length n = C_in·kh·kw)."""
+        return self.geometry.n
+
+    @property
+    def mapped_cols(self) -> int:
+        """Logical array columns occupied (= output channels m)."""
+        return self.geometry.m
+
+    @property
+    def outputs_per_cycle(self) -> int:
+        """im2col computes exactly one sliding window per cycle."""
+        return 1
+
+    @property
+    def window_positions(self) -> int:
+        """Number of sequential input applications needed per image."""
+        return self.geometry.num_windows
+
+    # -- physical mapping -------------------------------------------------
+    def physical_matrix(self, weight: np.ndarray) -> np.ndarray:
+        """Return the matrix as laid out on the crossbar: rows = inputs, cols = outputs.
+
+        Physically the crossbar computes ``y = W x`` with the input applied on
+        the word lines (rows) and outputs read on the bit lines (columns), so
+        the stored matrix is the transpose of the paper's ``W``.
+        """
+        return unroll_kernel(weight).T.copy()
+
+    def array_tiles(self, array: ArrayDims) -> Tuple[int, int]:
+        """(AR, AC): number of arrays needed along rows and logical columns."""
+        ar = ceil_div(self.mapped_rows, array.rows)
+        ac = ceil_div(self.mapped_cols, array.logical_cols)
+        return ar, ac
+
+    def num_arrays(self, array: ArrayDims) -> int:
+        ar, ac = self.array_tiles(array)
+        return ar * ac
+
+    def computing_cycles(self, array: ArrayDims) -> int:
+        """Total computing cycles for one input image (AR·AC cycle model of [4])."""
+        return self.num_arrays(array) * self.window_positions
+
+    def utilization(self, array: ArrayDims) -> float:
+        """Fraction of allocated cells that hold useful weights."""
+        used = self.mapped_rows * self.mapped_cols
+        ar, ac = self.array_tiles(array)
+        allocated = ar * array.rows * ac * array.logical_cols
+        return used / allocated
+
+    def describe(self, array: Optional[ArrayDims] = None) -> str:
+        parts = [
+            f"im2col mapping of {self.geometry.name or 'conv layer'}:",
+            f"  mapped matrix: {self.mapped_rows} rows x {self.mapped_cols} cols",
+            f"  window positions per image: {self.window_positions}",
+        ]
+        if array is not None:
+            ar, ac = self.array_tiles(array)
+            parts.append(f"  arrays ({array}): AR={ar}, AC={ac}, cycles={self.computing_cycles(array)}")
+        return "\n".join(parts)

@@ -1,0 +1,224 @@
+"""Shift-and-duplicate-kernel (SDK) convolutional weight mapping.
+
+SDK mapping [3], [4] processes a *parallel window* (PW) of the input feature
+map per computing cycle instead of a single sliding window.  The kernel is
+duplicated and shifted into previously idle columns of the IMC array, so one
+array activation produces ``N`` outputs per output channel, where ``N`` is
+the number of sliding windows contained in the PW.
+
+This module gives the SDK operator a concrete linear-algebra form — the
+padding matrices ``P_s`` of Theorem 2 in the paper — which is what allows the
+low-rank decomposition of an SDK mapping to be derived exactly
+(:mod:`repro.lowrank.sdk_lowrank`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .geometry import ArrayDims, ConvGeometry, ceil_div
+
+__all__ = ["ParallelWindow", "SDKMapping", "sdk_operator", "build_padding_matrix"]
+
+
+@dataclass(frozen=True)
+class ParallelWindow:
+    """A PW of size ``height × width`` covering several sliding windows."""
+
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError("parallel window dimensions must be positive")
+
+    def num_outputs(self, kernel_h: int, kernel_w: int) -> int:
+        """Number of sliding windows (parallel outputs) inside this PW."""
+        nh = self.height - kernel_h + 1
+        nw = self.width - kernel_w + 1
+        if nh <= 0 or nw <= 0:
+            raise ValueError(
+                f"parallel window {self.height}x{self.width} smaller than kernel {kernel_h}x{kernel_w}"
+            )
+        return nh * nw
+
+    def output_grid(self, kernel_h: int, kernel_w: int) -> Tuple[int, int]:
+        return self.height - kernel_h + 1, self.width - kernel_w + 1
+
+    def __str__(self) -> str:
+        return f"{self.height}x{self.width}"
+
+
+def build_padding_matrix(
+    geometry: ConvGeometry, window: ParallelWindow, shift_index: int
+) -> np.ndarray:
+    """Construct the padding matrix ``P_s`` of Eq. (8).
+
+    ``P_s`` is a ``b × n`` binary matrix (``b = C_in·pw_h·pw_w`` flattened PW
+    inputs, ``n = C_in·kh·kw`` kernel elements) whose entry ``[i, j]`` is one
+    when kernel element ``j``, shifted to the ``s``-th window position inside
+    the PW, reads PW input ``i``.
+    """
+    kh, kw = geometry.kernel_h, geometry.kernel_w
+    pw_h, pw_w = window.height, window.width
+    nh, nw = window.output_grid(kh, kw)
+    if not 0 <= shift_index < nh * nw:
+        raise ValueError(f"shift index {shift_index} out of range for {nh * nw} parallel outputs")
+    c_in = geometry.in_channels
+    b = c_in * pw_h * pw_w
+    n = geometry.n
+    dy, dx = divmod(shift_index, nw)
+    padding = np.zeros((b, n))
+    for c in range(c_in):
+        for i in range(kh):
+            for j in range(kw):
+                col = c * kh * kw + i * kw + j
+                row = c * pw_h * pw_w + (dy + i) * pw_w + (dx + j)
+                padding[row, col] = 1.0
+    return padding
+
+
+def sdk_operator(matrix: np.ndarray, padding_matrices: List[np.ndarray]) -> np.ndarray:
+    """Apply the SDK operator of Eq. (7) to an arbitrary matrix.
+
+    ``matrix`` has shape ``(r, n)`` with columns indexed by kernel elements
+    (the im2col weight matrix ``W`` itself, or the low-rank factor ``R``).
+    The result is ``[P_1 M^T, …, P_N M^T]^T`` of shape ``(N·r, b)``.
+    """
+    blocks = [matrix @ padding.T for padding in padding_matrices]  # each (r, b)
+    return np.concatenate(blocks, axis=0)
+
+
+@dataclass
+class SDKMapping:
+    """SDK mapping of one convolutional layer for a chosen parallel window."""
+
+    geometry: ConvGeometry
+    window: ParallelWindow
+    _padding_cache: Optional[List[np.ndarray]] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.geometry.stride != 1:
+            raise ValueError(
+                "SDK mapping assumes stride-1 convolutions; use im2col for strided layers"
+            )
+        # Validate that the window fits the kernel.
+        self.window.num_outputs(self.geometry.kernel_h, self.geometry.kernel_w)
+
+    # ------------------------------------------------------------------
+    # Logical dimensions
+    # ------------------------------------------------------------------
+    @property
+    def num_parallel_outputs(self) -> int:
+        """The paper's ``N``: sliding windows processed per cycle."""
+        return self.window.num_outputs(self.geometry.kernel_h, self.geometry.kernel_w)
+
+    @property
+    def flattened_window_size(self) -> int:
+        """The paper's ``b``: flattened PW input length = C_in·pw_h·pw_w."""
+        return self.geometry.in_channels * self.window.height * self.window.width
+
+    @property
+    def mapped_rows(self) -> int:
+        """Array rows occupied by the SDK mapping (= b)."""
+        return self.flattened_window_size
+
+    @property
+    def mapped_cols(self) -> int:
+        """Logical array columns occupied (= N · m, duplicated kernels)."""
+        return self.num_parallel_outputs * self.geometry.m
+
+    @property
+    def outputs_per_cycle(self) -> int:
+        return self.num_parallel_outputs
+
+    @property
+    def window_positions(self) -> int:
+        """Number of PW positions needed to cover the whole output feature map."""
+        nh, nw = self.window.output_grid(self.geometry.kernel_h, self.geometry.kernel_w)
+        return ceil_div(self.geometry.output_h, nh) * ceil_div(self.geometry.output_w, nw)
+
+    # ------------------------------------------------------------------
+    # Linear-algebra form (Theorem 2 machinery)
+    # ------------------------------------------------------------------
+    def padding_matrices(self) -> List[np.ndarray]:
+        """The padding matrices ``P_1 … P_N`` of Eq. (8), cached after first use."""
+        if self._padding_cache is None:
+            self._padding_cache = [
+                build_padding_matrix(self.geometry, self.window, s)
+                for s in range(self.num_parallel_outputs)
+            ]
+        return self._padding_cache
+
+    def apply(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply the SDK operator to a matrix whose columns index kernel elements."""
+        if matrix.shape[1] != self.geometry.n:
+            raise ValueError(
+                f"SDK operator expects {self.geometry.n} columns (kernel elements), got {matrix.shape[1]}"
+            )
+        return sdk_operator(matrix, self.padding_matrices())
+
+    def mapped_matrix(self, weight: np.ndarray) -> np.ndarray:
+        """``SDK(W)`` of shape ``(N·m, b)`` for a raw 4-D kernel or an m×n matrix."""
+        if weight.ndim == 4:
+            weight = weight.reshape(self.geometry.m, self.geometry.n)
+        return self.apply(weight)
+
+    def physical_matrix(self, weight: np.ndarray) -> np.ndarray:
+        """The crossbar layout: ``b`` rows (PW inputs) × ``N·m`` columns."""
+        return self.mapped_matrix(weight).T.copy()
+
+    def window_input_vector(self, padded_input: np.ndarray, top: int, left: int) -> np.ndarray:
+        """Flatten the PW patch of a (C, H, W) padded input starting at (top, left)."""
+        patch = padded_input[:, top : top + self.window.height, left : left + self.window.width]
+        if patch.shape[1:] != (self.window.height, self.window.width):
+            raise ValueError("parallel window exceeds the padded input bounds")
+        return patch.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # AR/AC cycle model
+    # ------------------------------------------------------------------
+    def array_tiles(self, array: ArrayDims) -> Tuple[int, int]:
+        ar = ceil_div(self.mapped_rows, array.rows)
+        ac = ceil_div(self.mapped_cols, array.logical_cols)
+        return ar, ac
+
+    def num_arrays(self, array: ArrayDims) -> int:
+        ar, ac = self.array_tiles(array)
+        return ar * ac
+
+    def computing_cycles(self, array: ArrayDims) -> int:
+        return self.num_arrays(array) * self.window_positions
+
+    def utilization(self, array: ArrayDims) -> float:
+        """Fraction of allocated cells holding non-structurally-zero weights.
+
+        The SDK mapping stores ``N`` shifted copies of the kernel, each with
+        ``n`` useful elements out of ``b`` rows, so the useful cell count is
+        ``N · m · n``.
+        """
+        used = self.num_parallel_outputs * self.geometry.m * self.geometry.n
+        ar, ac = self.array_tiles(array)
+        allocated = ar * array.rows * ac * array.logical_cols
+        return used / allocated
+
+    def structural_sparsity(self) -> float:
+        """Fraction of structurally-zero cells inside the mapped b × N·m region."""
+        total = self.mapped_rows * self.mapped_cols
+        used = self.num_parallel_outputs * self.geometry.m * self.geometry.n
+        return 1.0 - used / total
+
+    def describe(self, array: Optional[ArrayDims] = None) -> str:
+        parts = [
+            f"SDK mapping of {self.geometry.name or 'conv layer'} with PW {self.window}:",
+            f"  parallel outputs N = {self.num_parallel_outputs}",
+            f"  mapped matrix: {self.mapped_rows} rows x {self.mapped_cols} cols",
+            f"  PW positions per image: {self.window_positions}",
+        ]
+        if array is not None:
+            ar, ac = self.array_tiles(array)
+            parts.append(f"  arrays ({array}): AR={ar}, AC={ac}, cycles={self.computing_cycles(array)}")
+        return "\n".join(parts)

@@ -1,0 +1,94 @@
+"""Variable-window SDK (VW-SDK) parallel-window search.
+
+VW-SDK [4] observes that the best PW size depends on both the layer geometry
+and the IMC array dimensions: larger PWs produce more parallel outputs but
+occupy more rows and duplicate more columns, so the optimum is found by
+enumerating candidate PW shapes and picking the one minimizing the AR/AC
+computing-cycle count.  The same search is reused by the proposed method to
+pick the PW for the SDK-mapped low-rank factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from .geometry import ArrayDims, ConvGeometry
+from .im2col import Im2colMapping
+from .sdk import ParallelWindow, SDKMapping
+
+__all__ = ["WindowSearchResult", "candidate_windows", "search_parallel_window", "best_mapping"]
+
+
+@dataclass(frozen=True)
+class WindowSearchResult:
+    """Outcome of a VW-SDK window search for one layer."""
+
+    window: Optional[ParallelWindow]
+    cycles: int
+    used_sdk: bool
+
+    @property
+    def description(self) -> str:
+        if self.used_sdk and self.window is not None:
+            return f"SDK PW {self.window} ({self.cycles} cycles)"
+        return f"im2col ({self.cycles} cycles)"
+
+
+def candidate_windows(
+    geometry: ConvGeometry,
+    array: ArrayDims,
+    max_extra: int = 8,
+) -> List[ParallelWindow]:
+    """Enumerate PW candidates for a layer.
+
+    Candidates range from the kernel itself (``N = 1``, equivalent to im2col)
+    up to windows ``max_extra`` pixels larger per side, bounded so the
+    flattened PW still fits the row budget of a handful of arrays and never
+    exceeds the input feature map.
+    """
+    kh, kw = geometry.kernel_h, geometry.kernel_w
+    max_h = min(geometry.input_h + 2 * geometry.padding, kh + max_extra)
+    max_w = min(geometry.input_w + 2 * geometry.padding, kw + max_extra)
+    windows: List[ParallelWindow] = []
+    for height in range(kh, max_h + 1):
+        for width in range(kw, max_w + 1):
+            if height == kh and width == kw:
+                continue  # identical to im2col; handled separately
+            windows.append(ParallelWindow(height, width))
+    return windows
+
+
+def search_parallel_window(
+    geometry: ConvGeometry,
+    array: ArrayDims,
+    max_extra: int = 8,
+    cycle_fn: Optional[Callable[[SDKMapping, ArrayDims], int]] = None,
+) -> WindowSearchResult:
+    """Find the PW minimizing computing cycles for one layer.
+
+    ``cycle_fn`` lets callers plug in a different cost (e.g. the two-stage
+    low-rank cycle count) while reusing the same enumeration.  Strided layers
+    fall back to im2col, as in the paper.
+    """
+    im2col_cycles = Im2colMapping(geometry).computing_cycles(array)
+    best = WindowSearchResult(window=None, cycles=im2col_cycles, used_sdk=False)
+    if geometry.stride != 1:
+        return best
+    for window in candidate_windows(geometry, array, max_extra=max_extra):
+        mapping = SDKMapping(geometry, window)
+        if cycle_fn is not None:
+            cycles = cycle_fn(mapping, array)
+        else:
+            cycles = mapping.computing_cycles(array)
+        if cycles < best.cycles:
+            best = WindowSearchResult(window=window, cycles=cycles, used_sdk=True)
+    return best
+
+
+def best_mapping(geometry: ConvGeometry, array: ArrayDims, max_extra: int = 8):
+    """Return the concrete mapping object (SDK or im2col) chosen by VW-SDK."""
+    result = search_parallel_window(geometry, array, max_extra=max_extra)
+    if result.used_sdk and result.window is not None:
+        return SDKMapping(geometry, result.window)
+    return Im2colMapping(geometry)

@@ -1,0 +1,46 @@
+"""A minimal numpy-based neural-network framework (autograd, layers, optimizers).
+
+This package replaces PyTorch as the training substrate for the reproduction
+(see DESIGN.md §2).  The public surface intentionally mirrors ``torch.nn`` so
+that the compression code reads like the paper's reference implementation.
+"""
+
+from . import functional, init, models, optim
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Identity",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "functional",
+    "init",
+    "optim",
+    "models",
+]

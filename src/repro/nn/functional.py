@@ -1,0 +1,177 @@
+"""Functional (stateless) neural-network operations.
+
+All functions accept and return :class:`repro.nn.tensor.Tensor` objects and
+are differentiable.  Convolution is implemented by lowering to im2col
+(``Tensor.unfold2d``) followed by a matrix multiplication — exactly the
+lowering that IMC arrays perform physically, which keeps the software model
+and the hardware mapping model (:mod:`repro.mapping`) consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "relu",
+    "avg_pool2d",
+    "max_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "log_softmax",
+    "softmax",
+    "cross_entropy",
+    "dropout",
+    "conv_output_size",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+def conv_output_size(in_size: int, kernel: int, stride: int = 1, padding: int = 0) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (in_size + 2 * padding - kernel) // stride + 1
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution in NCHW layout.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``.  The input is
+    unfolded into columns and multiplied by the unrolled kernel matrix, which
+    mirrors the im2col mapping used on IMC arrays (Fig. 2 of the paper).
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv2d: input has {c_in} channels but weight expects {c_in_w}")
+
+    x_padded = x.pad2d((ph, pw))
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    cols = x_padded.unfold2d((kh, kw), (sh, sw))  # (n, c_in*kh*kw, out_h*out_w)
+    kernel_matrix = weight.reshape(c_out, c_in * kh * kw)  # the im2col weight matrix W
+    out = kernel_matrix.matmul(cols)  # (n, c_out, out_h*out_w) via broadcasting matmul
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, c_out, 1, 1)
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    cols = x.unfold2d((kh, kw), (sh, sw))  # (n, c*kh*kw, out_h*out_w)
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    pooled = cols.mean(axis=2)
+    return pooled.reshape(n, c, out_h, out_w)
+
+
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    cols = x.unfold2d((kh, kw), (sh, sw))
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    pooled = cols.max(axis=2)
+    return pooled.reshape(n, c, out_h, out_w)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dimensions, returning shape (n, c)."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over (N, H, W) for each channel.
+
+    ``running_mean``/``running_var`` are plain numpy arrays updated in place
+    during training, matching the usual deep-learning framework semantics.
+    """
+    c = x.shape[1]
+    if training:
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+        var = x.var(axis=(0, 2, 3), keepdims=True)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean.data.reshape(c)
+        running_var *= 1.0 - momentum
+        running_var += momentum * var.data.reshape(c)
+    else:
+        mean = Tensor(running_mean.reshape(1, c, 1, 1))
+        var = Tensor(running_var.reshape(1, c, 1, 1))
+    x_hat = (x - mean) / (var + eps).sqrt()
+    return x_hat * gamma.reshape(1, c, 1, 1) + beta.reshape(1, c, 1, 1)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits (n, num_classes) and integer targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    gen = rng if rng is not None else np.random.default_rng()
+    mask = (gen.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,21 @@
+"""Reference network architectures used in the paper's evaluation."""
+
+from .resnet import BasicBlock, ResNet, resnet20, resnet32, resnet56
+from .simple import MLP, SimpleCNN, TinyConvNet
+from .wide_resnet import WideBasicBlock, WideResNet, wrn16_2, wrn16_4, wrn28_10
+
+__all__ = [
+    "BasicBlock",
+    "ResNet",
+    "resnet20",
+    "resnet32",
+    "resnet56",
+    "WideBasicBlock",
+    "WideResNet",
+    "wrn16_2",
+    "wrn16_4",
+    "wrn28_10",
+    "SimpleCNN",
+    "TinyConvNet",
+    "MLP",
+]

@@ -1,0 +1,112 @@
+"""CIFAR-style ResNet models (He et al.), including the ResNet-20 used in the paper.
+
+The paper trains ResNet-20 with expansion parameter 1 (the first basic block
+has 16 input/output channels) on CIFAR-10.  ``resnet20`` reproduces that
+configuration; ``resnet32``/``resnet56`` are provided for completeness, and a
+``width`` / ``in_size`` knob lets the test-suite instantiate scaled-down
+variants that train quickly on synthetic data while exercising the same code
+path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..modules import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..tensor import Tensor
+
+__all__ = ["BasicBlock", "ResNet", "resnet20", "resnet32", "resnet56"]
+
+
+class BasicBlock(Module):
+    """Two 3×3 convolutions with an identity (or 1×1 projection) shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=gen)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=gen)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=gen),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return F.relu(out)
+
+
+class ResNet(Module):
+    """CIFAR ResNet with three stages of ``n`` basic blocks each."""
+
+    def __init__(
+        self,
+        num_blocks: List[int],
+        num_classes: int = 10,
+        base_width: int = 16,
+        in_channels: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        widths = [base_width, 2 * base_width, 4 * base_width]
+        self.base_width = base_width
+        self.num_classes = num_classes
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(widths[0])
+        self.layer1 = self._make_stage(widths[0], widths[0], num_blocks[0], stride=1, rng=rng)
+        self.layer2 = self._make_stage(widths[0], widths[1], num_blocks[1], stride=2, rng=rng)
+        self.layer3 = self._make_stage(widths[1], widths[2], num_blocks[2], stride=2, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[2], num_classes, rng=rng)
+
+    @staticmethod
+    def _make_stage(in_channels: int, out_channels: int, blocks: int, stride: int,
+                    rng: np.random.Generator) -> Sequential:
+        layers: List[Module] = [BasicBlock(in_channels, out_channels, stride=stride, rng=rng)]
+        for _ in range(blocks - 1):
+            layers.append(BasicBlock(out_channels, out_channels, stride=1, rng=rng))
+        return Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+
+def resnet20(num_classes: int = 10, base_width: int = 16, seed: int = 0) -> ResNet:
+    """ResNet-20 as used in the paper (expansion 1: first stage has 16 channels)."""
+    return ResNet([3, 3, 3], num_classes=num_classes, base_width=base_width, seed=seed)
+
+
+def resnet32(num_classes: int = 10, base_width: int = 16, seed: int = 0) -> ResNet:
+    return ResNet([5, 5, 5], num_classes=num_classes, base_width=base_width, seed=seed)
+
+
+def resnet56(num_classes: int = 10, base_width: int = 16, seed: int = 0) -> ResNet:
+    return ResNet([9, 9, 9], num_classes=num_classes, base_width=base_width, seed=seed)

@@ -1,0 +1,98 @@
+"""Small convolutional networks used by tests and the quickstart example.
+
+The full ResNet-20/WRN16-4 models are expensive to train in pure numpy, so
+the test-suite and quickstart exercise the identical compression pipeline on
+these scaled-down models, which share layer types (Conv2d, BatchNorm2d,
+Linear) with the paper's networks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..tensor import Tensor
+
+__all__ = ["SimpleCNN", "TinyConvNet", "MLP"]
+
+
+class SimpleCNN(Module):
+    """Three-stage CNN (conv-bn-relu ×3 + GAP + linear) for small images."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        widths: tuple = (8, 16, 32),
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.features = Sequential(
+            Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(widths[0]),
+            ReLU(),
+            Conv2d(widths[0], widths[1], 3, stride=2, padding=1, bias=False, rng=rng),
+            BatchNorm2d(widths[1]),
+            ReLU(),
+            Conv2d(widths[1], widths[2], 3, stride=2, padding=1, bias=False, rng=rng),
+            BatchNorm2d(widths[2]),
+            ReLU(),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[2], num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.pool(out)
+        return self.fc(out)
+
+
+class TinyConvNet(Module):
+    """Two-conv network small enough for gradient-checking tests."""
+
+    def __init__(self, num_classes: int = 4, in_channels: int = 1, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(in_channels, 4, 3, padding=1, rng=rng)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(4, 8, 3, stride=2, padding=1, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(8, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.conv1(x))
+        out = self.relu(self.conv2(out))
+        out = self.pool(out)
+        return self.fc(out)
+
+
+class MLP(Module):
+    """Simple multilayer perceptron for linear-layer compression tests."""
+
+    def __init__(self, in_features: int, hidden: int, num_classes: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.net = Sequential(
+            Flatten(),
+            Linear(in_features, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

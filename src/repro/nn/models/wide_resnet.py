@@ -1,0 +1,123 @@
+"""Wide ResNet (Zagoruyko & Komodakis) — the WRN16-4 model used in the paper.
+
+WRN-d-k has ``(d - 4) / 6`` pre-activation basic blocks per stage and widens
+the channel counts by a factor ``k``.  The paper evaluates WRN16-4 on
+CIFAR-100 with 4-bit quantization-aware training.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..modules import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    Sequential,
+)
+from ..tensor import Tensor
+
+__all__ = ["WideBasicBlock", "WideResNet", "wrn16_4", "wrn16_2", "wrn28_10"]
+
+
+class WideBasicBlock(Module):
+    """Pre-activation wide basic block: BN-ReLU-Conv ×2 with shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.bn1 = BatchNorm2d(in_channels)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=gen)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=gen)
+        self.dropout = Dropout(dropout) if dropout > 0 else Identity()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=gen)
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        pre = F.relu(self.bn1(x))
+        out = self.conv1(pre)
+        out = self.dropout(F.relu(self.bn2(out)))
+        out = self.conv2(out)
+        shortcut_input = pre if not isinstance(self.shortcut, Identity) else x
+        return out + self.shortcut(shortcut_input)
+
+
+class WideResNet(Module):
+    """WRN-depth-k for CIFAR-geometry inputs."""
+
+    def __init__(
+        self,
+        depth: int = 16,
+        widen_factor: int = 4,
+        num_classes: int = 100,
+        dropout: float = 0.0,
+        in_channels: int = 3,
+        base_width: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if (depth - 4) % 6 != 0:
+            raise ValueError(f"WideResNet depth must satisfy (depth - 4) % 6 == 0, got {depth}")
+        n = (depth - 4) // 6
+        rng = np.random.default_rng(seed)
+        widths = [base_width, base_width * widen_factor, 2 * base_width * widen_factor,
+                  4 * base_width * widen_factor]
+        self.depth = depth
+        self.widen_factor = widen_factor
+        self.num_classes = num_classes
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.layer1 = self._make_stage(widths[0], widths[1], n, stride=1, dropout=dropout, rng=rng)
+        self.layer2 = self._make_stage(widths[1], widths[2], n, stride=2, dropout=dropout, rng=rng)
+        self.layer3 = self._make_stage(widths[2], widths[3], n, stride=2, dropout=dropout, rng=rng)
+        self.bn_final = BatchNorm2d(widths[3])
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[3], num_classes, rng=rng)
+
+    @staticmethod
+    def _make_stage(in_channels: int, out_channels: int, blocks: int, stride: int,
+                    dropout: float, rng: np.random.Generator) -> Sequential:
+        layers: List[Module] = [
+            WideBasicBlock(in_channels, out_channels, stride=stride, dropout=dropout, rng=rng)
+        ]
+        for _ in range(blocks - 1):
+            layers.append(WideBasicBlock(out_channels, out_channels, stride=1, dropout=dropout, rng=rng))
+        return Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv1(x)
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = F.relu(self.bn_final(out))
+        out = self.pool(out)
+        return self.fc(out)
+
+
+def wrn16_4(num_classes: int = 100, base_width: int = 16, seed: int = 0) -> WideResNet:
+    """The WRN16-4 configuration evaluated in the paper (CIFAR-100)."""
+    return WideResNet(depth=16, widen_factor=4, num_classes=num_classes, base_width=base_width, seed=seed)
+
+
+def wrn16_2(num_classes: int = 100, base_width: int = 16, seed: int = 0) -> WideResNet:
+    return WideResNet(depth=16, widen_factor=2, num_classes=num_classes, base_width=base_width, seed=seed)
+
+
+def wrn28_10(num_classes: int = 100, base_width: int = 16, seed: int = 0) -> WideResNet:
+    return WideResNet(depth=28, widen_factor=10, num_classes=num_classes, base_width=base_width, seed=seed)

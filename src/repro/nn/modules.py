@@ -1,0 +1,361 @@
+"""Stateful neural-network modules built on the autograd :class:`Tensor`.
+
+The module system mirrors the familiar ``torch.nn`` API closely enough that
+the compression code (:mod:`repro.lowrank`, :mod:`repro.pruning`,
+:mod:`repro.quantization`) can swap layers in and out of a model by walking
+``named_modules()`` — exactly the workflow the paper's PyTorch implementation
+would use.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Identity",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a module."""
+
+    def __init__(self, data, requires_grad: bool = True) -> None:
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration: attribute assignment auto-registers children.
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), buf
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(child_prefix)
+
+    def get_submodule(self, path: str) -> "Module":
+        """Return the submodule at a dotted path (e.g. ``"layer1.0.conv1"``)."""
+        module: Module = self
+        if not path:
+            return module
+        for part in path.split("."):
+            if part not in module._modules:
+                raise KeyError(f"no submodule named {part!r} in path {path!r}")
+            module = module._modules[part]
+        return module
+
+    def set_submodule(self, path: str, new_module: "Module") -> None:
+        """Replace the submodule at a dotted path with ``new_module``."""
+        if not path:
+            raise ValueError("cannot replace the root module")
+        parts = path.split(".")
+        parent = self.get_submodule(".".join(parts[:-1]))
+        parent.add_module(parts[-1], new_module)
+
+    # ------------------------------------------------------------------
+    # Mode / gradient helpers
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # State dict (numpy based, for checkpointing in examples)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[f"buffer:{name}"] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                name = key[len("buffer:"):]
+                if name in buffers:
+                    buffers[name][...] = value
+            elif key in params:
+                params[key].data[...] = value
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}({self.extra_repr()})"
+
+
+class Sequential(Module):
+    """Container applying child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class Identity(Module):
+    """No-op module, useful as a placeholder for removed layers."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Conv2d(Module):
+    """2-D convolution layer (NCHW)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, Tuple[int, int]],
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: Union[int, Tuple[int, int]] = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = (stride, stride) if isinstance(stride, int) else stride
+        self.padding = (padding, padding) if isinstance(padding, int) else padding
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(init.kaiming_normal((out_channels, in_channels, kh, kw), gen))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def im2col_weight(self) -> np.ndarray:
+        """Return the unrolled (m × n) weight matrix used by IMC mapping."""
+        c_out, c_in, kh, kw = self.weight.shape
+        return self.weight.data.reshape(c_out, c_in * kh * kw)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, bias={self.bias is not None}"
+        )
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), gen, gain=1.0))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}, {self.out_features}, bias={self.bias is not None}"
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over channel dimension of NCHW tensors."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)

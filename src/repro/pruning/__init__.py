@@ -1,0 +1,69 @@
+"""Pruning baselines the paper compares against (pattern pruning, PAIRS, structured)."""
+
+from .pairs import (
+    PairsLayerResult,
+    PairsReport,
+    PairsSpec,
+    apply_pairs_pruning,
+    select_row_aligned_pattern,
+    skippable_sdk_rows,
+)
+from .pattern_pruning import (
+    PatternPrunedConv2d,
+    PatternPruningRecord,
+    PatternPruningReport,
+    PatternPruningSpec,
+    apply_pattern_pruning,
+    prune_conv_pattern,
+)
+from .patterns import (
+    Pattern,
+    all_patterns,
+    assign_patterns,
+    build_pattern_library,
+    pattern_from_mask,
+    score_patterns,
+)
+from .structured import (
+    ColumnPruningSpec,
+    MagnitudePruningSpec,
+    StructuredPruningRecord,
+    StructuredPruningReport,
+    apply_column_pruning,
+    apply_magnitude_pruning,
+    channel_importance,
+    column_mask,
+    magnitude_mask,
+    sparsity,
+)
+
+__all__ = [
+    "Pattern",
+    "all_patterns",
+    "pattern_from_mask",
+    "score_patterns",
+    "build_pattern_library",
+    "assign_patterns",
+    "PatternPrunedConv2d",
+    "PatternPruningSpec",
+    "PatternPruningRecord",
+    "PatternPruningReport",
+    "prune_conv_pattern",
+    "apply_pattern_pruning",
+    "PairsSpec",
+    "PairsLayerResult",
+    "PairsReport",
+    "skippable_sdk_rows",
+    "select_row_aligned_pattern",
+    "apply_pairs_pruning",
+    "sparsity",
+    "magnitude_mask",
+    "column_mask",
+    "channel_importance",
+    "MagnitudePruningSpec",
+    "ColumnPruningSpec",
+    "StructuredPruningRecord",
+    "StructuredPruningReport",
+    "apply_magnitude_pruning",
+    "apply_column_pruning",
+]

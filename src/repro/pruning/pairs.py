@@ -1,0 +1,210 @@
+"""PAIRS: pruning-aided row skipping for SDK-based weight mapping.
+
+PAIRS [Rhe et al., ISLPED 2023] co-designs pattern pruning with SDK mapping:
+pruning patterns are selected so that entire *rows of the SDK-mapped matrix*
+(i.e. parallel-window input positions) become zero across every duplicated
+kernel, which lets the wordline drivers skip them without the dislocation
+problem of unstructured pruning.
+
+This module selects such row-aligned patterns, reports how many SDK rows can
+actually be skipped for a layer/window combination, and exposes the effective
+row count consumed by the cycle and energy models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..mapping.geometry import ArrayDims, ConvGeometry
+from ..mapping.sdk import ParallelWindow, SDKMapping
+from ..mapping.vw_sdk import search_parallel_window
+from ..nn.modules import Conv2d, Module
+from .pattern_pruning import PatternPrunedConv2d
+from .patterns import Pattern, all_patterns
+
+__all__ = [
+    "PairsSpec",
+    "PairsLayerResult",
+    "PairsReport",
+    "skippable_sdk_rows",
+    "select_row_aligned_pattern",
+    "apply_pairs_pruning",
+]
+
+
+@dataclass(frozen=True)
+class PairsSpec:
+    """Configuration of a PAIRS pruning pass."""
+
+    entries: int = 6
+    skip_first_conv: bool = True
+    max_extra: int = 8
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError(f"entries must be positive, got {self.entries}")
+
+    @property
+    def label(self) -> str:
+        return f"pairs(e={self.entries})"
+
+
+def skippable_sdk_rows(
+    geometry: ConvGeometry, window: ParallelWindow, pattern: Pattern
+) -> Tuple[int, int]:
+    """(skippable, total) rows of the SDK mapping when ``pattern`` prunes every kernel.
+
+    A PW input row can be skipped when *no* shifted copy of the kernel reads it
+    through a kept position.  The computation walks the same index arithmetic
+    as :func:`repro.mapping.sdk.build_padding_matrix`.
+    """
+    kh, kw = geometry.kernel_h, geometry.kernel_w
+    nh, nw = window.output_grid(kh, kw)
+    pw_h, pw_w = window.height, window.width
+    c_in = geometry.in_channels
+    total_rows = c_in * pw_h * pw_w
+
+    touched: Set[int] = set()
+    for shift in range(nh * nw):
+        dy, dx = divmod(shift, nw)
+        for (i, j) in pattern.kept:
+            for c in range(c_in):
+                row = c * pw_h * pw_w + (dy + i) * pw_w + (dx + j)
+                touched.add(row)
+    return total_rows - len(touched), total_rows
+
+
+def select_row_aligned_pattern(
+    geometry: ConvGeometry, window: ParallelWindow, entries: int, weight: Optional[np.ndarray] = None
+) -> Pattern:
+    """Pick the pattern maximizing skippable SDK rows (ties broken by magnitude).
+
+    When ``weight`` is given, ties between equally skipping patterns are broken
+    by the preserved weight magnitude, like PatDNN's library selection.
+    """
+    kh, kw = geometry.kernel_h, geometry.kernel_w
+    candidates = all_patterns(kh, kw, min(entries, kh * kw))
+    best_pattern = candidates[0]
+    best_key: Tuple[float, float] = (-1.0, -1.0)
+    for pattern in candidates:
+        skippable, _ = skippable_sdk_rows(geometry, window, pattern)
+        magnitude = 0.0
+        if weight is not None:
+            magnitude = float(np.sum((weight * pattern.mask()) ** 2))
+        key = (float(skippable), magnitude)
+        if key > best_key:
+            best_key = key
+            best_pattern = pattern
+    return best_pattern
+
+
+@dataclass(frozen=True)
+class PairsLayerResult:
+    """Row-skipping outcome for one layer."""
+
+    name: str
+    window: Optional[ParallelWindow]
+    pattern_entries: int
+    skippable_rows: int
+    total_rows: int
+    sparsity: float
+
+    @property
+    def row_skip_fraction(self) -> float:
+        if self.total_rows == 0:
+            return 0.0
+        return self.skippable_rows / self.total_rows
+
+    @property
+    def effective_rows(self) -> int:
+        return self.total_rows - self.skippable_rows
+
+
+@dataclass
+class PairsReport:
+    """Model-wide PAIRS pruning summary."""
+
+    spec: PairsSpec
+    results: List[PairsLayerResult] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def mean_row_skip_fraction(self) -> float:
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.row_skip_fraction for r in self.results]))
+
+    def describe(self) -> str:
+        return (
+            f"PAIRS ({self.spec.label}): {len(self.results)} layers pruned, "
+            f"mean SDK row-skip fraction {self.mean_row_skip_fraction:.2f}"
+        )
+
+
+def apply_pairs_pruning(
+    model: Module,
+    array: ArrayDims,
+    input_hw: Tuple[int, int] = (32, 32),
+    spec: Optional[PairsSpec] = None,
+) -> PairsReport:
+    """Apply PAIRS row-aligned pattern pruning to every eligible convolution.
+
+    The parallel window per layer is chosen with the VW-SDK search on the given
+    array size.  Strided or pointwise layers fall back to plain pattern masks
+    with no SDK row accounting.
+    """
+    spec = spec if spec is not None else PairsSpec()
+    report = PairsReport(spec=spec)
+
+    convs = [(name, m) for name, m in model.named_modules() if isinstance(m, Conv2d) and name]
+    first_conv = convs[0][0] if convs else None
+    current_hw = input_hw
+
+    for name, conv in convs:
+        if (spec.skip_first_conv and name == first_conv) or conv.kernel_size == (1, 1):
+            report.skipped.append(name)
+            continue
+        geometry = ConvGeometry.from_conv2d(conv, current_hw, name=name)
+        window: Optional[ParallelWindow] = None
+        if geometry.stride == 1:
+            search = search_parallel_window(geometry, array, max_extra=spec.max_extra)
+            window = search.window
+
+        if window is None:
+            pattern = select_row_aligned_pattern(
+                geometry, ParallelWindow(geometry.kernel_h, geometry.kernel_w + 1)
+                if geometry.input_w > geometry.kernel_w
+                else ParallelWindow(geometry.kernel_h, geometry.kernel_w),
+                spec.entries,
+                conv.weight.data,
+            ) if geometry.stride == 1 else None
+            skippable, total = 0, geometry.n
+        else:
+            pattern = select_row_aligned_pattern(geometry, window, spec.entries, conv.weight.data)
+            skippable, total = skippable_sdk_rows(geometry, window, pattern)
+
+        if pattern is not None:
+            mask = np.zeros_like(conv.weight.data)
+            mask[:, :] = pattern.mask()
+            pruned = PatternPrunedConv2d(conv, mask)
+            model.set_submodule(name, pruned)
+            sparsity = pruned.sparsity
+            entries = pattern.entries
+        else:
+            sparsity = 0.0
+            entries = geometry.kernel_h * geometry.kernel_w
+
+        report.results.append(
+            PairsLayerResult(
+                name=name,
+                window=window,
+                pattern_entries=entries,
+                skippable_rows=skippable,
+                total_rows=total,
+                sparsity=sparsity,
+            )
+        )
+    return report

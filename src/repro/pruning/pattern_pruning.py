@@ -1,0 +1,206 @@
+"""Pattern-based weight pruning applied to models (the PatDNN-style baseline).
+
+Pattern pruning keeps ``entries`` of the 9 positions of every 3×3 kernel.  On
+IMC arrays the benefit only materializes with zero-skipping wordline hardware
+(rows whose weights are all zero can be deactivated) and multiplexers to
+realign the input dataflow — the peripheral overhead the paper's proposed
+method avoids.  The cycle/energy accounting of those peripherals lives in
+:mod:`repro.mapping.cycles` and :mod:`repro.imc.energy`; this module performs
+the actual weight masking so accuracy and sparsity can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Conv2d, Module, Parameter
+from ..nn.tensor import Tensor
+from .patterns import Pattern, assign_patterns, build_pattern_library
+
+__all__ = [
+    "PatternPrunedConv2d",
+    "PatternPruningSpec",
+    "PatternPruningRecord",
+    "PatternPruningReport",
+    "prune_conv_pattern",
+    "apply_pattern_pruning",
+]
+
+
+class PatternPrunedConv2d(Module):
+    """A convolution whose weight is masked by per-kernel patterns.
+
+    The mask is stored as a buffer and re-applied on every forward pass, so the
+    pruned positions stay zero during fine-tuning (gradients flow only through
+    the kept positions because the mask multiplication zeroes the rest).
+    """
+
+    def __init__(self, conv: Conv2d, mask: np.ndarray) -> None:
+        super().__init__()
+        if mask.shape != conv.weight.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match weight shape {conv.weight.shape}"
+            )
+        self.in_channels = conv.in_channels
+        self.out_channels = conv.out_channels
+        self.kernel_size = conv.kernel_size
+        self.stride = conv.stride
+        self.padding = conv.padding
+        self.weight = Parameter(conv.weight.data * mask)
+        self.bias = Parameter(conv.bias.data.copy()) if conv.bias is not None else None
+        self.register_buffer("mask", mask.astype(np.float64))
+
+    def forward(self, x: Tensor) -> Tensor:
+        masked = self.weight * Tensor(self.mask)
+        return F.conv2d(x, masked, self.bias, stride=self.stride, padding=self.padding)
+
+    def effective_weight(self) -> np.ndarray:
+        """The masked dense kernel as it would be programmed on the crossbar."""
+        return self.weight.data * self.mask
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - float(self.mask.sum()) / self.mask.size
+
+    def kept_rows(self) -> int:
+        """Number of im2col rows (input positions) with at least one kept weight.
+
+        This is what zero-skipping hardware can exploit: a wordline whose
+        weights are zero in *every* output column can be deactivated.
+        """
+        c_out, c_in, kh, kw = self.mask.shape
+        rows = self.mask.reshape(c_out, c_in * kh * kw)
+        return int(np.count_nonzero(rows.any(axis=0)))
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"sparsity={self.sparsity:.2f}"
+        )
+
+
+@dataclass(frozen=True)
+class PatternPruningSpec:
+    """Configuration of a PatDNN-style pattern pruning pass."""
+
+    entries: int = 4
+    library_size: int = 8
+    skip_first_conv: bool = True
+    skip_pointwise: bool = True
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError(f"entries must be positive, got {self.entries}")
+        if self.library_size <= 0:
+            raise ValueError(f"library_size must be positive, got {self.library_size}")
+
+    @property
+    def label(self) -> str:
+        return f"pattern(e={self.entries})"
+
+
+@dataclass(frozen=True)
+class PatternPruningRecord:
+    """Outcome of pruning one layer."""
+
+    name: str
+    entries: int
+    sparsity: float
+    kept_rows: int
+    total_rows: int
+    preserved_energy: float
+
+
+@dataclass
+class PatternPruningReport:
+    """Summary of a model-wide pattern pruning pass."""
+
+    spec: PatternPruningSpec
+    records: List[PatternPruningRecord] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def mean_sparsity(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.sparsity for r in self.records]))
+
+    @property
+    def mean_preserved_energy(self) -> float:
+        if not self.records:
+            return 1.0
+        return float(np.mean([r.preserved_energy for r in self.records]))
+
+    def describe(self) -> str:
+        lines = [
+            f"pattern pruning ({self.spec.label}): {len(self.records)} layers pruned, "
+            f"{len(self.skipped)} skipped",
+            f"  mean sparsity: {self.mean_sparsity:.2f}",
+            f"  mean preserved weight energy: {self.mean_preserved_energy:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+def prune_conv_pattern(
+    conv: Conv2d, entries: int, library_size: int = 8
+) -> Tuple[PatternPrunedConv2d, PatternPruningRecord]:
+    """Prune a single convolution with a per-layer pattern library."""
+    weight = conv.weight.data
+    c_out, c_in, kh, kw = weight.shape
+    kernel_positions = kh * kw
+    entries = min(entries, kernel_positions)
+    library = build_pattern_library(weight, entries, library_size)
+    assignment = assign_patterns(weight, library)
+
+    mask = np.zeros_like(weight)
+    for out_channel in range(c_out):
+        for in_channel in range(c_in):
+            mask[out_channel, in_channel] = assignment[out_channel][in_channel].mask()
+
+    pruned = PatternPrunedConv2d(conv, mask)
+    total_energy = float(np.sum(weight ** 2))
+    preserved = float(np.sum((weight * mask) ** 2)) / total_energy if total_energy > 0 else 1.0
+    record = PatternPruningRecord(
+        name="",
+        entries=entries,
+        sparsity=pruned.sparsity,
+        kept_rows=pruned.kept_rows(),
+        total_rows=c_in * kh * kw,
+        preserved_energy=preserved,
+    )
+    return pruned, record
+
+
+def apply_pattern_pruning(
+    model: Module, spec: Optional[PatternPruningSpec] = None
+) -> PatternPruningReport:
+    """Prune every eligible convolution of ``model`` in place."""
+    spec = spec if spec is not None else PatternPruningSpec()
+    report = PatternPruningReport(spec=spec)
+
+    convs = [(name, m) for name, m in model.named_modules() if isinstance(m, Conv2d) and name]
+    first_conv = convs[0][0] if convs else None
+    for name, conv in convs:
+        if spec.skip_first_conv and name == first_conv:
+            report.skipped.append(name)
+            continue
+        if spec.skip_pointwise and conv.kernel_size == (1, 1):
+            report.skipped.append(name)
+            continue
+        pruned, record = prune_conv_pattern(conv, spec.entries, spec.library_size)
+        model.set_submodule(name, pruned)
+        report.records.append(
+            PatternPruningRecord(
+                name=name,
+                entries=record.entries,
+                sparsity=record.sparsity,
+                kept_rows=record.kept_rows,
+                total_rows=record.total_rows,
+                preserved_energy=record.preserved_energy,
+            )
+        )
+    return report

@@ -1,0 +1,154 @@
+"""Kernel pattern library for pattern-based pruning (PatDNN-style).
+
+A *pattern* is the set of spatial positions of a ``kh × kw`` kernel that are
+kept after pruning; every (output-channel, input-channel) kernel slice is
+assigned one pattern from a small library.  The paper's pattern-pruning
+baselines sweep the number of kept entries from 1 to 8 on 3×3 kernels.
+
+The library is built the way PatDNN does it in practice: enumerate candidate
+patterns, score each candidate by the total weight magnitude it would preserve
+across the whole layer (or network), and keep the top ``library_size``
+patterns; every kernel then picks the best pattern from that library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Pattern",
+    "all_patterns",
+    "pattern_from_mask",
+    "score_patterns",
+    "build_pattern_library",
+    "assign_patterns",
+]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A set of kept positions of a ``kernel_h × kernel_w`` kernel."""
+
+    kernel_h: int
+    kernel_w: int
+    kept: FrozenSet[Tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        if self.kernel_h <= 0 or self.kernel_w <= 0:
+            raise ValueError("kernel dimensions must be positive")
+        if not self.kept:
+            raise ValueError("a pattern must keep at least one position")
+        for (i, j) in self.kept:
+            if not (0 <= i < self.kernel_h and 0 <= j < self.kernel_w):
+                raise ValueError(f"kept position {(i, j)} outside kernel {self.kernel_h}x{self.kernel_w}")
+
+    @property
+    def entries(self) -> int:
+        """Number of kept positions (the paper's "entry" count)."""
+        return len(self.kept)
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.entries / (self.kernel_h * self.kernel_w)
+
+    def mask(self) -> np.ndarray:
+        """Binary ``(kh, kw)`` mask with 1 at kept positions."""
+        mask = np.zeros((self.kernel_h, self.kernel_w))
+        for (i, j) in self.kept:
+            mask[i, j] = 1.0
+        return mask
+
+    def apply(self, kernel: np.ndarray) -> np.ndarray:
+        """Zero out the pruned positions of one ``(kh, kw)`` kernel slice."""
+        if kernel.shape != (self.kernel_h, self.kernel_w):
+            raise ValueError(
+                f"kernel shape {kernel.shape} does not match pattern {self.kernel_h}x{self.kernel_w}"
+            )
+        return kernel * self.mask()
+
+    def preserved_magnitude(self, kernel: np.ndarray) -> float:
+        """Sum of squared magnitudes of the kept positions."""
+        return float(np.sum((kernel * self.mask()) ** 2))
+
+
+def pattern_from_mask(mask: np.ndarray) -> Pattern:
+    """Build a Pattern from a binary ``(kh, kw)`` mask."""
+    if mask.ndim != 2:
+        raise ValueError(f"expected a 2-D mask, got shape {mask.shape}")
+    kept = frozenset((int(i), int(j)) for i, j in zip(*np.nonzero(mask)))
+    return Pattern(kernel_h=mask.shape[0], kernel_w=mask.shape[1], kept=kept)
+
+
+def all_patterns(kernel_h: int, kernel_w: int, entries: int) -> List[Pattern]:
+    """Every pattern keeping exactly ``entries`` of the ``kh·kw`` positions."""
+    positions = [(i, j) for i in range(kernel_h) for j in range(kernel_w)]
+    if not 1 <= entries <= len(positions):
+        raise ValueError(f"entries must be in [1, {len(positions)}], got {entries}")
+    return [
+        Pattern(kernel_h, kernel_w, frozenset(combo)) for combo in combinations(positions, entries)
+    ]
+
+
+def score_patterns(weight: np.ndarray, patterns: Sequence[Pattern]) -> np.ndarray:
+    """Score each candidate pattern by the total magnitude it preserves.
+
+    ``weight`` is a ``(C_out, C_in, kh, kw)`` kernel; the score of a pattern is
+    the sum over all kernel slices of the preserved squared magnitude when that
+    pattern is applied everywhere.
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"expected a 4-D kernel, got shape {weight.shape}")
+    squared = weight ** 2
+    scores = np.empty(len(patterns))
+    for index, pattern in enumerate(patterns):
+        mask = pattern.mask()
+        scores[index] = float(np.sum(squared * mask))
+    return scores
+
+
+def build_pattern_library(
+    weight: np.ndarray,
+    entries: int,
+    library_size: int = 8,
+) -> List[Pattern]:
+    """Select the top-``library_size`` patterns for one layer.
+
+    PatDNN restricts every layer to a small pattern library so the compiler /
+    hardware only has to support a handful of distinct dataflows; the same
+    restriction is what lets IMC pattern-pruning map the kept rows compactly.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    candidates = all_patterns(kh, kw, entries)
+    if library_size <= 0:
+        raise ValueError(f"library_size must be positive, got {library_size}")
+    scores = score_patterns(weight, candidates)
+    order = np.argsort(scores)[::-1]
+    top = [candidates[i] for i in order[: min(library_size, len(candidates))]]
+    return top
+
+
+def assign_patterns(
+    weight: np.ndarray,
+    library: Sequence[Pattern],
+) -> List[List[Pattern]]:
+    """Assign the best library pattern to every (out, in) kernel slice.
+
+    Returns a nested list ``assignment[out][in]``.
+    """
+    if not library:
+        raise ValueError("pattern library is empty")
+    c_out, c_in, kh, kw = weight.shape
+    assignment: List[List[Pattern]] = []
+    masks = np.stack([p.mask() for p in library])  # (P, kh, kw)
+    for out_channel in range(c_out):
+        row: List[Pattern] = []
+        for in_channel in range(c_in):
+            kernel_sq = weight[out_channel, in_channel] ** 2
+            scores = np.tensordot(masks, kernel_sq, axes=([1, 2], [0, 1]))
+            row.append(library[int(np.argmax(scores))])
+        assignment.append(row)
+    return assignment

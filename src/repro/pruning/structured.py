@@ -1,0 +1,207 @@
+"""Structured and unstructured magnitude pruning baselines.
+
+Besides the pattern-pruning comparisons, the paper's related-work section
+discusses column-wise (channel) pruning [Rhe et al.] and generic magnitude
+pruning [Han et al.].  These baselines are provided so the benchmark harness
+can place the proposed method against the full space of IMC compression
+approaches, and so the ablation benches have simple reference points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.modules import Conv2d, Linear, Module
+from .pattern_pruning import PatternPrunedConv2d
+
+__all__ = [
+    "sparsity",
+    "magnitude_mask",
+    "column_mask",
+    "channel_importance",
+    "MagnitudePruningSpec",
+    "ColumnPruningSpec",
+    "StructuredPruningRecord",
+    "StructuredPruningReport",
+    "apply_magnitude_pruning",
+    "apply_column_pruning",
+]
+
+
+def sparsity(mask_or_weight: np.ndarray) -> float:
+    """Fraction of zero entries in an array."""
+    if mask_or_weight.size == 0:
+        return 0.0
+    return 1.0 - float(np.count_nonzero(mask_or_weight)) / mask_or_weight.size
+
+
+def magnitude_mask(weight: np.ndarray, target_sparsity: float) -> np.ndarray:
+    """Unstructured mask keeping the largest-magnitude ``1 - sparsity`` fraction."""
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError(f"target sparsity must be in [0, 1), got {target_sparsity}")
+    if target_sparsity == 0.0:
+        return np.ones_like(weight)
+    flat = np.abs(weight).reshape(-1)
+    k = int(np.floor(target_sparsity * flat.size))
+    if k == 0:
+        return np.ones_like(weight)
+    threshold = np.partition(flat, k - 1)[k - 1]
+    mask = (np.abs(weight) > threshold).astype(weight.dtype)
+    # Handle ties at the threshold deterministically: keep enough of them to
+    # reach the requested density as closely as possible.
+    deficit = int(round((1.0 - target_sparsity) * flat.size)) - int(mask.sum())
+    if deficit > 0:
+        tie_positions = np.argwhere((np.abs(weight) == threshold) & (mask == 0))
+        for position in map(tuple, tie_positions[:deficit]):
+            mask[position] = 1.0
+    return mask
+
+
+def channel_importance(weight: np.ndarray) -> np.ndarray:
+    """L2 importance of each input channel of a ``(C_out, C_in, kh, kw)`` kernel."""
+    if weight.ndim != 4:
+        raise ValueError(f"expected a 4-D kernel, got shape {weight.shape}")
+    return np.sqrt(np.sum(weight ** 2, axis=(0, 2, 3)))
+
+
+def column_mask(weight: np.ndarray, target_sparsity: float) -> np.ndarray:
+    """Column-wise (input-channel) mask for IMC column pruning.
+
+    Pruning an input channel removes ``kh·kw`` consecutive rows of the im2col
+    matrix, which is the structural sparsity exploited by the column-wise
+    pruning baseline.
+    """
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError(f"target sparsity must be in [0, 1), got {target_sparsity}")
+    c_out, c_in, kh, kw = weight.shape
+    importance = channel_importance(weight)
+    num_pruned = int(np.floor(target_sparsity * c_in))
+    mask = np.ones_like(weight)
+    if num_pruned == 0:
+        return mask
+    pruned_channels = np.argsort(importance)[:num_pruned]
+    mask[:, pruned_channels] = 0.0
+    return mask
+
+
+@dataclass(frozen=True)
+class MagnitudePruningSpec:
+    """Unstructured magnitude pruning configuration."""
+
+    target_sparsity: float = 0.5
+    skip_first_conv: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_sparsity < 1.0:
+            raise ValueError(f"target sparsity must be in [0, 1), got {self.target_sparsity}")
+
+    @property
+    def label(self) -> str:
+        return f"magnitude({self.target_sparsity:.0%})"
+
+
+@dataclass(frozen=True)
+class ColumnPruningSpec:
+    """Column-wise (input-channel) pruning configuration."""
+
+    target_sparsity: float = 0.25
+    skip_first_conv: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_sparsity < 1.0:
+            raise ValueError(f"target sparsity must be in [0, 1), got {self.target_sparsity}")
+
+    @property
+    def label(self) -> str:
+        return f"column({self.target_sparsity:.0%})"
+
+
+@dataclass(frozen=True)
+class StructuredPruningRecord:
+    name: str
+    sparsity: float
+    pruned_rows: int
+    total_rows: int
+
+
+@dataclass
+class StructuredPruningReport:
+    method: str
+    records: List[StructuredPruningRecord] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def mean_sparsity(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.sparsity for r in self.records]))
+
+    def describe(self) -> str:
+        return (
+            f"{self.method}: {len(self.records)} layers pruned "
+            f"(mean sparsity {self.mean_sparsity:.2f}), {len(self.skipped)} skipped"
+        )
+
+
+def _prunable_convs(model: Module, skip_first: bool) -> Tuple[List[Tuple[str, Conv2d]], List[str]]:
+    convs = [(name, m) for name, m in model.named_modules() if isinstance(m, Conv2d) and name]
+    skipped: List[str] = []
+    if skip_first and convs:
+        skipped.append(convs[0][0])
+        convs = convs[1:]
+    return convs, skipped
+
+
+def apply_magnitude_pruning(
+    model: Module, spec: Optional[MagnitudePruningSpec] = None
+) -> StructuredPruningReport:
+    """Apply unstructured magnitude pruning to every eligible convolution in place."""
+    spec = spec if spec is not None else MagnitudePruningSpec()
+    report = StructuredPruningReport(method=spec.label)
+    convs, skipped = _prunable_convs(model, spec.skip_first_conv)
+    report.skipped.extend(skipped)
+    for name, conv in convs:
+        mask = magnitude_mask(conv.weight.data, spec.target_sparsity)
+        pruned = PatternPrunedConv2d(conv, mask)
+        model.set_submodule(name, pruned)
+        c_out, c_in, kh, kw = mask.shape
+        rows = mask.reshape(c_out, c_in * kh * kw)
+        pruned_rows = int(np.sum(~rows.any(axis=0)))
+        report.records.append(
+            StructuredPruningRecord(
+                name=name,
+                sparsity=sparsity(mask),
+                pruned_rows=pruned_rows,
+                total_rows=c_in * kh * kw,
+            )
+        )
+    return report
+
+
+def apply_column_pruning(
+    model: Module, spec: Optional[ColumnPruningSpec] = None
+) -> StructuredPruningReport:
+    """Apply column-wise (input-channel) pruning to every eligible convolution in place."""
+    spec = spec if spec is not None else ColumnPruningSpec()
+    report = StructuredPruningReport(method=spec.label)
+    convs, skipped = _prunable_convs(model, spec.skip_first_conv)
+    report.skipped.extend(skipped)
+    for name, conv in convs:
+        mask = column_mask(conv.weight.data, spec.target_sparsity)
+        pruned = PatternPrunedConv2d(conv, mask)
+        model.set_submodule(name, pruned)
+        c_out, c_in, kh, kw = mask.shape
+        rows = mask.reshape(c_out, c_in * kh * kw)
+        pruned_rows = int(np.sum(~rows.any(axis=0)))
+        report.records.append(
+            StructuredPruningRecord(
+                name=name,
+                sparsity=sparsity(mask),
+                pruned_rows=pruned_rows,
+                total_rows=c_in * kh * kw,
+            )
+        )
+    return report

@@ -1,0 +1,42 @@
+"""Quantization-aware training substrate (4-bit QAT baseline and Fig. 8 sweep)."""
+
+from .config import QuantizationConfig, QuantizationReport, apply_qat, quantized_layers
+from .qat import (
+    QATConv2d,
+    QATGroupLowRankConv2d,
+    QATLinear,
+    fake_quantize,
+    make_activation_quantizer,
+    make_weight_quantizer,
+)
+from .quantizers import (
+    DoReFaActivationQuantizer,
+    DoReFaWeightQuantizer,
+    QuantizerBase,
+    UniformQuantizer,
+    dequantize_uniform,
+    quantization_error,
+    quantization_levels,
+    quantize_uniform,
+)
+
+__all__ = [
+    "QuantizerBase",
+    "UniformQuantizer",
+    "DoReFaWeightQuantizer",
+    "DoReFaActivationQuantizer",
+    "quantize_uniform",
+    "dequantize_uniform",
+    "quantization_levels",
+    "quantization_error",
+    "fake_quantize",
+    "QATConv2d",
+    "QATLinear",
+    "QATGroupLowRankConv2d",
+    "make_weight_quantizer",
+    "make_activation_quantizer",
+    "QuantizationConfig",
+    "QuantizationReport",
+    "apply_qat",
+    "quantized_layers",
+]

@@ -1,0 +1,175 @@
+"""Quantization-aware training (QAT) layer wrappers.
+
+QAT layers fake-quantize their weights (and optionally their input
+activations) in the forward pass while letting gradients flow through
+unchanged via the straight-through estimator (``Tensor.straight_through``).
+They wrap existing dense or low-rank layers, so the same machinery applies to
+the uncompressed baselines, the pruned models and the proposed group low-rank
+models — exactly as in the paper, where every evaluated model is 4-bit QAT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Conv2d, Linear, Module, Parameter
+from ..nn.tensor import Tensor
+from ..lowrank.layers import GroupLowRankConv2d, GroupLowRankLinear
+from .quantizers import DoReFaActivationQuantizer, DoReFaWeightQuantizer, QuantizerBase, UniformQuantizer
+
+__all__ = [
+    "fake_quantize",
+    "QATConv2d",
+    "QATLinear",
+    "QATGroupLowRankConv2d",
+    "make_weight_quantizer",
+    "make_activation_quantizer",
+]
+
+
+def make_weight_quantizer(bits: int, scheme: str = "dorefa") -> QuantizerBase:
+    """Factory for weight quantizers (``"dorefa"`` or ``"uniform"``)."""
+    if scheme == "dorefa":
+        return DoReFaWeightQuantizer(bits)
+    if scheme == "uniform":
+        return UniformQuantizer(bits)
+    raise ValueError(f"unknown weight quantization scheme: {scheme!r}")
+
+
+def make_activation_quantizer(bits: int, scheme: str = "dorefa") -> QuantizerBase:
+    """Factory for activation quantizers."""
+    if scheme == "dorefa":
+        return DoReFaActivationQuantizer(bits)
+    if scheme == "uniform":
+        return UniformQuantizer(bits, symmetric=False)
+    raise ValueError(f"unknown activation quantization scheme: {scheme!r}")
+
+
+def fake_quantize(tensor: Tensor, quantizer: QuantizerBase) -> Tensor:
+    """Quantize the tensor values in the forward pass with an STE backward pass."""
+    return tensor.straight_through(quantizer(tensor.data))
+
+
+class QATConv2d(Module):
+    """A dense convolution whose weights (and inputs) are fake-quantized."""
+
+    def __init__(
+        self,
+        conv: Conv2d,
+        weight_bits: int = 4,
+        activation_bits: Optional[int] = 4,
+        scheme: str = "dorefa",
+    ) -> None:
+        super().__init__()
+        self.conv = conv
+        self.weight_bits = weight_bits
+        self.activation_bits = activation_bits
+        self.weight_quantizer = make_weight_quantizer(weight_bits, scheme)
+        self.activation_quantizer = (
+            make_activation_quantizer(activation_bits, scheme) if activation_bits else None
+        )
+
+    def quantized_weight(self) -> np.ndarray:
+        """The integer-step weight values that would be programmed on the crossbar."""
+        return self.weight_quantizer(self.conv.weight.data)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.activation_quantizer is not None:
+            x = fake_quantize(x, self.activation_quantizer)
+        weight = fake_quantize(self.conv.weight, self.weight_quantizer)
+        return F.conv2d(x, weight, self.conv.bias, stride=self.conv.stride, padding=self.conv.padding)
+
+    def extra_repr(self) -> str:
+        return f"weight_bits={self.weight_bits}, activation_bits={self.activation_bits}"
+
+
+class QATLinear(Module):
+    """A dense linear layer with fake-quantized weights (and inputs)."""
+
+    def __init__(
+        self,
+        linear: Linear,
+        weight_bits: int = 4,
+        activation_bits: Optional[int] = 4,
+        scheme: str = "dorefa",
+    ) -> None:
+        super().__init__()
+        self.linear = linear
+        self.weight_bits = weight_bits
+        self.activation_bits = activation_bits
+        self.weight_quantizer = make_weight_quantizer(weight_bits, scheme)
+        self.activation_quantizer = (
+            make_activation_quantizer(activation_bits, scheme) if activation_bits else None
+        )
+
+    def quantized_weight(self) -> np.ndarray:
+        return self.weight_quantizer(self.linear.weight.data)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.activation_quantizer is not None:
+            x = fake_quantize(x, self.activation_quantizer)
+        weight = fake_quantize(self.linear.weight, self.weight_quantizer)
+        return F.linear(x, weight, self.linear.bias)
+
+    def extra_repr(self) -> str:
+        return f"weight_bits={self.weight_bits}, activation_bits={self.activation_bits}"
+
+
+class QATGroupLowRankConv2d(Module):
+    """A group low-rank convolution whose factor matrices are fake-quantized.
+
+    Both crossbar stages hold quantized values on real hardware, so both the
+    ``R`` (grouped) kernels and the stacked ``L`` matrix are quantized.
+    """
+
+    def __init__(
+        self,
+        layer: GroupLowRankConv2d,
+        weight_bits: int = 4,
+        activation_bits: Optional[int] = 4,
+        scheme: str = "dorefa",
+    ) -> None:
+        super().__init__()
+        self.layer = layer
+        self.weight_bits = weight_bits
+        self.activation_bits = activation_bits
+        self.weight_quantizer = make_weight_quantizer(weight_bits, scheme)
+        self.activation_quantizer = (
+            make_activation_quantizer(activation_bits, scheme) if activation_bits else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.activation_quantizer is not None:
+            x = fake_quantize(x, self.activation_quantizer)
+        layer = self.layer
+        group_in = layer.in_channels // layer.groups
+        right_q = fake_quantize(layer.right_weight, self.weight_quantizer)
+        left_q = fake_quantize(layer.left_weight, self.weight_quantizer)
+        intermediates = []
+        for g in range(layer.groups):
+            x_slice = x[:, g * group_in : (g + 1) * group_in]
+            kernel = right_q[g * layer.rank : (g + 1) * layer.rank]
+            intermediates.append(
+                F.conv2d(x_slice, kernel, bias=None, stride=layer.stride, padding=layer.padding)
+            )
+        hidden = (
+            intermediates[0]
+            if len(intermediates) == 1
+            else Tensor.concatenate(intermediates, axis=1)
+        )
+        n, gk, out_h, out_w = hidden.shape
+        flat = hidden.reshape(n, gk, out_h * out_w)
+        out = left_q.matmul(flat)
+        out = out.reshape(n, layer.out_channels, out_h, out_w)
+        if layer.bias is not None:
+            out = out + layer.bias.reshape(1, layer.out_channels, 1, 1)
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"rank={self.layer.rank}, groups={self.layer.groups}, "
+            f"weight_bits={self.weight_bits}, activation_bits={self.activation_bits}"
+        )

@@ -1,0 +1,156 @@
+"""Weight and activation quantizers (uniform and DoReFa).
+
+The paper quantizes weights and activations to 4 bits with quantization-aware
+training (QAT) and, for the Fig. 8 comparison, trains dedicated 1/2/3/4-bit
+models with a DoReFa quantizer.  The quantizers here operate on numpy arrays
+(pure functions) and are wrapped with the straight-through estimator in
+:mod:`repro.quantization.qat` for training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuantizerBase",
+    "UniformQuantizer",
+    "DoReFaWeightQuantizer",
+    "DoReFaActivationQuantizer",
+    "quantize_uniform",
+    "dequantize_uniform",
+    "quantization_levels",
+    "quantization_error",
+]
+
+
+def quantization_levels(bits: int) -> int:
+    """Number of representable levels for a given bit width."""
+    if bits <= 0:
+        raise ValueError(f"bit width must be positive, got {bits}")
+    return 2 ** bits
+
+
+def quantize_uniform(
+    values: np.ndarray, bits: int, low: float, high: float
+) -> Tuple[np.ndarray, float]:
+    """Quantize to integer codes in ``[0, 2^bits - 1]`` over the range ``[low, high]``.
+
+    Returns ``(codes, scale)`` where ``value ≈ low + codes * scale``.
+    """
+    if high <= low:
+        raise ValueError(f"invalid quantization range [{low}, {high}]")
+    levels = quantization_levels(bits)
+    scale = (high - low) / (levels - 1)
+    clipped = np.clip(values, low, high)
+    codes = np.round((clipped - low) / scale)
+    return codes.astype(np.int64), scale
+
+
+def dequantize_uniform(codes: np.ndarray, scale: float, low: float) -> np.ndarray:
+    """Reconstruct real values from integer codes."""
+    return low + codes.astype(np.float64) * scale
+
+
+def quantization_error(values: np.ndarray, quantized: np.ndarray) -> float:
+    """Relative Frobenius error introduced by quantization."""
+    denom = float(np.linalg.norm(values))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(values - quantized)) / denom
+
+
+class QuantizerBase:
+    """Interface shared by all quantizers: ``__call__`` returns the fake-quantized array."""
+
+    def __init__(self, bits: int) -> None:
+        if bits <= 0:
+            raise ValueError(f"bit width must be positive, got {bits}")
+        self.bits = bits
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def levels(self) -> int:
+        return quantization_levels(self.bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(bits={self.bits})"
+
+
+class UniformQuantizer(QuantizerBase):
+    """Symmetric uniform quantizer over ``[-max|w|, +max|w|]`` (per tensor).
+
+    This matches the usual crossbar programming model where a signed weight is
+    mapped onto differential conductance pairs with a per-layer scale.
+    """
+
+    def __init__(self, bits: int, symmetric: bool = True) -> None:
+        super().__init__(bits)
+        self.symmetric = symmetric
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        if values.size == 0:
+            return values.copy()
+        if self.symmetric:
+            bound = float(np.max(np.abs(values)))
+            if bound == 0.0:
+                return values.copy()
+            low, high = -bound, bound
+        else:
+            low, high = float(values.min()), float(values.max())
+            if high == low:
+                return values.copy()
+        codes, scale = quantize_uniform(values, self.bits, low, high)
+        return dequantize_uniform(codes, scale, low)
+
+
+class DoReFaWeightQuantizer(QuantizerBase):
+    """DoReFa-Net weight quantizer.
+
+    Weights are squashed with ``tanh``, normalized to ``[0, 1]``, uniformly
+    quantized and re-expanded to ``[-1, 1]``:
+
+    .. math::
+
+        w_q = 2\\,Q_k\\!\\left(\\frac{\\tanh w}{2\\max|\\tanh w|} + \\tfrac12\\right) - 1
+
+    The 1-bit case degenerates to the sign function scaled by the mean
+    magnitude, following the original paper.
+    """
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        if values.size == 0:
+            return values.copy()
+        if self.bits == 1:
+            scale = float(np.mean(np.abs(values)))
+            if scale == 0.0:
+                return np.zeros_like(values)
+            return np.where(values >= 0, scale, -scale)
+        squashed = np.tanh(values)
+        max_abs = float(np.max(np.abs(squashed)))
+        if max_abs == 0.0:
+            return np.zeros_like(values)
+        normalized = squashed / (2.0 * max_abs) + 0.5  # in [0, 1]
+        levels = self.levels - 1
+        quantized = np.round(normalized * levels) / levels
+        return 2.0 * quantized - 1.0
+
+
+class DoReFaActivationQuantizer(QuantizerBase):
+    """DoReFa activation quantizer: clip to ``[0, 1]`` then uniform quantization."""
+
+    def __init__(self, bits: int, clip_max: float = 1.0) -> None:
+        super().__init__(bits)
+        if clip_max <= 0:
+            raise ValueError(f"clip_max must be positive, got {clip_max}")
+        self.clip_max = clip_max
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        clipped = np.clip(values, 0.0, self.clip_max) / self.clip_max
+        levels = self.levels - 1
+        quantized = np.round(clipped * levels) / levels
+        return quantized * self.clip_max

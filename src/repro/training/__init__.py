@@ -1,0 +1,30 @@
+"""Training, evaluation and the calibrated accuracy proxy."""
+
+from .evaluate import confusion_matrix, evaluate_accuracy, evaluate_topk, predict_logits
+from .proxy import (
+    BASELINE_ACCURACY,
+    PATTERN_ACCURACY,
+    QUANTIZATION_ACCURACY,
+    TABLE1_ACCURACY,
+    AccuracyProxy,
+)
+from .seeds import EXPERIMENT_SEEDS, seed_everything, spawn_generator
+from .trainer import EpochStats, Trainer, TrainingHistory
+
+__all__ = [
+    "Trainer",
+    "TrainingHistory",
+    "EpochStats",
+    "evaluate_accuracy",
+    "evaluate_topk",
+    "predict_logits",
+    "confusion_matrix",
+    "AccuracyProxy",
+    "BASELINE_ACCURACY",
+    "TABLE1_ACCURACY",
+    "PATTERN_ACCURACY",
+    "QUANTIZATION_ACCURACY",
+    "seed_everything",
+    "spawn_generator",
+    "EXPERIMENT_SEEDS",
+]

@@ -1,0 +1,63 @@
+"""Model evaluation helpers (top-1 / top-k accuracy, logits collection)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.loaders import DataLoader
+from ..nn.modules import Module
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["evaluate_accuracy", "evaluate_topk", "predict_logits", "confusion_matrix"]
+
+
+def predict_logits(model: Module, images: np.ndarray) -> np.ndarray:
+    """Forward a batch in eval mode without building the autograd graph."""
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(images))
+    return logits.data
+
+
+def evaluate_accuracy(model: Module, loader: DataLoader) -> float:
+    """Top-1 accuracy over a full loader."""
+    correct = 0
+    total = 0
+    for images, labels in loader:
+        logits = predict_logits(model, images)
+        predictions = np.argmax(logits, axis=1)
+        correct += int(np.sum(predictions == labels))
+        total += labels.shape[0]
+    if total == 0:
+        return 0.0
+    return correct / total
+
+
+def evaluate_topk(model: Module, loader: DataLoader, k: int = 5) -> float:
+    """Top-k accuracy over a full loader."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    correct = 0
+    total = 0
+    for images, labels in loader:
+        logits = predict_logits(model, images)
+        k_eff = min(k, logits.shape[1])
+        topk = np.argsort(logits, axis=1)[:, -k_eff:]
+        correct += int(np.sum([label in row for label, row in zip(labels, topk)]))
+        total += labels.shape[0]
+    if total == 0:
+        return 0.0
+    return correct / total
+
+
+def confusion_matrix(model: Module, loader: DataLoader, num_classes: int) -> np.ndarray:
+    """Confusion matrix (rows = true class, cols = predicted class)."""
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for images, labels in loader:
+        logits = predict_logits(model, images)
+        predictions = np.argmax(logits, axis=1)
+        for true, predicted in zip(labels, predictions):
+            matrix[int(true), int(predicted)] += 1
+    return matrix

@@ -1,0 +1,163 @@
+"""Training loop for the numpy model substrate (QAT-aware).
+
+The trainer is deliberately close to a textbook supervised-learning loop:
+forward, cross-entropy, backward, optimizer step, per-epoch evaluation.  The
+paper trains its low-rank models from scratch for 250 epochs and fine-tunes
+pruned models for 20 epochs; the examples and tests in this repository use the
+same loop on scaled-down models / datasets so the full pipeline (including QAT
+wrappers and compressed layers) is exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.loaders import DataLoader
+from ..nn import functional as F
+from ..nn.modules import Module
+from ..nn.optim import LRScheduler, Optimizer
+from ..nn.tensor import Tensor, no_grad
+from .evaluate import evaluate_accuracy
+
+__all__ = ["EpochStats", "TrainingHistory", "Trainer"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Loss / accuracy measurements of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    eval_accuracy: Optional[float]
+    learning_rate: float
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch statistics collected by the trainer."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    def add(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.epochs[-1].train_accuracy if self.epochs else 0.0
+
+    @property
+    def final_eval_accuracy(self) -> Optional[float]:
+        return self.epochs[-1].eval_accuracy if self.epochs else None
+
+    @property
+    def best_eval_accuracy(self) -> Optional[float]:
+        accuracies = [e.eval_accuracy for e in self.epochs if e.eval_accuracy is not None]
+        return max(accuracies) if accuracies else None
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "train_loss": [e.train_loss for e in self.epochs],
+            "train_accuracy": [e.train_accuracy for e in self.epochs],
+            "eval_accuracy": [e.eval_accuracy for e in self.epochs if e.eval_accuracy is not None],
+        }
+
+
+class Trainer:
+    """Supervised training driver for :class:`repro.nn.Module` models."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        scheduler: Optional[LRScheduler] = None,
+        grad_clip: Optional[float] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.grad_clip = grad_clip
+        self.verbose = verbose
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    # Single steps
+    # ------------------------------------------------------------------
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
+        """One forward/backward/update step; returns loss and batch accuracy."""
+        self.model.train()
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(images))
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        if self.grad_clip is not None:
+            self._clip_gradients(self.grad_clip)
+        self.optimizer.step()
+        predictions = np.argmax(logits.data, axis=1)
+        accuracy = float(np.mean(predictions == labels))
+        return {"loss": float(loss.data), "accuracy": accuracy}
+
+    def _clip_gradients(self, max_norm: float) -> None:
+        total = 0.0
+        for param in self.optimizer.params:
+            if param.grad is not None:
+                total += float(np.sum(param.grad ** 2))
+        norm = np.sqrt(total)
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.optimizer.params:
+                if param.grad is not None:
+                    param.grad *= scale
+
+    # ------------------------------------------------------------------
+    # Epoch-level API
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train_loader: DataLoader,
+        epochs: int,
+        eval_loader: Optional[DataLoader] = None,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``train_loader``."""
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        for epoch in range(1, epochs + 1):
+            start = time.time()
+            losses: List[float] = []
+            accuracies: List[float] = []
+            for images, labels in train_loader:
+                stats = self.train_step(images, labels)
+                losses.append(stats["loss"])
+                accuracies.append(stats["accuracy"])
+            eval_accuracy = None
+            if eval_loader is not None:
+                eval_accuracy = evaluate_accuracy(self.model, eval_loader)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)) if losses else 0.0,
+                train_accuracy=float(np.mean(accuracies)) if accuracies else 0.0,
+                eval_accuracy=eval_accuracy,
+                learning_rate=self.optimizer.lr,
+                seconds=time.time() - start,
+            )
+            self.history.add(stats)
+            if self.verbose:  # pragma: no cover - console output only
+                eval_text = f", eval acc {eval_accuracy:.3f}" if eval_accuracy is not None else ""
+                print(
+                    f"epoch {epoch:3d}: loss {stats.train_loss:.4f}, "
+                    f"train acc {stats.train_accuracy:.3f}{eval_text} "
+                    f"({stats.seconds:.1f}s)"
+                )
+        return self.history
+
+    def evaluate(self, loader: DataLoader) -> float:
+        """Top-1 accuracy of the current model on a loader."""
+        return evaluate_accuracy(self.model, loader)

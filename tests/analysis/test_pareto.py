@@ -1,0 +1,86 @@
+"""Tests for Pareto-front utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import TradeoffPoint, dominates, hypervolume, pareto_front
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1.0, 10.0), (2.0, 5.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((1.0, 5.0), (1.0, 4.0))
+        assert dominates((1.0, 5.0), (2.0, 5.0))
+
+    def test_incomparable(self):
+        assert not dominates((1.0, 1.0), (2.0, 5.0))
+        assert not dominates((2.0, 5.0), (1.0, 1.0))
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [
+            TradeoffPoint(cost=10, quality=90, label="a"),
+            TradeoffPoint(cost=20, quality=95, label="b"),
+            TradeoffPoint(cost=30, quality=92, label="c"),  # dominated by b
+        ]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["a", "b"]
+
+    def test_front_sorted_by_cost(self):
+        points = [
+            TradeoffPoint(cost=30, quality=99),
+            TradeoffPoint(cost=10, quality=90),
+            TradeoffPoint(cost=20, quality=95),
+        ]
+        costs = [p.cost for p in pareto_front(points)]
+        assert costs == sorted(costs)
+
+    def test_duplicates_kept(self):
+        points = [TradeoffPoint(cost=1, quality=1), TradeoffPoint(cost=1, quality=1)]
+        assert len(pareto_front(points)) == 2
+
+    def test_custom_keys(self):
+        rows = [{"cycles": 10, "acc": 80}, {"cycles": 5, "acc": 85}]
+        front = pareto_front(rows, cost=lambda r: r["cycles"], quality=lambda r: r["acc"])
+        assert front == [rows[1]]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=20
+        )
+    )
+    def test_front_members_are_not_dominated(self, raw_points):
+        points = [TradeoffPoint(cost=c, quality=q) for c, q in raw_points]
+        front = pareto_front(points)
+        assert front
+        for member in front:
+            assert not any(
+                dominates((p.cost, p.quality), (member.cost, member.quality)) for p in points
+            )
+
+
+class TestHypervolume:
+    def test_zero_for_empty(self):
+        assert hypervolume([], 100, 0) == 0.0
+
+    def test_better_front_larger_volume(self):
+        good = [TradeoffPoint(cost=10, quality=95)]
+        bad = [TradeoffPoint(cost=50, quality=80)]
+        assert hypervolume(good, 100, 0) > hypervolume(bad, 100, 0)
+
+    def test_points_outside_reference_ignored(self):
+        points = [TradeoffPoint(cost=200, quality=95)]
+        assert hypervolume(points, 100, 0) == 0.0

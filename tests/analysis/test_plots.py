@@ -1,0 +1,61 @@
+"""Tests for ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import ascii_bars, ascii_scatter
+
+
+class TestScatter:
+    def test_contains_markers_and_legend(self):
+        text = ascii_scatter(
+            {"ours": [(10, 90), (20, 95)], "baseline": [(100, 96)]},
+            title="panel",
+            x_label="cycles",
+            y_label="acc",
+        )
+        assert "panel" in text
+        assert "o=ours" in text and "x=baseline" in text
+        assert "cycles" in text and "acc" in text
+        grid_lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert any("o" in line for line in grid_lines)
+        assert any("x" in line for line in grid_lines)
+
+    def test_empty_series(self):
+        assert ascii_scatter({"a": []}) == "(no data)"
+
+    def test_single_point(self):
+        text = ascii_scatter({"a": [(5, 5)]})
+        assert "o" in text
+
+    def test_too_small_plot_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"a": [(1, 1)]}, width=2, height=2)
+
+    def test_dimensions(self):
+        text = ascii_scatter({"a": [(0, 0), (1, 1)]}, width=40, height=10)
+        grid_lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert len(grid_lines) == 10
+        assert all(len(line) <= 41 for line in grid_lines)
+
+
+class TestBars:
+    def test_bars_scale_with_values(self):
+        text = ascii_bars({"small": 0.2, "large": 1.0}, width=20)
+        lines = {line.split("|")[0].strip(): line for line in text.splitlines()}
+        assert lines["large"].count("#") > lines["small"].count("#")
+
+    def test_values_printed(self):
+        text = ascii_bars({"a": 0.5})
+        assert "0.500" in text
+
+    def test_empty(self):
+        assert ascii_bars({}) == "(no data)"
+
+    def test_title(self):
+        assert ascii_bars({"a": 1.0}, title="energy").splitlines()[0] == "energy"
+
+    def test_zero_values_handled(self):
+        text = ascii_bars({"a": 0.0, "b": 0.0})
+        assert "0.000" in text

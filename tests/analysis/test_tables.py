@@ -1,0 +1,67 @@
+"""Tests for text-table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_cycles, format_kv, format_percent, format_table, markdown_table
+
+
+class TestFormatCycles:
+    def test_thousands(self):
+        assert format_cycles(44_000) == "44k"
+        assert format_cycles(1_500) == "2k"
+
+    def test_millions(self):
+        assert format_cycles(1_020_000) == "1.02M"
+
+    def test_small_values(self):
+        assert format_cycles(900) == "900"
+
+
+class TestFormatPercent:
+    def test_default(self):
+        assert format_percent(90.54) == "90.5%"
+
+    def test_decimals(self):
+        assert format_percent(90.54, decimals=2) == "90.54%"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title_included(self):
+        text = format_table(["x"], [["1"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_none_and_float_cells(self):
+        text = format_table(["x", "y"], [[None, 1.2345]])
+        assert "-" in text and "1.23" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+
+class TestFormatKV:
+    def test_alignment(self):
+        text = format_kv({"short": 1, "a much longer key": 2.5})
+        lines = text.splitlines()
+        assert all(" : " in line for line in lines)
+
+    def test_title(self):
+        assert format_kv({"a": 1}, title="T").splitlines()[0] == "T"

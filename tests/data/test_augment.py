@@ -1,0 +1,68 @@
+"""Tests for data augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.augment import Augmentation, random_crop, random_horizontal_flip
+
+
+class TestFlip:
+    def test_probability_one_flips_everything(self, rng):
+        images = rng.standard_normal((5, 3, 8, 8))
+        flipped = random_horizontal_flip(images, probability=1.0, rng=rng)
+        np.testing.assert_allclose(flipped, images[:, :, :, ::-1])
+
+    def test_probability_zero_is_identity(self, rng):
+        images = rng.standard_normal((5, 3, 8, 8))
+        np.testing.assert_allclose(random_horizontal_flip(images, 0.0, rng), images)
+
+    def test_original_not_modified(self, rng):
+        images = rng.standard_normal((3, 1, 4, 4))
+        copy = images.copy()
+        random_horizontal_flip(images, 1.0, rng)
+        np.testing.assert_allclose(images, copy)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(np.zeros((1, 1, 2, 2)), 1.5, rng)
+
+
+class TestCrop:
+    def test_output_shape_preserved(self, rng):
+        images = rng.standard_normal((4, 3, 12, 12))
+        assert random_crop(images, padding=3, rng=rng).shape == images.shape
+
+    def test_zero_padding_is_identity(self, rng):
+        images = rng.standard_normal((2, 3, 8, 8))
+        np.testing.assert_allclose(random_crop(images, 0, rng), images)
+
+    def test_content_is_a_shifted_view(self, rng):
+        """Each cropped image must appear somewhere inside the padded original."""
+        images = rng.standard_normal((1, 1, 6, 6))
+        cropped = random_crop(images, padding=2, rng=np.random.default_rng(0))
+        padded = np.pad(images, ((0, 0), (0, 0), (2, 2), (2, 2)))
+        found = False
+        for top in range(5):
+            for left in range(5):
+                if np.allclose(padded[0, :, top : top + 6, left : left + 6], cropped[0]):
+                    found = True
+        assert found
+
+    def test_negative_padding_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_crop(np.zeros((1, 1, 4, 4)), -1, rng)
+
+
+class TestAugmentationPipeline:
+    def test_shape_preserved(self, rng):
+        images = rng.standard_normal((6, 3, 10, 10))
+        augment = Augmentation(crop_padding=2, flip_probability=0.5, seed=0)
+        assert augment(images).shape == images.shape
+
+    def test_deterministic_given_seed(self, rng):
+        images = rng.standard_normal((6, 3, 10, 10))
+        a = Augmentation(seed=5)(images)
+        b = Augmentation(seed=5)(images)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,71 @@
+"""Tests for the mini-batch DataLoader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import make_tiny_dataset
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        dataset = make_tiny_dataset(num_samples=50)
+        loader = DataLoader(dataset, batch_size=16, shuffle=False)
+        images, labels = next(iter(loader))
+        assert images.shape == (16, *dataset.image_shape)
+        assert labels.shape == (16,)
+
+    def test_len_with_and_without_drop_last(self):
+        dataset = make_tiny_dataset(num_samples=50)
+        assert len(DataLoader(dataset, batch_size=16)) == 4
+        assert len(DataLoader(dataset, batch_size=16, drop_last=True)) == 3
+
+    def test_iterates_all_samples(self):
+        dataset = make_tiny_dataset(num_samples=37)
+        loader = DataLoader(dataset, batch_size=10, shuffle=True)
+        total = sum(labels.shape[0] for _, labels in loader)
+        assert total == 37
+
+    def test_drop_last_skips_partial_batch(self):
+        dataset = make_tiny_dataset(num_samples=37)
+        loader = DataLoader(dataset, batch_size=10, drop_last=True)
+        batches = [labels.shape[0] for _, labels in loader]
+        assert batches == [10, 10, 10]
+
+    def test_no_shuffle_preserves_order(self):
+        dataset = make_tiny_dataset(num_samples=30)
+        loader = DataLoader(dataset, batch_size=30, shuffle=False)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, dataset.labels)
+
+    def test_shuffle_changes_order_across_epochs(self):
+        dataset = make_tiny_dataset(num_samples=64)
+        loader = DataLoader(dataset, batch_size=64, shuffle=True, seed=0)
+        _, first = next(iter(loader))
+        _, second = next(iter(loader))
+        assert not np.array_equal(first, second)
+
+    def test_same_seed_same_first_epoch(self):
+        dataset = make_tiny_dataset(num_samples=64)
+        a = DataLoader(dataset, batch_size=64, shuffle=True, seed=3)
+        b = DataLoader(dataset, batch_size=64, shuffle=True, seed=3)
+        np.testing.assert_array_equal(next(iter(a))[1], next(iter(b))[1])
+
+    def test_augment_hook_applied(self):
+        dataset = make_tiny_dataset(num_samples=16)
+        calls = []
+
+        def augment(images: np.ndarray) -> np.ndarray:
+            calls.append(images.shape)
+            return images * 0.0
+
+        loader = DataLoader(dataset, batch_size=8, augment=augment)
+        images, _ = next(iter(loader))
+        assert calls
+        np.testing.assert_allclose(images, 0.0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_tiny_dataset(num_samples=8), batch_size=0)

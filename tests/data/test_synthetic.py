@@ -1,0 +1,117 @@
+"""Tests for the synthetic CIFAR-like datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticImageDataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dataset,
+    make_tiny_dataset,
+)
+
+
+class TestGeneration:
+    def test_shapes_and_types(self):
+        dataset = make_dataset(60, num_classes=6, image_size=16, channels=3, seed=0)
+        assert dataset.images.shape == (60, 3, 16, 16)
+        assert dataset.labels.shape == (60,)
+        assert dataset.labels.dtype == np.int64
+        assert dataset.image_shape == (3, 16, 16)
+
+    def test_balanced_classes(self):
+        dataset = make_dataset(100, num_classes=5, image_size=8, seed=0)
+        counts = np.bincount(dataset.labels, minlength=5)
+        assert counts.min() == counts.max() == 20
+
+    def test_deterministic_given_seed(self):
+        a = make_dataset(30, 3, image_size=8, seed=4)
+        b = make_dataset(30, 3, image_size=8, seed=4)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset(30, 3, image_size=8, seed=1)
+        b = make_dataset(30, 3, image_size=8, seed=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_standardized(self):
+        dataset = make_dataset(200, 4, image_size=16, seed=0)
+        assert abs(dataset.images.mean()) < 0.05
+        assert dataset.images.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_classes_are_distinguishable(self):
+        """Same-class images must be more similar than cross-class images on average."""
+        dataset = make_dataset(120, num_classes=4, image_size=12, noise_std=0.2, seed=0)
+        means = [dataset.images[dataset.labels == c].mean(axis=0) for c in range(4)]
+        same = np.mean([np.linalg.norm(dataset.images[i] - means[dataset.labels[i]]) for i in range(40)])
+        cross = np.mean(
+            [
+                np.linalg.norm(dataset.images[i] - means[(dataset.labels[i] + 1) % 4])
+                for i in range(40)
+            ]
+        )
+        assert same < cross
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_dataset(0, 3)
+        with pytest.raises(ValueError):
+            make_dataset(10, 0)
+
+
+class TestPresets:
+    def test_cifar10_like(self):
+        dataset = make_cifar10_like(num_samples=50)
+        assert dataset.num_classes == 10
+        assert dataset.image_shape == (3, 32, 32)
+
+    def test_cifar100_like(self):
+        dataset = make_cifar100_like(num_samples=200)
+        assert dataset.num_classes == 100
+
+    def test_tiny(self):
+        dataset = make_tiny_dataset()
+        assert dataset.image_shape[1] <= 16
+
+
+class TestDatasetContainer:
+    def test_len_and_getitem(self):
+        dataset = make_tiny_dataset(num_samples=20)
+        assert len(dataset) == 20
+        image, label = dataset[3]
+        assert image.shape == dataset.image_shape
+        assert 0 <= label < dataset.num_classes
+
+    def test_split_fractions(self):
+        dataset = make_tiny_dataset(num_samples=100)
+        train, test = dataset.split(0.8, seed=0)
+        assert len(train) == 80 and len(test) == 20
+        assert train.num_classes == dataset.num_classes
+
+    def test_split_disjoint(self):
+        dataset = make_tiny_dataset(num_samples=40)
+        train, test = dataset.split(0.5, seed=1)
+        train_ids = {img.tobytes() for img in train.images}
+        test_ids = {img.tobytes() for img in test.images}
+        assert not train_ids & test_ids
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            make_tiny_dataset(num_samples=10).split(1.0)
+
+    def test_subset(self):
+        dataset = make_tiny_dataset(num_samples=30)
+        assert len(dataset.subset(10)) == 10
+        assert len(dataset.subset(100)) == 30
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(np.zeros((4, 3, 8, 8)), np.zeros(3, dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(np.zeros((4, 3, 8, 8)), np.array([0, 1, 2, 5]), 3)
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(np.zeros((4, 8, 8)), np.zeros(4, dtype=np.int64), 2)

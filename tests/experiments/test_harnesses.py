@@ -1,0 +1,168 @@
+"""Tests for the Table I / Fig. 6–9 experiment harnesses (reduced sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6 import format_fig6, headline_metrics, run_fig6
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.experiments.fig8 import format_fig8, quantization_speedup, run_fig8
+from repro.experiments.fig9 import format_fig9, iso_accuracy_speedup, run_fig9
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(networks=("resnet20",), array_sizes=(64,), group_counts=(1, 4), rank_divisors=(2, 8))
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return run_fig6(
+        networks=("resnet20",),
+        array_sizes=(64,),
+        group_counts=(1, 4),
+        rank_divisors=(2, 8, 16),
+        pruning_entries=(1, 4, 6, 8),
+    )
+
+
+class TestTable1:
+    def test_row_count(self, table1_result):
+        assert len(table1_result.rows) == 4
+
+    def test_row_lookup(self, table1_result):
+        row = table1_result.row("resnet20", 4, 8)
+        assert row.rank_label == "m/8"
+        assert row.accuracy > 80
+
+    def test_missing_row_raises(self, table1_result):
+        with pytest.raises(KeyError):
+            table1_result.row("resnet20", 2, 8)
+
+    def test_sdk_never_slower_than_plain(self, table1_result):
+        for row in table1_result.rows:
+            for size, with_sdk in row.cycles_with_sdk.items():
+                assert with_sdk <= row.cycles_without_sdk[size]
+
+    def test_accuracy_improves_with_groups_at_fixed_rank(self, table1_result):
+        g1 = table1_result.row("resnet20", 1, 8).accuracy
+        g4 = table1_result.row("resnet20", 4, 8).accuracy
+        assert g4 >= g1
+
+    def test_best_accuracy_row(self, table1_result):
+        best = table1_result.best_accuracy("resnet20")
+        assert best.accuracy == max(r.accuracy for r in table1_result.rows)
+
+    def test_format(self, table1_result):
+        text = format_table1(table1_result, array_sizes=(64,))
+        assert "Table I" in text and "m/8" in text
+
+
+class TestFig6:
+    def test_panel_structure(self, fig6_result):
+        panel = fig6_result.panel("resnet20", 64)
+        assert panel.baseline.accuracy == pytest.approx(91.6)
+        assert panel.ours and panel.ours_pareto and panel.patdnn and panel.pairs
+        assert len(panel.patdnn) == 4
+
+    def test_missing_panel_raises(self, fig6_result):
+        with pytest.raises(KeyError):
+            fig6_result.panel("resnet20", 256)
+
+    def test_pareto_subset_of_sweep(self, fig6_result):
+        panel = fig6_result.panel("resnet20", 64)
+        sweep_keys = {(p.accuracy, p.cycles) for p in panel.ours}
+        assert all((p.accuracy, p.cycles) in sweep_keys for p in panel.ours_pareto)
+
+    def test_ours_beats_baseline_cycles(self, fig6_result):
+        panel = fig6_result.panel("resnet20", 64)
+        assert min(p.cycles for p in panel.ours_pareto) < panel.baseline.cycles
+
+    def test_headline_metrics_positive(self, fig6_result):
+        metrics = headline_metrics(fig6_result.panel("resnet20", 64))
+        assert metrics["max_speedup"] > 1.0
+        assert metrics["max_accuracy_gain"] > 0.0
+
+    def test_series_for_plotting(self, fig6_result):
+        series = fig6_result.panel("resnet20", 64).series()
+        assert set(series) == {"ours", "PatDNN", "PAIRS", "baseline"}
+
+    def test_format(self, fig6_result):
+        text = format_fig6(fig6_result, include_plots=False)
+        assert "Fig. 6" in text and "PatDNN" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(networks=("resnet20",), array_sizes=(32, 64))
+
+    def test_bars_present(self, result):
+        assert len(result.bars) == 2
+        bar = result.bar("resnet20", 64)
+        assert bar.im2col_energy_pj > 0
+
+    def test_ours_most_efficient(self, result):
+        """The Fig. 7 ordering: ours < pattern pruning < im2col for every bar."""
+        for bar in result.bars:
+            assert bar.ours_normalized < bar.pattern_normalized < 1.0
+
+    def test_savings_properties(self, result):
+        assert 0 < result.max_saving_vs_pattern < 1
+        assert 0 < result.max_saving_vs_im2col < 1
+
+    def test_missing_bar_raises(self, result):
+        with pytest.raises(KeyError):
+            result.bar("resnet20", 256)
+
+    def test_format(self, result):
+        text = format_fig7(result, include_plots=False)
+        assert "normalized energy" in text
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(network="resnet20", array_sizes=(64,), group_counts=(1, 4), rank_divisors=(2, 8))
+
+    def test_panel_contents(self, result):
+        panel = result.panel("resnet20", 64)
+        assert len(panel.quantized) == 4
+        assert panel.ours_pareto
+
+    def test_quantized_cycles_monotone_in_bits(self, result):
+        panel = result.panel("resnet20", 64)
+        by_bits = sorted(panel.quantized, key=lambda p: p.cycles)
+        accuracies = [p.accuracy for p in by_bits]
+        assert accuracies == sorted(accuracies)
+
+    def test_speedup_over_quantization(self, result):
+        assert quantization_speedup(result.panel("resnet20", 64)) > 1.0
+
+    def test_format(self, result):
+        assert "Fig. 8" in format_fig8(result, include_plots=False)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(panels=(("resnet20", 64),), group_counts=(1, 4), rank_divisors=(2, 8, 16))
+
+    def test_panel_contents(self, result):
+        panel = result.panel("resnet20", 64)
+        assert panel.ours and panel.traditional
+
+    def test_iso_accuracy_speedup(self, result):
+        summary = iso_accuracy_speedup(result.panel("resnet20", 64))
+        assert summary["ours"] is not None and summary["traditional"] is not None
+        assert summary["speedup"] is not None and summary["speedup"] > 1.0
+
+    def test_ours_pareto_dominates_traditional_somewhere(self, result):
+        panel = result.panel("resnet20", 64)
+        best_ours = min(p.cycles for p in panel.ours)
+        best_traditional = min(p.cycles for p in panel.traditional)
+        assert best_ours < best_traditional
+
+    def test_format(self, result):
+        assert "Fig. 9" in format_fig9(result, include_plots=False)

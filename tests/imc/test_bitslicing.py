@@ -1,0 +1,130 @@
+"""Tests for weight bit-slicing across crossbar columns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imc.bitslicing import (
+    BitSlicedMatrix,
+    codes_to_values,
+    combine_slices,
+    quantize_to_codes,
+    slice_weights,
+)
+from repro.imc.peripherals import CellSpec, PeripheralSuite
+from repro.mapping.geometry import ArrayDims
+
+HIGH_PRECISION = PeripheralSuite(cell=CellSpec(conductance_levels=4096))
+
+
+class TestQuantizeToCodes:
+    def test_roundtrip_within_half_step(self, rng):
+        weights = rng.standard_normal((8, 8))
+        codes, scale = quantize_to_codes(weights, bits=8)
+        recovered = codes_to_values(codes, scale)
+        np.testing.assert_allclose(recovered, weights, atol=scale / 2 + 1e-12)
+
+    def test_code_range(self, rng):
+        codes, _ = quantize_to_codes(rng.standard_normal((100,)), bits=4)
+        assert codes.max() <= 7 and codes.min() >= -7
+
+    def test_zero_matrix(self):
+        codes, scale = quantize_to_codes(np.zeros((3, 3)), bits=4)
+        assert np.all(codes == 0) and scale == 1.0
+
+    def test_minimum_bits(self):
+        with pytest.raises(ValueError):
+            quantize_to_codes(np.ones(3), bits=1)
+
+
+class TestSliceWeights:
+    def test_slices_reassemble_exactly(self, rng):
+        codes, _ = quantize_to_codes(rng.standard_normal((6, 10)), bits=8)
+        slices = slice_weights(codes, weight_bits=8, cell_bits=2)
+        assert len(slices) == 4
+        reassembled = combine_slices([s.astype(np.float64) for s in slices], cell_bits=2)
+        np.testing.assert_array_equal(reassembled, codes)
+
+    def test_slice_magnitudes_fit_cells(self, rng):
+        codes, _ = quantize_to_codes(rng.standard_normal((6, 10)), bits=8)
+        for slice_codes in slice_weights(codes, 8, 2):
+            assert np.max(np.abs(slice_codes)) <= 3  # 2-bit cells
+
+    def test_single_slice_when_cell_holds_weight(self, rng):
+        codes, _ = quantize_to_codes(rng.standard_normal((4, 4)), bits=4)
+        slices = slice_weights(codes, 4, 4)
+        assert len(slices) == 1
+        np.testing.assert_array_equal(slices[0], codes)
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(ValueError):
+            slice_weights(np.array([[300]]), weight_bits=4, cell_bits=2)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            slice_weights(np.zeros((2, 2), dtype=np.int64), 0, 2)
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_slices([], 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_slice_combine_roundtrip_property(self, weight_bits, cell_bits, seed):
+        rng = np.random.default_rng(seed)
+        max_code = 2 ** (weight_bits - 1) - 1
+        codes = rng.integers(-max_code, max_code + 1, size=(5, 7))
+        slices = slice_weights(codes, weight_bits, cell_bits)
+        reassembled = combine_slices([s.astype(np.float64) for s in slices], cell_bits)
+        np.testing.assert_array_equal(reassembled, codes)
+
+
+class TestBitSlicedMatrix:
+    def test_slice_count_matches_array_spec(self, rng):
+        array = ArrayDims(32, 32, weight_bits=4, cell_bits=1)
+        sliced = BitSlicedMatrix(rng.standard_normal((16, 24)), array, peripherals=HIGH_PRECISION)
+        assert sliced.num_slices == 4
+
+    def test_quantized_matrix_close_to_original(self, rng):
+        array = ArrayDims(32, 32, weight_bits=8, cell_bits=2)
+        matrix = rng.standard_normal((16, 24))
+        sliced = BitSlicedMatrix(matrix, array, peripherals=HIGH_PRECISION)
+        np.testing.assert_allclose(sliced.quantized_matrix(), matrix, atol=sliced.scale)
+
+    def test_mvm_close_to_exact(self, rng):
+        array = ArrayDims(32, 32, weight_bits=8, cell_bits=2)
+        matrix = rng.standard_normal((16, 24))
+        sliced = BitSlicedMatrix(matrix, array, peripherals=HIGH_PRECISION)
+        x = rng.standard_normal(24)
+        np.testing.assert_allclose(sliced.mvm(x), matrix @ x, rtol=0.1, atol=0.1)
+
+    def test_mvm_batch(self, rng):
+        array = ArrayDims(32, 32, weight_bits=4, cell_bits=2)
+        matrix = rng.standard_normal((8, 16))
+        sliced = BitSlicedMatrix(matrix, array, peripherals=HIGH_PRECISION)
+        batch = rng.standard_normal((3, 16))
+        assert sliced.mvm_batch(batch).shape == (3, 8)
+
+    def test_more_slices_cost_more_tiles_and_energy(self, rng):
+        matrix = rng.standard_normal((16, 24))
+        one_col = BitSlicedMatrix(matrix, ArrayDims(32, 32, weight_bits=4, cell_bits=4), peripherals=HIGH_PRECISION)
+        four_col = BitSlicedMatrix(matrix, ArrayDims(32, 32, weight_bits=4, cell_bits=1), peripherals=HIGH_PRECISION)
+        assert four_col.num_allocated_tiles > one_col.num_allocated_tiles
+        assert four_col.activation_energy_pj() > one_col.activation_energy_pj()
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            BitSlicedMatrix(rng.standard_normal(5), ArrayDims.square(32))
+
+    def test_activation_counter(self, rng):
+        array = ArrayDims(32, 32, weight_bits=4, cell_bits=2)
+        sliced = BitSlicedMatrix(rng.standard_normal((8, 16)), array, peripherals=HIGH_PRECISION)
+        sliced.mvm(rng.standard_normal(16))
+        assert sliced.total_activations == sliced.num_allocated_tiles

@@ -1,0 +1,129 @@
+"""Tests for the single-crossbar model (programming, MVM, quantization, noise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imc.crossbar import CrossbarArray, conductances_to_weights, weights_to_conductances
+from repro.imc.noise import NoiseModel
+from repro.imc.peripherals import CellSpec, PeripheralSuite
+
+
+class TestConductanceMapping:
+    def test_roundtrip_within_quantization_error(self, rng):
+        cell = CellSpec(conductance_levels=256)
+        weights = rng.standard_normal((8, 8))
+        g_pos, g_neg, scale = weights_to_conductances(weights, cell)
+        recovered = conductances_to_weights(g_pos, g_neg, cell, scale)
+        np.testing.assert_allclose(recovered, weights, atol=np.abs(weights).max() / 200)
+
+    def test_sign_separation(self, rng):
+        cell = CellSpec()
+        weights = np.array([[1.0, -1.0, 0.0]])
+        g_pos, g_neg, _ = weights_to_conductances(weights, cell)
+        assert g_pos[0, 0] > g_neg[0, 0]
+        assert g_neg[0, 1] > g_pos[0, 1]
+        assert g_pos[0, 2] == g_neg[0, 2] == cell.g_min
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            weights_to_conductances(rng.standard_normal(5), CellSpec())
+
+    def test_explicit_scale(self, rng):
+        cell = CellSpec(conductance_levels=256)
+        weights = rng.standard_normal((4, 4))
+        _, _, scale = weights_to_conductances(weights, cell, scale=10.0)
+        assert scale == 10.0
+
+
+class TestCrossbarProgramming:
+    def test_program_and_read_back(self, rng):
+        crossbar = CrossbarArray(rows=16, cols=16)
+        weights = rng.standard_normal((10, 12))
+        crossbar.program(weights)
+        assert crossbar.programmed_shape == (10, 12)
+        stored = crossbar.stored_weights()
+        assert stored.shape == (10, 12)
+        np.testing.assert_allclose(stored, weights, atol=np.abs(weights).max() / 7)
+
+    def test_block_too_large_raises(self, rng):
+        crossbar = CrossbarArray(rows=8, cols=8)
+        with pytest.raises(ValueError):
+            crossbar.program(rng.standard_normal((9, 4)))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CrossbarArray(rows=0, cols=8)
+
+    def test_mvm_before_programming_raises(self):
+        crossbar = CrossbarArray(rows=8, cols=8)
+        with pytest.raises(RuntimeError):
+            crossbar.mvm(np.ones(4))
+
+
+class TestCrossbarMVM:
+    def test_ideal_mvm_close_to_exact(self, rng):
+        suite = PeripheralSuite(cell=CellSpec(conductance_levels=4096))
+        crossbar = CrossbarArray(rows=16, cols=16, peripherals=suite)
+        weights = rng.standard_normal((12, 10))
+        crossbar.program(weights)
+        x = rng.standard_normal(12)
+        result = crossbar.mvm(x)
+        exact = weights.T @ x
+        np.testing.assert_allclose(result, exact, rtol=0.05, atol=0.05)
+
+    def test_wrong_input_shape_raises(self, rng):
+        crossbar = CrossbarArray(rows=8, cols=8)
+        crossbar.program(rng.standard_normal((6, 4)))
+        with pytest.raises(ValueError):
+            crossbar.mvm(np.ones(8))
+
+    def test_activation_counter(self, rng):
+        crossbar = CrossbarArray(rows=8, cols=8)
+        crossbar.program(rng.standard_normal((6, 4)))
+        crossbar.mvm_batch(rng.standard_normal((5, 6)))
+        assert crossbar.activation_count == 5
+
+    def test_input_quantization_changes_result(self, rng):
+        weights = rng.standard_normal((8, 8))
+        x = rng.standard_normal(8)
+        ideal = CrossbarArray(rows=8, cols=8)
+        ideal.program(weights)
+        coarse = CrossbarArray(rows=8, cols=8, input_bits=1)
+        coarse.program(weights)
+        assert not np.allclose(ideal.mvm(x), coarse.mvm(x))
+
+    def test_output_quantization_levels(self, rng):
+        crossbar = CrossbarArray(rows=8, cols=8, output_bits=2)
+        crossbar.program(rng.standard_normal((8, 8)))
+        out = crossbar.mvm(rng.standard_normal(8))
+        # 2-bit magnitude quantization: few distinct magnitudes
+        assert len(np.unique(np.round(np.abs(out), 12))) <= 4
+
+    def test_noise_perturbs_stored_weights(self, rng):
+        weights = rng.standard_normal((8, 8))
+        clean = CrossbarArray(rows=8, cols=8)
+        clean.program(weights)
+        noisy = CrossbarArray(rows=8, cols=8, noise=NoiseModel(conductance_sigma=0.3, seed=3))
+        noisy.program(weights)
+        assert not np.allclose(clean.stored_weights(), noisy.stored_weights())
+
+    def test_noisy_mvm_error_grows_with_sigma(self, rng):
+        weights = rng.standard_normal((16, 16))
+        x = rng.standard_normal(16)
+        exact = weights.T @ x
+
+        def error(sigma: float) -> float:
+            crossbar = CrossbarArray(rows=16, cols=16, noise=NoiseModel(conductance_sigma=sigma, seed=5))
+            crossbar.program(weights)
+            return float(np.linalg.norm(crossbar.mvm(x) - exact))
+
+        assert error(0.3) > error(0.01)
+
+    def test_activation_energy_positive_and_scales(self, rng):
+        crossbar = CrossbarArray(rows=32, cols=32)
+        crossbar.program(rng.standard_normal((32, 32)))
+        full = crossbar.activation_energy_pj()
+        half = crossbar.activation_energy_pj(active_rows=16, active_cols=32)
+        assert 0 < half < full

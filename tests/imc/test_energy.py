@@ -1,0 +1,139 @@
+"""Tests for the activation-based energy model (Fig. 7 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imc.energy import EnergyModel, aggregate_energy
+from repro.imc.peripherals import PeripheralSuite
+from repro.mapping.cycles import im2col_cycles, lowrank_cycles, pattern_pruning_cycles
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+
+
+@pytest.fixture
+def model() -> EnergyModel:
+    return EnergyModel()
+
+
+class TestPrimitives:
+    def test_array_read_energy_scales_with_array_size(self, model):
+        small = model.array_read_energy_pj(ArrayDims.square(32))
+        large = model.array_read_energy_pj(ArrayDims.square(128))
+        assert 0 < small < large
+
+    def test_array_read_breakdown_components(self, model, small_array):
+        breakdown = model.array_read_breakdown(small_array)
+        assert breakdown.dac_pj > 0 and breakdown.cell_pj > 0 and breakdown.adc_pj > 0
+        assert breakdown.zero_skip_pj == 0 and breakdown.mux_pj == 0
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.dac_pj + breakdown.cell_pj + breakdown.adc_pj
+        )
+
+    def test_pruning_overhead_positive(self, model, small_array):
+        overhead = model.pruning_overhead_breakdown(small_array)
+        assert overhead.peripheral_overhead_pj > 0
+        assert overhead.dac_pj == 0
+
+    def test_breakdown_addition_and_scaling(self, model, small_array):
+        a = model.array_read_breakdown(small_array)
+        doubled = a + a
+        assert doubled.total_pj == pytest.approx(2 * a.total_pj)
+        assert a.scaled(3.0).total_pj == pytest.approx(3 * a.total_pj)
+
+
+class TestMethodEnergies:
+    def test_energy_proportional_to_cycles(self, model, small_geometry, small_array):
+        """For peripheral-free methods, energy = cycles × per-array read energy."""
+        entry = model.im2col_energy(small_geometry, small_array)
+        cycles = im2col_cycles(small_geometry, small_array).cycles
+        assert entry.activations == cycles
+        assert entry.energy_pj == pytest.approx(cycles * model.array_read_energy_pj(small_array))
+
+    def test_pruning_pays_peripheral_overhead(self, model, small_geometry, small_array):
+        """At equal activation counts, a pruning method costs more than a peripheral-free one."""
+        pruned = model.pattern_pruning_energy(small_geometry, small_array, entries=9)
+        baseline = model.im2col_energy(small_geometry, small_array)
+        # entries=9 keeps everything: same activations, but zero-skip/mux still burn energy
+        assert pruned.activations == baseline.activations
+        assert pruned.energy_pj > baseline.energy_pj
+        assert pruned.breakdown.peripheral_overhead_pj > 0
+
+    def test_no_zero_skipping_means_no_overhead(self, model, small_geometry, small_array):
+        entry = model.pattern_pruning_energy(small_geometry, small_array, entries=4, zero_skipping=False)
+        assert entry.breakdown.peripheral_overhead_pj == 0
+
+    def test_lowrank_energy_tracks_lowrank_cycles(self, model, small_geometry, small_array):
+        entry = model.lowrank_energy(small_geometry, small_array, rank=2, groups=2, use_sdk=False)
+        cycles = lowrank_cycles(small_geometry, small_array, rank=2, groups=2, use_sdk=False).cycles
+        assert entry.activations == cycles
+        assert entry.breakdown.peripheral_overhead_pj == 0
+
+    def test_fig7_ordering_on_representative_layer(self, model):
+        """Ours < pattern pruning < im2col for a representative mid-network layer."""
+        geometry = ConvGeometry(32, 32, 3, 3, 16, 16, padding=1, name="mid")
+        array = ArrayDims.square(64)
+        ours = model.lowrank_energy(geometry, array, rank=4, groups=4, use_sdk=True).energy_pj
+        pattern = model.pattern_pruning_energy(geometry, array, entries=6).energy_pj
+        im2col = model.im2col_energy(geometry, array).energy_pj
+        assert ours < pattern < im2col
+
+    def test_sdk_energy_never_above_im2col(self, model, small_geometry, small_array):
+        sdk = model.sdk_energy(small_geometry, small_array).energy_pj
+        im2col = model.im2col_energy(small_geometry, small_array).energy_pj
+        assert sdk <= im2col
+
+    def test_pairs_energy_has_overhead(self, model, small_geometry, small_array):
+        entry = model.pairs_energy(small_geometry, small_array, entries=4)
+        assert entry.breakdown.peripheral_overhead_pj > 0
+
+    def test_invalid_entries_rejected(self, model, small_geometry, small_array):
+        with pytest.raises(ValueError):
+            model.pattern_pruning_energy(small_geometry, small_array, entries=0)
+        with pytest.raises(ValueError):
+            model.pairs_energy(small_geometry, small_array, entries=10)
+
+    def test_invalid_lowrank_config_rejected(self, model, small_geometry, small_array):
+        with pytest.raises(ValueError):
+            model.lowrank_energy(small_geometry, small_array, rank=0)
+
+
+class TestNetworkEnergy:
+    def test_network_energy_aggregation(self, model, small_geometry, small_array):
+        geometries = [small_geometry, small_geometry]
+        report = model.network_energy(geometries, small_array, "im2col")
+        assert len(report.layers) == 2
+        assert report.total_pj == pytest.approx(2 * model.im2col_energy(small_geometry, small_array).energy_pj)
+        assert report.total_nj == pytest.approx(report.total_pj / 1e3)
+        assert report.total_uj == pytest.approx(report.total_pj / 1e6)
+
+    def test_network_energy_kwargs_forwarded(self, model, small_geometry, small_array):
+        report = model.network_energy([small_geometry], small_array, "lowrank", rank=2, groups=2)
+        assert "g=2" in report.method
+
+    def test_unknown_method_rejected(self, model, small_geometry, small_array):
+        with pytest.raises(ValueError):
+            model.network_energy([small_geometry], small_array, "quantum")
+
+    def test_normalization(self, model, small_geometry, small_array):
+        baseline = model.network_energy([small_geometry], small_array, "im2col")
+        compressed = model.network_energy([small_geometry], small_array, "lowrank", rank=1, groups=1)
+        ratio = compressed.normalized_to(baseline)
+        assert 0 < ratio
+        assert ratio == pytest.approx(compressed.total_pj / baseline.total_pj)
+
+    def test_normalize_by_zero_baseline_raises(self):
+        empty = aggregate_energy("none", [])
+        other = aggregate_energy("none", [])
+        with pytest.raises(ZeroDivisionError):
+            other.normalized_to(empty)
+
+    def test_custom_peripherals_change_totals(self, small_geometry, small_array):
+        from repro.imc.peripherals import ADCSpec
+
+        cheap = EnergyModel(PeripheralSuite(adc=ADCSpec(energy_per_conversion_pj=0.1)))
+        default = EnergyModel()
+        assert (
+            cheap.im2col_energy(small_geometry, small_array).energy_pj
+            < default.im2col_energy(small_geometry, small_array).energy_pj
+        )

@@ -1,0 +1,111 @@
+"""Tests for the crossbar non-ideality (noise) models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imc.noise import (
+    NoiseModel,
+    apply_conductance_variation,
+    apply_ir_drop,
+    apply_stuck_at_faults,
+)
+
+
+class TestConductanceVariation:
+    def test_zero_sigma_is_identity(self, rng):
+        g = rng.random((8, 8)) * 1e-4
+        np.testing.assert_allclose(apply_conductance_variation(g, 0.0, rng), g)
+
+    def test_multiplicative_and_positive(self, rng):
+        g = rng.random((16, 16)) * 1e-4 + 1e-6
+        noisy = apply_conductance_variation(g, 0.2, rng)
+        assert np.all(noisy > 0)
+        assert not np.allclose(noisy, g)
+
+    def test_mean_ratio_near_one(self, rng):
+        g = np.full((200, 200), 1e-5)
+        noisy = apply_conductance_variation(g, 0.05, rng)
+        assert np.mean(noisy / g) == pytest.approx(1.0, abs=0.01)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ValueError):
+            apply_conductance_variation(np.ones((2, 2)), -0.1, rng)
+
+
+class TestStuckAtFaults:
+    def test_zero_rate_identity(self, rng):
+        g = rng.random((8, 8))
+        np.testing.assert_allclose(apply_stuck_at_faults(g, 0.0, 0.0, 1.0, rng), g)
+
+    def test_fault_rate_approximate(self, rng):
+        g = np.full((300, 300), 0.5)
+        faulty = apply_stuck_at_faults(g, 0.1, 0.0, 1.0, rng)
+        changed = np.mean(faulty != 0.5)
+        assert changed == pytest.approx(0.1, abs=0.02)
+
+    def test_faulty_values_at_extremes(self, rng):
+        g = np.full((100, 100), 0.5)
+        faulty = apply_stuck_at_faults(g, 0.2, 0.1, 0.9, rng)
+        assert set(np.unique(faulty)).issubset({0.1, 0.5, 0.9})
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            apply_stuck_at_faults(np.ones((2, 2)), 1.5, 0.0, 1.0, rng)
+
+
+class TestIRDrop:
+    def test_zero_severity_identity(self, rng):
+        g = rng.random((8, 8))
+        np.testing.assert_allclose(apply_ir_drop(g, 0.0), g)
+
+    def test_far_rows_attenuated(self):
+        g = np.ones((10, 4))
+        dropped = apply_ir_drop(g, 0.3)
+        assert dropped[0, 0] == pytest.approx(1.0)
+        assert dropped[-1, 0] == pytest.approx(0.7)
+        assert np.all(np.diff(dropped[:, 0]) <= 0)
+
+    def test_single_row_unchanged(self):
+        g = np.ones((1, 4))
+        np.testing.assert_allclose(apply_ir_drop(g, 0.5), g)
+
+    def test_invalid_severity(self):
+        with pytest.raises(ValueError):
+            apply_ir_drop(np.ones((2, 2)), 1.0)
+
+
+class TestNoiseModel:
+    def test_ideal_model_is_identity(self, rng):
+        g = rng.random((8, 8))
+        model = NoiseModel.ideal()
+        assert model.is_ideal
+        np.testing.assert_allclose(model.apply(g, 0.0, 1.0), g)
+
+    def test_typical_model_perturbs(self, rng):
+        g = rng.random((16, 16)) * 1e-4 + 1e-6
+        model = NoiseModel.typical()
+        assert not model.is_ideal
+        noisy = model.apply(g, 1e-6, 1e-4)
+        assert not np.allclose(noisy, g)
+        assert np.all(noisy >= 0)
+
+    def test_deterministic_given_seed(self, rng):
+        g = rng.random((8, 8)) * 1e-4
+        model = NoiseModel(conductance_sigma=0.1, seed=7)
+        np.testing.assert_allclose(model.apply(g, 1e-6, 1e-4), model.apply(g, 1e-6, 1e-4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(conductance_sigma=-1)
+        with pytest.raises(ValueError):
+            NoiseModel(stuck_at_rate=2.0)
+        with pytest.raises(ValueError):
+            NoiseModel(ir_drop_severity=1.0)
+
+    def test_higher_sigma_larger_perturbation(self, rng):
+        g = rng.random((32, 32)) * 1e-4 + 1e-6
+        small = NoiseModel(conductance_sigma=0.01, seed=1).apply(g, 1e-6, 1e-4)
+        large = NoiseModel(conductance_sigma=0.3, seed=1).apply(g, 1e-6, 1e-4)
+        assert np.linalg.norm(large - g) > np.linalg.norm(small - g)

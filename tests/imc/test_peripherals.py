@@ -1,0 +1,66 @@
+"""Tests for the peripheral circuit specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.imc.peripherals import (
+    ADCSpec,
+    CellSpec,
+    DACSpec,
+    MuxSpec,
+    PeripheralSuite,
+    ZeroSkipSpec,
+    default_peripherals,
+)
+
+
+class TestSpecValidation:
+    def test_adc_defaults(self):
+        adc = ADCSpec()
+        assert adc.bits > 0 and adc.energy_per_conversion_pj > 0
+
+    def test_adc_invalid(self):
+        with pytest.raises(ValueError):
+            ADCSpec(bits=0)
+        with pytest.raises(ValueError):
+            ADCSpec(energy_per_conversion_pj=-1)
+
+    def test_dac_invalid(self):
+        with pytest.raises(ValueError):
+            DACSpec(bits=0)
+        with pytest.raises(ValueError):
+            DACSpec(latency_ns=-1)
+
+    def test_cell_invalid(self):
+        with pytest.raises(ValueError):
+            CellSpec(read_energy_pj=-0.1)
+        with pytest.raises(ValueError):
+            CellSpec(conductance_levels=1)
+        with pytest.raises(ValueError):
+            CellSpec(g_min=1e-3, g_max=1e-4)
+
+    def test_mux_and_zero_skip_invalid(self):
+        with pytest.raises(ValueError):
+            MuxSpec(energy_per_route_pj=-1)
+        with pytest.raises(ValueError):
+            ZeroSkipSpec(energy_per_row_check_pj=-1)
+
+
+class TestSuite:
+    def test_default_suite_components(self):
+        suite = default_peripherals()
+        assert isinstance(suite, PeripheralSuite)
+        as_dict = suite.as_dict()
+        assert set(as_dict) == {"adc", "dac", "cell", "mux", "zero_skip"}
+
+    def test_adc_dominates_cell_read(self):
+        """The cost structure assumed by the model: one ADC conversion costs far more
+        than one cell read, which is what makes array activations the dominant term."""
+        suite = default_peripherals()
+        assert suite.adc.energy_per_conversion_pj > 100 * suite.cell.read_energy_pj
+
+    def test_custom_suite(self):
+        suite = PeripheralSuite(adc=ADCSpec(bits=8, energy_per_conversion_pj=5.0))
+        assert suite.adc.bits == 8
+        assert suite.dac.bits == DACSpec().bits

@@ -1,0 +1,90 @@
+"""Tests for tiled matrices spanning multiple crossbars."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imc.peripherals import CellSpec, PeripheralSuite
+from repro.imc.tiles import TiledMatrix
+from repro.lowrank.group import group_decompose
+from repro.mapping.cycles import tiles_for_block_diagonal, tiles_for_matrix
+from repro.mapping.geometry import ArrayDims
+
+HIGH_PRECISION = PeripheralSuite(cell=CellSpec(conductance_levels=4096))
+
+
+class TestTiling:
+    def test_grid_shape(self, rng, small_array):
+        matrix = rng.standard_normal((40, 70))  # 40 outputs, 70 inputs
+        tiled = TiledMatrix(matrix, small_array)
+        assert tiled.grid_shape == (3, 2)  # ceil(70/32) x ceil(40/32)
+
+    def test_allocated_tiles_match_analytic_count(self, rng, small_array):
+        matrix = rng.standard_normal((40, 70))
+        tiled = TiledMatrix(matrix, small_array)
+        assert tiled.num_allocated_tiles == tiles_for_matrix(70, 40, small_array)
+
+    def test_zero_tiles_skipped_for_block_diagonal(self, rng, small_array):
+        """Block-diagonal stage-1 matrices never allocate their all-zero tiles."""
+        factors = group_decompose(rng.standard_normal((64, 64)), rank=32, groups=2)
+        block_diag = factors.block_diagonal_right()  # (64, 64): two 32x32 blocks
+        tiled = TiledMatrix(block_diag, small_array)
+        dense_tiles = tiles_for_matrix(64, 64, small_array)
+        assert dense_tiles == 4
+        assert tiled.num_allocated_tiles == 2 < dense_tiles
+        assert tiled.num_allocated_tiles == tiles_for_block_diagonal(2, 32, 32, small_array)
+
+    def test_skip_zero_tiles_disabled(self, rng, small_array):
+        matrix = np.zeros((40, 40))
+        assert TiledMatrix(matrix, small_array).num_allocated_tiles == 0
+        assert TiledMatrix(matrix, small_array, skip_zero_tiles=False).num_allocated_tiles == 4
+
+    def test_rejects_non_2d(self, rng, small_array):
+        with pytest.raises(ValueError):
+            TiledMatrix(rng.standard_normal(10), small_array)
+
+    def test_tile_lookup(self, rng, small_array):
+        tiled = TiledMatrix(rng.standard_normal((40, 70)), small_array)
+        assert tiled.tile(0, 0) is not None
+        assert tiled.tile(99, 99) is None
+
+
+class TestExecution:
+    def test_mvm_matches_exact(self, rng, small_array):
+        matrix = rng.standard_normal((40, 70))
+        tiled = TiledMatrix(matrix, small_array, peripherals=HIGH_PRECISION)
+        x = rng.standard_normal(70)
+        np.testing.assert_allclose(tiled.mvm(x), matrix @ x, rtol=0.05, atol=0.05)
+
+    def test_mvm_batch(self, rng, small_array):
+        matrix = rng.standard_normal((20, 40))
+        tiled = TiledMatrix(matrix, small_array, peripherals=HIGH_PRECISION)
+        batch = rng.standard_normal((6, 40))
+        np.testing.assert_allclose(tiled.mvm_batch(batch), batch @ matrix.T, rtol=0.05, atol=0.05)
+
+    def test_wrong_input_length(self, rng, small_array):
+        tiled = TiledMatrix(rng.standard_normal((20, 40)), small_array)
+        with pytest.raises(ValueError):
+            tiled.mvm(np.ones(39))
+        with pytest.raises(ValueError):
+            tiled.mvm_batch(np.ones(40))
+
+    def test_activation_counting(self, rng, small_array):
+        matrix = rng.standard_normal((40, 70))
+        tiled = TiledMatrix(matrix, small_array)
+        tiled.mvm_batch(rng.standard_normal((3, 70)))
+        assert tiled.total_activations == 3 * tiled.num_allocated_tiles
+
+    def test_stored_matrix_close_to_original(self, rng, small_array):
+        matrix = rng.standard_normal((20, 40))
+        tiled = TiledMatrix(matrix, small_array, peripherals=HIGH_PRECISION)
+        np.testing.assert_allclose(tiled.stored_matrix(), matrix, atol=np.abs(matrix).max() / 100)
+
+    def test_activation_energy_positive(self, rng, small_array):
+        tiled = TiledMatrix(rng.standard_normal((20, 40)), small_array)
+        assert tiled.activation_energy_pj() > 0
+
+    def test_logical_shape(self, rng, small_array):
+        tiled = TiledMatrix(rng.standard_normal((20, 40)), small_array)
+        assert tiled.logical_shape == (20, 40)

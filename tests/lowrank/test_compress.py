@@ -1,0 +1,153 @@
+"""Tests for the model-level compression API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowrank.compress import (
+    CompressionSpec,
+    compress_model,
+    default_rank_fn,
+    eligible_layers,
+    rank_from_divisor,
+)
+from repro.lowrank.layers import GroupLowRankConv2d, GroupLowRankLinear
+from repro.nn.models import SimpleCNN, resnet20
+from repro.nn.modules import Conv2d, Linear
+from repro.nn.tensor import Tensor
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = CompressionSpec()
+        assert spec.rank_divisor == 4 and spec.groups == 1
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            CompressionSpec(rank_divisor=0)
+        with pytest.raises(ValueError):
+            CompressionSpec(groups=0)
+        with pytest.raises(ValueError):
+            CompressionSpec(min_rank=0)
+
+    def test_label(self):
+        assert CompressionSpec(rank_divisor=8, groups=4).label == "g=4, k=m/8"
+
+    def test_rank_from_divisor(self):
+        assert rank_from_divisor(64, 8) == 8
+        assert rank_from_divisor(4, 16) == 1  # clamped to min_rank
+
+
+class TestEligibility:
+    def test_first_conv_and_last_linear_skipped_by_default(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        spec = CompressionSpec(compress_linear=True)
+        names = [name for name, _ in eligible_layers(model, spec)]
+        convs = [n for n, m in model.named_modules() if isinstance(m, Conv2d)]
+        linears = [n for n, m in model.named_modules() if isinstance(m, Linear)]
+        assert convs[0] not in names
+        assert linears[-1] not in names
+
+    def test_pointwise_skipped_by_default(self):
+        model = resnet20(base_width=8)
+        spec = CompressionSpec()
+        names = [name for name, _ in eligible_layers(model, spec)]
+        assert not any("shortcut" in name for name in names)
+
+    def test_pointwise_included_when_requested(self):
+        model = resnet20(base_width=8)
+        spec = CompressionSpec(skip_pointwise=False)
+        names = [name for name, _ in eligible_layers(model, spec)]
+        assert any("shortcut" in name for name in names)
+
+    def test_linear_layers_only_with_flag(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        without = eligible_layers(model, CompressionSpec(compress_linear=False))
+        assert all(isinstance(m, Conv2d) for _, m in without)
+
+
+class TestCompressModel:
+    def test_replaces_eligible_convs(self):
+        model = SimpleCNN(num_classes=5, widths=(8, 8, 16), seed=0)
+        report = compress_model(model, CompressionSpec(rank_divisor=2, groups=2))
+        lowrank_layers = [m for m in model.modules() if isinstance(m, GroupLowRankConv2d)]
+        assert len(lowrank_layers) == len(report.records) == 2
+        assert report.skipped  # the first conv stays dense
+
+    def test_model_still_runs_after_compression(self, rng):
+        model = SimpleCNN(num_classes=5, widths=(8, 8, 16), seed=0)
+        compress_model(model, CompressionSpec(rank_divisor=4, groups=2))
+        out = model(Tensor(rng.standard_normal((2, 3, 12, 12))))
+        assert out.shape == (2, 5)
+
+    def test_compression_reduces_parameters(self):
+        model = SimpleCNN(num_classes=5, widths=(16, 16, 32), seed=0)
+        before = model.num_parameters()
+        report = compress_model(model, CompressionSpec(rank_divisor=8))
+        after = model.num_parameters()
+        assert after < before
+        assert report.compression_ratio > 1
+
+    def test_outputs_close_at_high_rank(self, rng):
+        model = SimpleCNN(num_classes=5, widths=(8, 8, 16), seed=0)
+        x = Tensor(rng.standard_normal((2, 3, 12, 12)))
+        model.eval()
+        reference = model(x).data
+        compress_model(model, CompressionSpec(rank_divisor=1))  # full rank: exact
+        model.eval()
+        np.testing.assert_allclose(model(x).data, reference, atol=1e-6)
+
+    def test_report_records_errors_and_ratio(self):
+        model = SimpleCNN(num_classes=5, widths=(8, 8, 16), seed=0)
+        report = compress_model(model, CompressionSpec(rank_divisor=4, groups=2))
+        assert all(0 <= r.relative_error <= 1 for r in report.records)
+        assert report.mean_relative_error <= report.max_relative_error
+        assert all(r.compression_ratio > 1 for r in report.records)
+
+    def test_more_groups_lower_error_at_same_rank(self):
+        model_g1 = SimpleCNN(num_classes=5, widths=(8, 16, 16), seed=0)
+        model_g4 = SimpleCNN(num_classes=5, widths=(8, 16, 16), seed=0)
+        report_g1 = compress_model(model_g1, CompressionSpec(rank_divisor=8, groups=1))
+        report_g4 = compress_model(model_g4, CompressionSpec(rank_divisor=8, groups=4))
+        assert report_g4.mean_relative_error <= report_g1.mean_relative_error + 1e-9
+
+    def test_custom_rank_fn(self):
+        model = SimpleCNN(num_classes=5, widths=(8, 8, 16), seed=0)
+        report = compress_model(model, CompressionSpec(), rank_fn=lambda name, module: 1)
+        assert all(r.rank == 1 for r in report.records)
+
+    def test_groups_fall_back_when_not_divisible(self):
+        """Layers whose channel count is not divisible by the requested group count degrade gracefully."""
+        model = SimpleCNN(num_classes=5, widths=(6, 10, 12), seed=0)
+        report = compress_model(model, CompressionSpec(rank_divisor=2, groups=4))
+        assert all(record.groups >= 1 for record in report.records)
+
+    def test_compress_linear_layers(self):
+        from repro.nn.models import MLP
+
+        model = MLP(in_features=16, hidden=12, num_classes=4, seed=0)
+        spec = CompressionSpec(rank_divisor=2, groups=2, compress_linear=True, skip_last_linear=True)
+        report = compress_model(model, spec)
+        assert any(isinstance(m, GroupLowRankLinear) for m in model.modules())
+        assert any(r.kind == "linear" for r in report.records)
+
+    def test_describe_output(self):
+        model = SimpleCNN(num_classes=5, widths=(8, 8, 16), seed=0)
+        report = compress_model(model, CompressionSpec(rank_divisor=4))
+        text = report.describe()
+        assert "compression" in text and "parameters" in text
+
+    def test_default_rank_fn_rejects_unknown_module(self):
+        spec = CompressionSpec()
+        fn = default_rank_fn(spec)
+        with pytest.raises(TypeError):
+            fn("x", object())  # type: ignore[arg-type]
+
+    def test_resnet20_compression_end_to_end(self, rng):
+        """Compress a width-reduced ResNet-20 and check it still produces logits."""
+        model = resnet20(num_classes=10, base_width=8)
+        report = compress_model(model, CompressionSpec(rank_divisor=4, groups=2))
+        assert len(report.records) == 18  # all 3x3 block convolutions except conv1
+        out = model(Tensor(rng.standard_normal((1, 3, 16, 16))))
+        assert out.shape == (1, 10)

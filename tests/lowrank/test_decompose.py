@@ -1,0 +1,146 @@
+"""Tests for the truncated-SVD decomposition utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowrank.decompose import (
+    LowRankFactors,
+    decompose,
+    optimal_rank_for_error,
+    parameter_count,
+    rank_for_compression_ratio,
+    reconstruction_error,
+    relative_error,
+    singular_value_energy,
+    truncated_svd,
+)
+
+
+class TestTruncatedSVD:
+    def test_shapes(self, rng):
+        matrix = rng.standard_normal((8, 20))
+        u, s, vt = truncated_svd(matrix, 3)
+        assert u.shape == (8, 3)
+        assert s.shape == (3,)
+        assert vt.shape == (3, 20)
+
+    def test_full_rank_reconstructs_exactly(self, rng):
+        matrix = rng.standard_normal((6, 9))
+        u, s, vt = truncated_svd(matrix, 6)
+        np.testing.assert_allclose((u * s) @ vt, matrix, atol=1e-10)
+
+    def test_rank_clamped_to_matrix_rank(self, rng):
+        matrix = rng.standard_normal((4, 5))
+        u, s, vt = truncated_svd(matrix, 100)
+        assert s.shape == (4,)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            truncated_svd(rng.standard_normal((3, 3, 3)), 2)
+        with pytest.raises(ValueError):
+            truncated_svd(rng.standard_normal((3, 3)), 0)
+
+
+class TestDecompose:
+    def test_factor_shapes(self, rng):
+        factors = decompose(rng.standard_normal((8, 20)), 3)
+        assert factors.left.shape == (8, 3)
+        assert factors.right.shape == (3, 20)
+        assert factors.rank == 3
+        assert factors.shape == (8, 20)
+
+    def test_optimality_against_random_factors(self, rng):
+        """Eckart–Young: the SVD factorization beats any random factorization."""
+        matrix = rng.standard_normal((10, 15))
+        svd_factors = decompose(matrix, 4)
+        random_factors = LowRankFactors(
+            left=rng.standard_normal((10, 4)), right=rng.standard_normal((4, 15))
+        )
+        assert reconstruction_error(matrix, svd_factors) <= reconstruction_error(matrix, random_factors)
+
+    def test_error_decreases_with_rank(self, rng):
+        matrix = rng.standard_normal((12, 18))
+        errors = [reconstruction_error(matrix, decompose(matrix, k)) for k in (1, 3, 6, 12)]
+        assert all(errors[i] >= errors[i + 1] - 1e-12 for i in range(len(errors) - 1))
+
+    def test_exact_for_low_rank_matrix(self, rng):
+        left = rng.standard_normal((9, 2))
+        right = rng.standard_normal((2, 14))
+        matrix = left @ right
+        factors = decompose(matrix, 2)
+        assert reconstruction_error(matrix, factors) < 1e-10
+
+    def test_parameter_count_and_ratio(self, rng):
+        factors = decompose(rng.standard_normal((16, 32)), 4)
+        assert factors.parameter_count == 16 * 4 + 4 * 32
+        assert factors.compression_ratio() == pytest.approx((16 * 32) / (16 * 4 + 4 * 32))
+
+    def test_error_method_matches_function(self, rng):
+        matrix = rng.standard_normal((6, 8))
+        factors = decompose(matrix, 2)
+        assert factors.error(matrix) == pytest.approx(reconstruction_error(matrix, factors))
+
+    def test_mismatched_shapes_raise(self, rng):
+        factors = decompose(rng.standard_normal((6, 8)), 2)
+        with pytest.raises(ValueError):
+            reconstruction_error(rng.standard_normal((5, 8)), factors)
+
+    def test_invalid_factor_shapes_raise(self, rng):
+        with pytest.raises(ValueError):
+            LowRankFactors(left=rng.standard_normal((4, 3)), right=rng.standard_normal((2, 5)))
+
+
+class TestErrorMetrics:
+    def test_relative_error_normalization(self, rng):
+        matrix = rng.standard_normal((8, 8))
+        factors = decompose(matrix, 2)
+        rel = relative_error(matrix, factors)
+        assert 0 <= rel <= 1
+        assert rel == pytest.approx(reconstruction_error(matrix, factors) / np.linalg.norm(matrix))
+
+    def test_relative_error_of_zero_matrix(self):
+        matrix = np.zeros((4, 4))
+        factors = decompose(matrix, 1)
+        assert relative_error(matrix, factors) == 0.0
+
+    def test_singular_value_energy_monotone(self, rng):
+        energy = singular_value_energy(rng.standard_normal((10, 10)))
+        assert np.all(np.diff(energy) >= -1e-12)
+        assert energy[-1] == pytest.approx(1.0)
+
+    def test_optimal_rank_for_error(self, rng):
+        left = rng.standard_normal((12, 3))
+        right = rng.standard_normal((3, 12))
+        matrix = left @ right
+        assert optimal_rank_for_error(matrix, 1e-9) <= 3
+        assert optimal_rank_for_error(matrix, 1.0) == 1
+
+    def test_optimal_rank_validates_input(self, rng):
+        with pytest.raises(ValueError):
+            optimal_rank_for_error(rng.standard_normal((4, 4)), 1.5)
+
+
+class TestBudgetHelpers:
+    def test_rank_for_compression_ratio(self):
+        rank = rank_for_compression_ratio((64, 576), ratio=4.0)
+        assert rank >= 1
+        assert rank * (64 + 576) <= 64 * 576 / 4.0
+
+    def test_rank_for_ratio_minimum_one(self):
+        assert rank_for_compression_ratio((4, 4), ratio=100.0) == 1
+
+    def test_rank_for_ratio_invalid(self):
+        with pytest.raises(ValueError):
+            rank_for_compression_ratio((4, 4), ratio=0)
+
+    def test_parameter_count_grouped(self):
+        assert parameter_count((16, 36), rank=4, groups=1) == 16 * 4 + 4 * 36
+        assert parameter_count((16, 36), rank=4, groups=4) == 4 * 16 * 4 + 4 * 36
+
+    def test_parameter_count_invalid_groups(self):
+        with pytest.raises(ValueError):
+            parameter_count((16, 36), rank=4, groups=5)
+        with pytest.raises(ValueError):
+            parameter_count((16, 36), rank=4, groups=0)

@@ -1,0 +1,167 @@
+"""Theorem 1: the group low-rank reconstruction error never exceeds the traditional one.
+
+These are the property-based tests DESIGN.md promises: for arbitrary matrices,
+ranks and group counts, ``ε_g ≤ ε`` must hold (up to numerical tolerance), and
+the grouped machinery must be internally consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowrank.decompose import decompose, reconstruction_error
+from repro.lowrank.group import (
+    GroupLowRankFactors,
+    group_decompose,
+    group_reconstruction_error,
+    group_relative_error,
+    shared_left_factors,
+    split_columns,
+    theorem1_errors,
+)
+
+TOLERANCE = 1e-8
+
+
+@st.composite
+def matrix_and_grouping(draw):
+    """Random matrix with a compatible (rank, groups) configuration."""
+    rows = draw(st.integers(min_value=2, max_value=24))
+    groups = draw(st.sampled_from([1, 2, 3, 4]))
+    cols_per_group = draw(st.integers(min_value=2, max_value=12))
+    cols = groups * cols_per_group
+    rank = draw(st.integers(min_value=1, max_value=min(rows, cols_per_group)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    kind = draw(st.sampled_from(["gaussian", "lowrank", "structured"]))
+    if kind == "gaussian":
+        matrix = rng.standard_normal((rows, cols))
+    elif kind == "lowrank":
+        true_rank = draw(st.integers(min_value=1, max_value=min(rows, cols)))
+        matrix = rng.standard_normal((rows, true_rank)) @ rng.standard_normal((true_rank, cols))
+    else:
+        base = rng.standard_normal((rows, 1)) @ rng.standard_normal((1, cols))
+        matrix = base + 0.1 * rng.standard_normal((rows, cols))
+    return matrix, rank, groups
+
+
+class TestTheorem1Property:
+    @settings(max_examples=60, deadline=None)
+    @given(matrix_and_grouping())
+    def test_grouped_error_never_exceeds_traditional(self, case):
+        matrix, rank, groups = case
+        eps_g, eps = theorem1_errors(matrix, rank, groups)
+        assert eps_g <= eps + TOLERANCE
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix_and_grouping())
+    def test_grouped_error_never_exceeds_shared_left_form(self, case):
+        """Eq. (4): per-group SVD beats the shared-L reconstruction block-wise too."""
+        matrix, rank, groups = case
+        grouped = group_decompose(matrix, rank, groups)
+        shared = shared_left_factors(matrix, rank, groups)
+        blocks = split_columns(matrix, groups)
+        for block, optimal, traditional in zip(blocks, grouped.factors, shared.factors):
+            optimal_err = np.linalg.norm(block - optimal.reconstruct())
+            shared_err = np.linalg.norm(block - traditional.reconstruct())
+            assert optimal_err <= shared_err + TOLERANCE
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix_and_grouping())
+    def test_error_non_increasing_in_groups(self, case):
+        """Refining the partition (more groups) never increases the error."""
+        matrix, rank, groups = case
+        if groups in (1, 3):  # need a divisor chain; only test 2 -> 4
+            return
+        eps_more = group_reconstruction_error(matrix, group_decompose(matrix, rank, groups))
+        eps_one = reconstruction_error(matrix, decompose(matrix, rank))
+        assert eps_more <= eps_one + TOLERANCE
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix_and_grouping())
+    def test_shared_left_reconstruction_equals_traditional(self, case):
+        """The grouped writing of D(W) (Eq. 3) is numerically the same approximation."""
+        matrix, rank, groups = case
+        shared = shared_left_factors(matrix, rank, groups)
+        traditional = decompose(matrix, rank)
+        np.testing.assert_allclose(shared.reconstruct(), traditional.reconstruct(), atol=1e-8)
+
+
+class TestGroupDecomposeMechanics:
+    def test_split_columns_roundtrip(self, rng):
+        matrix = rng.standard_normal((6, 12))
+        blocks = split_columns(matrix, 3)
+        np.testing.assert_allclose(np.concatenate(blocks, axis=1), matrix)
+
+    def test_split_columns_invalid(self, rng):
+        with pytest.raises(ValueError):
+            split_columns(rng.standard_normal((6, 10)), 3)
+        with pytest.raises(ValueError):
+            split_columns(rng.standard_normal((6, 10)), 0)
+        with pytest.raises(ValueError):
+            split_columns(rng.standard_normal(10), 2)
+
+    def test_group_factors_properties(self, rng):
+        matrix = rng.standard_normal((8, 12))
+        factors = group_decompose(matrix, rank=2, groups=3)
+        assert factors.groups == 3
+        assert factors.rank == 2
+        assert factors.shape == (8, 12)
+        assert factors.parameter_count == 3 * (8 * 2 + 2 * 4)
+
+    def test_stacked_left_and_block_diagonal_shapes(self, rng):
+        matrix = rng.standard_normal((8, 12))
+        factors = group_decompose(matrix, rank=2, groups=3)
+        assert factors.stacked_left().shape == (8, 6)
+        assert factors.block_diagonal_right().shape == (6, 12)
+
+    def test_stacked_times_blockdiag_equals_reconstruction(self, rng):
+        matrix = rng.standard_normal((8, 12))
+        factors = group_decompose(matrix, rank=2, groups=3)
+        np.testing.assert_allclose(
+            factors.stacked_left() @ factors.block_diagonal_right(),
+            factors.reconstruct(),
+            atol=1e-10,
+        )
+
+    def test_block_diagonal_has_zero_off_blocks(self, rng):
+        matrix = rng.standard_normal((8, 12))
+        factors = group_decompose(matrix, rank=2, groups=3)
+        block_diag = factors.block_diagonal_right()
+        # Rows of group 0 must be zero outside the first column block.
+        assert np.all(block_diag[:2, 4:] == 0)
+
+    def test_single_group_equals_traditional(self, rng):
+        matrix = rng.standard_normal((8, 12))
+        grouped = group_decompose(matrix, rank=3, groups=1)
+        traditional = decompose(matrix, 3)
+        np.testing.assert_allclose(grouped.reconstruct(), traditional.reconstruct(), atol=1e-10)
+
+    def test_compression_ratio(self, rng):
+        matrix = rng.standard_normal((16, 32))
+        factors = group_decompose(matrix, rank=2, groups=2)
+        dense = 16 * 32
+        assert factors.compression_ratio() == pytest.approx(dense / factors.parameter_count)
+
+    def test_relative_error_bounds(self, rng):
+        matrix = rng.standard_normal((10, 20))
+        factors = group_decompose(matrix, rank=2, groups=2)
+        assert 0 <= group_relative_error(matrix, factors) <= 1
+
+    def test_error_shape_mismatch_raises(self, rng):
+        factors = group_decompose(rng.standard_normal((10, 20)), rank=2, groups=2)
+        with pytest.raises(ValueError):
+            group_reconstruction_error(rng.standard_normal((10, 18)), factors)
+
+    def test_empty_group_factors_rejected(self):
+        with pytest.raises(ValueError):
+            GroupLowRankFactors(tuple())
+
+    def test_mismatched_rows_rejected(self, rng):
+        a = decompose(rng.standard_normal((8, 6)), 2)
+        b = decompose(rng.standard_normal((6, 6)), 2)
+        with pytest.raises(ValueError):
+            GroupLowRankFactors((a, b))

@@ -1,0 +1,208 @@
+"""Tests for the low-rank compressed layers (functional equivalence, training)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowrank.group import group_decompose
+from repro.lowrank.layers import (
+    GroupLowRankConv2d,
+    GroupLowRankLinear,
+    LowRankConv2d,
+    LowRankLinear,
+)
+from repro.nn import functional as F
+from repro.nn.modules import Conv2d, Linear
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+
+class TestGroupLowRankConv2d:
+    @pytest.mark.parametrize("groups", [1, 2, 4])
+    def test_forward_matches_effective_weight(self, groups, rng):
+        """The two-stage forward equals a dense convolution with the reconstructed kernel."""
+        layer = GroupLowRankConv2d(8, 6, 3, rank=2, groups=groups, padding=1, rng=rng)
+        x = Tensor(rng.standard_normal((2, 8, 6, 6)))
+        out = layer(x)
+        dense = F.conv2d(x, Tensor(layer.effective_weight()), Tensor(layer.bias.data), padding=1)
+        np.testing.assert_allclose(out.data, dense.data, atol=1e-9)
+
+    def test_from_conv2d_full_rank_is_exact(self, rng):
+        conv = Conv2d(4, 6, 3, padding=1, rng=rng)
+        layer = GroupLowRankConv2d.from_conv2d(conv, rank=6, groups=1)
+        x = Tensor(rng.standard_normal((1, 4, 5, 5)))
+        np.testing.assert_allclose(layer(x).data, conv(x).data, atol=1e-8)
+
+    def test_from_conv2d_low_rank_approximates(self, rng):
+        conv = Conv2d(8, 16, 3, padding=1, bias=False, rng=rng)
+        exact = GroupLowRankConv2d.from_conv2d(conv, rank=16, groups=1)
+        rough = GroupLowRankConv2d.from_conv2d(conv, rank=1, groups=1)
+        x = Tensor(rng.standard_normal((1, 8, 6, 6)))
+        reference = conv(x).data
+        err_exact = np.linalg.norm(exact(x).data - reference)
+        err_rough = np.linalg.norm(rough(x).data - reference)
+        assert err_exact < err_rough
+
+    def test_grouping_reduces_approximation_error(self, rng):
+        """Theorem 1 at the layer level: more groups, same rank → smaller error."""
+        conv = Conv2d(8, 16, 3, padding=1, bias=False, rng=rng)
+        x = Tensor(rng.standard_normal((1, 8, 6, 6)))
+        reference = conv(x).data
+        err_g1 = np.linalg.norm(GroupLowRankConv2d.from_conv2d(conv, rank=2, groups=1)(x).data - reference)
+        err_g4 = np.linalg.norm(GroupLowRankConv2d.from_conv2d(conv, rank=2, groups=4)(x).data - reference)
+        assert err_g4 <= err_g1 + 1e-9
+
+    def test_effective_weight_matches_group_decomposition(self, rng):
+        conv = Conv2d(4, 6, 3, padding=1, bias=False, rng=rng)
+        layer = GroupLowRankConv2d.from_conv2d(conv, rank=2, groups=2)
+        factors = group_decompose(conv.im2col_weight(), 2, 2)
+        np.testing.assert_allclose(
+            layer.effective_weight().reshape(6, -1), factors.reconstruct(), atol=1e-10
+        )
+
+    def test_factor_matrices_shapes(self, rng):
+        layer = GroupLowRankConv2d(8, 6, 3, rank=2, groups=4, rng=rng)
+        left, right = layer.factor_matrices()
+        assert left.shape == (6, 8)
+        assert right.shape == (8, 8 * 9)
+
+    def test_parameter_count_and_compression_ratio(self, rng):
+        layer = GroupLowRankConv2d(8, 16, 3, rank=2, groups=2, bias=False, rng=rng)
+        expected = 2 * 2 * (8 // 2) * 9 + 16 * 4
+        assert layer.right_weight.size + layer.left_weight.size == expected
+        assert layer.compression_ratio() == pytest.approx(8 * 16 * 9 / expected)
+
+    def test_stride_and_padding_preserved(self, rng):
+        conv = Conv2d(4, 8, 3, stride=2, padding=1, rng=rng)
+        layer = GroupLowRankConv2d.from_conv2d(conv, rank=4, groups=1)
+        x = Tensor(rng.standard_normal((1, 4, 8, 8)))
+        assert layer(x).shape == conv(x).shape
+
+    def test_bias_copied(self, rng):
+        conv = Conv2d(4, 8, 3, padding=1, rng=rng)
+        conv.bias.data[:] = np.arange(8)
+        layer = GroupLowRankConv2d.from_conv2d(conv, rank=4)
+        np.testing.assert_allclose(layer.bias.data, np.arange(8))
+
+    def test_groups_must_divide_channels(self, rng):
+        with pytest.raises(ValueError):
+            GroupLowRankConv2d(6, 8, 3, rank=2, groups=4, rng=rng)
+
+    def test_rank_clamped_to_maximum(self, rng):
+        layer = GroupLowRankConv2d(4, 8, 3, rank=1000, groups=1, rng=rng)
+        assert layer.rank == min(8, 4 * 9)
+
+    def test_invalid_rank_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GroupLowRankConv2d(4, 8, 3, rank=0, rng=rng)
+
+    def test_load_factors_validates_groups_and_rank(self, rng):
+        layer = GroupLowRankConv2d(8, 6, 3, rank=2, groups=2, rng=rng)
+        wrong_groups = group_decompose(rng.standard_normal((6, 72)), 2, 4)
+        with pytest.raises(ValueError):
+            layer.load_factors(wrong_groups)
+        wrong_rank = group_decompose(rng.standard_normal((6, 72)), 3, 2)
+        with pytest.raises(ValueError):
+            layer.load_factors(wrong_rank)
+
+    def test_gradients_flow_to_both_factors(self, rng):
+        layer = GroupLowRankConv2d(4, 6, 3, rank=2, groups=2, padding=1, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 5, 5)))
+        layer(x).sum().backward()
+        assert layer.left_weight.grad is not None and np.any(layer.left_weight.grad != 0)
+        assert layer.right_weight.grad is not None and np.any(layer.right_weight.grad != 0)
+
+    def test_trainable_end_to_end(self, rng):
+        """A single compressed layer can be optimized to fit a random target."""
+        layer = GroupLowRankConv2d(3, 4, 3, rank=2, groups=1, padding=1, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3, 6, 6)))
+        target = rng.standard_normal((4, 4, 6, 6))
+        optimizer = SGD(layer.parameters(), lr=0.05)
+        losses = []
+        for _ in range(30):
+            optimizer.zero_grad()
+            diff = layer(x) - Tensor(target)
+            loss = (diff * diff).mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_repr_mentions_configuration(self, rng):
+        layer = GroupLowRankConv2d(4, 8, 3, rank=2, groups=2, rng=rng)
+        assert "rank=2" in layer.extra_repr() and "groups=2" in layer.extra_repr()
+
+
+class TestLowRankConv2d:
+    def test_is_ungrouped(self, rng):
+        layer = LowRankConv2d(4, 8, 3, rank=2, rng=rng)
+        assert layer.groups == 1
+
+    def test_from_conv2d_rejects_groups(self, rng):
+        conv = Conv2d(4, 8, 3, rng=rng)
+        with pytest.raises(ValueError):
+            LowRankConv2d.from_conv2d(conv, rank=2, groups=2)
+
+    def test_from_conv2d_matches_dense_at_full_rank(self, rng):
+        conv = Conv2d(4, 6, 3, padding=1, rng=rng)
+        layer = LowRankConv2d.from_conv2d(conv, rank=6)
+        x = Tensor(rng.standard_normal((1, 4, 5, 5)))
+        np.testing.assert_allclose(layer(x).data, conv(x).data, atol=1e-8)
+
+
+class TestGroupLowRankLinear:
+    @pytest.mark.parametrize("groups", [1, 2, 4])
+    def test_forward_matches_effective_weight(self, groups, rng):
+        layer = GroupLowRankLinear(16, 10, rank=3, groups=groups, rng=rng)
+        x = Tensor(rng.standard_normal((5, 16)))
+        expected = x.data @ layer.effective_weight().T + layer.bias.data
+        np.testing.assert_allclose(layer(x).data, expected, atol=1e-10)
+
+    def test_from_linear_full_rank_exact(self, rng):
+        linear = Linear(12, 8, rng=rng)
+        layer = GroupLowRankLinear.from_linear(linear, rank=8, groups=1)
+        x = Tensor(rng.standard_normal((3, 12)))
+        np.testing.assert_allclose(layer(x).data, linear(x).data, atol=1e-8)
+
+    def test_grouping_reduces_error(self, rng):
+        linear = Linear(16, 12, rng=rng)
+        x = Tensor(rng.standard_normal((4, 16)))
+        reference = linear(x).data
+        err_g1 = np.linalg.norm(GroupLowRankLinear.from_linear(linear, rank=2, groups=1)(x).data - reference)
+        err_g4 = np.linalg.norm(GroupLowRankLinear.from_linear(linear, rank=2, groups=4)(x).data - reference)
+        assert err_g4 <= err_g1 + 1e-9
+
+    def test_compression_ratio(self, rng):
+        layer = GroupLowRankLinear(32, 16, rank=2, groups=2, bias=False, rng=rng)
+        dense = 32 * 16
+        assert layer.compression_ratio() == pytest.approx(dense / (layer.right_weight.size + layer.left_weight.size))
+
+    def test_groups_must_divide_features(self, rng):
+        with pytest.raises(ValueError):
+            GroupLowRankLinear(10, 8, rank=2, groups=4, rng=rng)
+
+    def test_gradients_flow(self, rng):
+        layer = GroupLowRankLinear(8, 6, rank=2, groups=2, rng=rng)
+        layer(Tensor(rng.standard_normal((3, 8)))).sum().backward()
+        assert layer.left_weight.grad is not None
+        assert layer.right_weight.grad is not None
+
+    def test_load_factors_validation(self, rng):
+        layer = GroupLowRankLinear(8, 6, rank=2, groups=2, rng=rng)
+        with pytest.raises(ValueError):
+            layer.load_factors(group_decompose(rng.standard_normal((6, 8)), 2, 4))
+
+
+class TestLowRankLinear:
+    def test_ungrouped(self, rng):
+        layer = LowRankLinear(8, 6, rank=2, rng=rng)
+        assert layer.groups == 1
+
+    def test_from_linear_rejects_groups(self, rng):
+        with pytest.raises(ValueError):
+            LowRankLinear.from_linear(Linear(8, 6, rng=rng), rank=2, groups=2)
+
+    def test_parameter_count_property(self, rng):
+        layer = LowRankLinear(8, 6, rank=2, rng=rng)
+        assert layer.parameter_count == layer.right_weight.size + layer.left_weight.size + 6

@@ -1,0 +1,178 @@
+"""Tests for sensitivity-driven per-layer rank allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowrank.compress import CompressionSpec, compress_model
+from repro.lowrank.group import group_decompose, group_relative_error
+from repro.lowrank.rank_allocation import (
+    RankAllocation,
+    allocate_ranks_for_cycle_budget,
+    allocate_ranks_for_error_budget,
+    layer_sensitivity,
+    network_sensitivity,
+)
+from repro.mapping.cycles import lowrank_cycles
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.nn.models import SimpleCNN
+from repro.nn.modules import Conv2d
+
+
+@pytest.fixture
+def geometries():
+    return [
+        ConvGeometry(8, 16, 3, 3, 16, 16, padding=1, name="early"),
+        ConvGeometry(16, 32, 3, 3, 8, 8, padding=1, name="mid"),
+        ConvGeometry(32, 64, 3, 3, 4, 4, padding=1, name="late"),
+    ]
+
+
+class TestLayerSensitivity:
+    def test_error_curve_monotone_decreasing(self, small_geometry):
+        sensitivity = layer_sensitivity(small_geometry, groups=1)
+        assert sensitivity.max_rank == min(small_geometry.m, small_geometry.n)
+        assert np.all(np.diff(sensitivity.errors) <= 1e-12)
+        assert sensitivity.errors[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_error_curve_matches_actual_decomposition(self, small_geometry, rng):
+        weight = rng.standard_normal((small_geometry.m, small_geometry.n))
+        sensitivity = layer_sensitivity(small_geometry, groups=2, weight_matrix=weight)
+        for rank in (1, 2, 4):
+            direct = group_relative_error(weight, group_decompose(weight, rank, 2))
+            assert sensitivity.error_at(rank) == pytest.approx(direct, abs=1e-9)
+
+    def test_error_at_edges(self, small_geometry):
+        sensitivity = layer_sensitivity(small_geometry)
+        assert sensitivity.error_at(0) == 1.0
+        assert sensitivity.error_at(10_000) == pytest.approx(sensitivity.errors[-1])
+
+    def test_rank_for_error(self, small_geometry, rng):
+        weight = rng.standard_normal((small_geometry.m, small_geometry.n))
+        sensitivity = layer_sensitivity(small_geometry, weight_matrix=weight)
+        rank = sensitivity.rank_for_error(0.3)
+        assert sensitivity.error_at(rank) <= 0.3
+        if rank > 1:
+            assert sensitivity.error_at(rank - 1) > 0.3
+
+    def test_rank_for_impossible_error_is_max(self, small_geometry):
+        sensitivity = layer_sensitivity(small_geometry)
+        assert sensitivity.rank_for_error(-0.1) == sensitivity.max_rank
+
+    def test_weight_shape_validated(self, small_geometry, rng):
+        with pytest.raises(ValueError):
+            layer_sensitivity(small_geometry, weight_matrix=rng.standard_normal((3, 3)))
+
+    def test_groups_reduce_error_at_fixed_rank(self, small_geometry, rng):
+        weight = rng.standard_normal((small_geometry.m, small_geometry.n))
+        g1 = layer_sensitivity(small_geometry, groups=1, weight_matrix=weight)
+        g4 = layer_sensitivity(small_geometry, groups=4, weight_matrix=weight)
+        assert g4.error_at(2) <= g1.error_at(2) + 1e-9
+
+
+class TestErrorBudgetAllocation:
+    def test_every_layer_meets_budget(self, geometries):
+        sensitivities = network_sensitivity(geometries, groups=2)
+        allocation = allocate_ranks_for_error_budget(sensitivities, max_relative_error=0.25, groups=2)
+        assert len(allocation) == 3
+        for name, rank in allocation.ranks.items():
+            assert sensitivities[name].error_at(rank) <= 0.25
+
+    def test_tighter_budget_needs_more_rank(self, geometries):
+        sensitivities = network_sensitivity(geometries)
+        loose = allocate_ranks_for_error_budget(sensitivities, 0.5)
+        tight = allocate_ranks_for_error_budget(sensitivities, 0.1)
+        assert tight.total_rank >= loose.total_rank
+
+    def test_invalid_budget(self, geometries):
+        sensitivities = network_sensitivity(geometries)
+        with pytest.raises(ValueError):
+            allocate_ranks_for_error_budget(sensitivities, 1.5)
+
+    def test_mean_error_helper(self, geometries):
+        sensitivities = network_sensitivity(geometries)
+        allocation = allocate_ranks_for_error_budget(sensitivities, 0.3)
+        assert 0 <= allocation.mean_error(sensitivities) <= 0.3 + 1e-9
+
+
+class TestCycleBudgetAllocation:
+    def test_respects_budget(self, geometries, small_array):
+        sensitivities = network_sensitivity(geometries)
+        minimal = sum(
+            lowrank_cycles(s.geometry, small_array, rank=1, groups=s.groups, use_sdk=True).cycles
+            for s in sensitivities.values()
+        )
+        budget = int(minimal * 1.5)
+        allocation = allocate_ranks_for_cycle_budget(sensitivities, small_array, budget)
+        assert allocation.total_cycles(sensitivities, small_array) <= budget
+
+    def test_larger_budget_never_worse(self, geometries, small_array):
+        sensitivities = network_sensitivity(geometries)
+        minimal = sum(
+            lowrank_cycles(s.geometry, small_array, rank=1, groups=s.groups, use_sdk=True).cycles
+            for s in sensitivities.values()
+        )
+        small_alloc = allocate_ranks_for_cycle_budget(sensitivities, small_array, int(minimal * 1.2))
+        large_alloc = allocate_ranks_for_cycle_budget(sensitivities, small_array, int(minimal * 4))
+        assert large_alloc.mean_error(sensitivities) <= small_alloc.mean_error(sensitivities) + 1e-9
+        assert large_alloc.total_rank >= small_alloc.total_rank
+
+    def test_huge_budget_saturates_at_max_rank(self, geometries, small_array):
+        sensitivities = network_sensitivity(geometries)
+        allocation = allocate_ranks_for_cycle_budget(sensitivities, small_array, 10**9)
+        for name, rank in allocation.ranks.items():
+            sensitivity = sensitivities[name]
+            # Either maximum rank, or a rank past which errors no longer improve.
+            assert rank == sensitivity.max_rank or sensitivity.error_at(rank) <= 1e-9
+
+    def test_invalid_arguments(self, geometries, small_array):
+        sensitivities = network_sensitivity(geometries)
+        with pytest.raises(ValueError):
+            allocate_ranks_for_cycle_budget(sensitivities, small_array, 0)
+        with pytest.raises(ValueError):
+            allocate_ranks_for_cycle_budget(sensitivities, small_array, 100, rank_step=0)
+
+
+class TestRankAllocationObject:
+    def test_usable_as_compress_model_rank_fn(self):
+        model = SimpleCNN(num_classes=5, widths=(8, 16, 16), seed=0)
+        geometries = []
+        hw = {"features.3": 12, "features.6": 6}
+        for name, module in model.named_modules():
+            if isinstance(module, Conv2d) and name in hw:
+                geometries.append(
+                    ConvGeometry(
+                        module.in_channels, module.out_channels, 3, 3, hw[name], hw[name],
+                        stride=module.stride[0], padding=1, name=name,
+                    )
+                )
+        sensitivities = network_sensitivity(
+            geometries,
+            groups=2,
+            weights={g.name: model.get_submodule(g.name).im2col_weight() for g in geometries},
+        )
+        allocation = allocate_ranks_for_error_budget(sensitivities, 0.3, groups=2)
+        report = compress_model(model, CompressionSpec(groups=2), rank_fn=allocation)
+        assert {r.name for r in report.records} == set(allocation.ranks)
+        for record in report.records:
+            assert record.rank == min(allocation[record.name],
+                                      # layers clamp to their own maximum rank
+                                      record.rank if record.rank else allocation[record.name])
+            assert record.relative_error <= 0.3 + 1e-6
+
+    def test_fallback_for_unallocated_conv(self):
+        allocation = RankAllocation(ranks={}, groups=1)
+        conv = Conv2d(4, 16, 3, rng=np.random.default_rng(0))
+        assert allocation("anything", conv) == 4
+
+    def test_unallocated_non_conv_raises(self):
+        allocation = RankAllocation(ranks={}, groups=1)
+        with pytest.raises(KeyError):
+            allocation("x", object())  # type: ignore[arg-type]
+
+    def test_getitem_and_len(self):
+        allocation = RankAllocation(ranks={"a": 2, "b": 3})
+        assert allocation["a"] == 2
+        assert len(allocation) == 2
+        assert allocation.total_rank == 5

@@ -1,0 +1,152 @@
+"""Theorem 2: ``D(SDK(W)) = (I_N ⊗ L) · SDK(R)`` — exact identity tests.
+
+The identity is exact for *any* factor pair (L, R) because the SDK operator is
+a linear transformation of the rows of its argument; these property-based
+tests verify it for random geometries, windows, ranks and factor choices, and
+check the grouped extension used by the proposed method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowrank.decompose import decompose
+from repro.lowrank.group import group_decompose
+from repro.lowrank.sdk_lowrank import (
+    SDKLowRankMapping,
+    kron_identity,
+    sdk_group_lowrank_factors,
+    sdk_lowrank_factors,
+    verify_theorem2,
+)
+from repro.mapping.geometry import ConvGeometry
+from repro.mapping.sdk import ParallelWindow, SDKMapping
+
+ATOL = 1e-9
+
+
+@st.composite
+def geometry_window_rank(draw):
+    """Random (geometry, window, rank, groups) with compatible dimensions."""
+    groups = draw(st.sampled_from([1, 2, 4]))
+    in_channels = groups * draw(st.integers(min_value=1, max_value=3))
+    out_channels = draw(st.integers(min_value=2, max_value=10))
+    kernel = draw(st.sampled_from([2, 3]))
+    extra_h = draw(st.integers(min_value=1, max_value=3))
+    extra_w = draw(st.integers(min_value=1, max_value=3))
+    input_size = kernel + max(extra_h, extra_w) + draw(st.integers(min_value=1, max_value=4))
+    geometry = ConvGeometry(
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        input_h=input_size,
+        input_w=input_size,
+        stride=1,
+        padding=1,
+        name="prop",
+    )
+    window = ParallelWindow(kernel + extra_h, kernel + extra_w)
+    max_rank = min(out_channels, (in_channels // groups) * kernel * kernel)
+    rank = draw(st.integers(min_value=1, max_value=max_rank))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return geometry, window, rank, groups, seed
+
+
+class TestTheorem2Property:
+    @settings(max_examples=40, deadline=None)
+    @given(geometry_window_rank())
+    def test_identity_with_svd_factors(self, case):
+        geometry, window, rank, _groups, seed = case
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((geometry.m, geometry.n))
+        mapping = SDKMapping(geometry, window)
+        assert verify_theorem2(weight, mapping, rank, atol=ATOL)
+
+    @settings(max_examples=40, deadline=None)
+    @given(geometry_window_rank())
+    def test_identity_with_arbitrary_factors(self, case):
+        """The identity is linear-algebraic: it holds for non-SVD factors too."""
+        geometry, window, rank, _groups, seed = case
+        rng = np.random.default_rng(seed)
+        left = rng.standard_normal((geometry.m, rank))
+        right = rng.standard_normal((rank, geometry.n))
+        mapping = SDKMapping(geometry, window)
+        lhs = mapping.apply(left @ right)
+        rhs = kron_identity(left, mapping.num_parallel_outputs) @ mapping.apply(right)
+        np.testing.assert_allclose(lhs, rhs, atol=ATOL)
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometry_window_rank())
+    def test_grouped_identity(self, case):
+        """Grouped variant: SDK(D_g(W)) == (I_N ⊗ [L_1…L_g]) · SDK(blockdiag(R_i))."""
+        geometry, window, rank, groups, seed = case
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((geometry.m, geometry.n))
+        mapping = SDKMapping(geometry, window)
+        built = sdk_group_lowrank_factors(weight, mapping, rank, groups)
+        grouped = group_decompose(weight, rank, groups)
+        lhs = mapping.apply(grouped.reconstruct())
+        np.testing.assert_allclose(built.reconstructed_sdk_matrix, lhs, atol=ATOL)
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometry_window_rank())
+    def test_stage_shapes(self, case):
+        geometry, window, rank, groups, seed = case
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((geometry.m, geometry.n))
+        mapping = SDKMapping(geometry, window)
+        built = sdk_group_lowrank_factors(weight, mapping, rank, groups)
+        n_par = mapping.num_parallel_outputs
+        assert built.stage1_shape == (n_par * groups * rank, mapping.flattened_window_size)
+        assert built.stage2_shape == (n_par * geometry.m, n_par * groups * rank)
+
+
+class TestKronIdentity:
+    def test_matches_numpy_kron(self, rng):
+        block = rng.standard_normal((3, 2))
+        np.testing.assert_allclose(kron_identity(block, 3), np.kron(np.eye(3), block))
+
+    def test_single_copy_is_block(self, rng):
+        block = rng.standard_normal((4, 4))
+        np.testing.assert_allclose(kron_identity(block, 1), block)
+
+    def test_invalid_copies(self, rng):
+        with pytest.raises(ValueError):
+            kron_identity(rng.standard_normal((2, 2)), 0)
+
+    def test_block_diagonal_structure(self, rng):
+        block = rng.standard_normal((2, 3))
+        result = kron_identity(block, 2)
+        assert np.all(result[:2, 3:] == 0)
+        assert np.all(result[2:, :3] == 0)
+
+
+class TestSDKLowRankMapping:
+    def test_ungrouped_factory(self, small_geometry, rng):
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        weight = rng.standard_normal((small_geometry.m, small_geometry.n))
+        built = sdk_lowrank_factors(weight, mapping, rank=2)
+        assert built.groups == 1
+        assert built.rank == 2
+        assert built.num_parallel_outputs == 4
+
+    def test_stored_parameters_exclude_structural_zeros(self, small_geometry, rng):
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        weight = rng.standard_normal((small_geometry.m, small_geometry.n))
+        built = sdk_lowrank_factors(weight, mapping, rank=2)
+        dense_stage2 = built.stage2.size
+        assert built.stored_parameters < built.stage1.size + dense_stage2
+
+    def test_reconstruction_error_bounded_by_decomposition(self, small_geometry, rng):
+        """The SDK-mapped factors approximate SDK(W) exactly as well as LR approximates W per window."""
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        weight = rng.standard_normal((small_geometry.m, small_geometry.n))
+        built = sdk_lowrank_factors(weight, mapping, rank=4)
+        factors = decompose(weight, 4)
+        direct_error = np.linalg.norm(mapping.apply(weight) - mapping.apply(factors.reconstruct()))
+        mapped_error = np.linalg.norm(mapping.apply(weight) - built.reconstructed_sdk_matrix)
+        assert mapped_error == pytest.approx(direct_error, rel=1e-9, abs=1e-9)

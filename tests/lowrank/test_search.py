@@ -1,0 +1,114 @@
+"""Tests for the rank/group configuration search and Pareto extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowrank.compress import CompressionSpec
+from repro.lowrank.search import (
+    SweepPoint,
+    best_configuration,
+    network_lowrank_cycles,
+    pareto_front,
+    sweep_configurations,
+)
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+
+
+@pytest.fixture
+def geometries():
+    return [
+        ConvGeometry(8, 16, 3, 3, 16, 16, padding=1, name="a"),
+        ConvGeometry(16, 16, 3, 3, 16, 16, padding=1, name="b"),
+        ConvGeometry(16, 32, 3, 3, 8, 8, padding=1, name="c"),
+    ]
+
+
+def fake_accuracy(spec: CompressionSpec) -> float:
+    """A monotone stand-in for the proxy: more rank and more groups → higher accuracy."""
+    return 80.0 + 10.0 / spec.rank_divisor + spec.groups * 0.5
+
+
+class TestNetworkCycles:
+    def test_totals_positive_and_monotone_in_rank(self, geometries, small_array):
+        low = network_lowrank_cycles(geometries, small_array, rank_divisor=16, groups=1).total_cycles
+        high = network_lowrank_cycles(geometries, small_array, rank_divisor=2, groups=1).total_cycles
+        assert 0 < low <= high
+
+    def test_label_mentions_configuration(self, geometries, small_array):
+        report = network_lowrank_cycles(geometries, small_array, rank_divisor=4, groups=2)
+        assert "g=2" in report.method
+
+    def test_per_layer_entries(self, geometries, small_array):
+        report = network_lowrank_cycles(geometries, small_array, rank_divisor=4, groups=1)
+        assert len(report.layers) == len(geometries)
+
+
+class TestSweep:
+    def test_sweep_covers_all_configurations(self, geometries, small_array):
+        result = sweep_configurations(
+            geometries, small_array, fake_accuracy, rank_divisors=(2, 4), group_counts=(1, 2)
+        )
+        assert len(result.points) == 4
+        rows = result.as_rows()
+        assert {row["groups"] for row in rows} == {1, 2}
+
+    def test_sorted_by_cycles(self, geometries, small_array):
+        result = sweep_configurations(
+            geometries, small_array, fake_accuracy, rank_divisors=(2, 8), group_counts=(1,)
+        )
+        cycles = [p.cycles for p in result.sorted_by_cycles()]
+        assert cycles == sorted(cycles)
+
+    def test_pareto_front_subset_and_nondominated(self, geometries, small_array):
+        result = sweep_configurations(geometries, small_array, fake_accuracy)
+        front = result.pareto()
+        assert 0 < len(front) <= len(result.points)
+        for candidate in front:
+            dominated = any(
+                other.accuracy >= candidate.accuracy
+                and other.cycles <= candidate.cycles
+                and (other.accuracy > candidate.accuracy or other.cycles < candidate.cycles)
+                for other in result.points
+            )
+            assert not dominated
+
+    def test_point_label(self):
+        point = SweepPoint(spec=CompressionSpec(rank_divisor=4, groups=2), accuracy=90.0, cycles=100, use_sdk=True)
+        assert "SDK" in point.label
+
+
+class TestBestConfiguration:
+    def test_respects_accuracy_budget(self, geometries, small_array):
+        result = sweep_configurations(geometries, small_array, fake_accuracy)
+        baseline = 86.0
+        best = best_configuration(result, max_accuracy_drop=1.0, baseline_accuracy=baseline)
+        assert best is not None
+        assert baseline - best.accuracy <= 1.0
+
+    def test_returns_none_when_budget_impossible(self, geometries, small_array):
+        result = sweep_configurations(geometries, small_array, lambda spec: 10.0)
+        assert best_configuration(result, max_accuracy_drop=1.0, baseline_accuracy=99.0) is None
+
+    def test_picks_fastest_admissible(self, geometries, small_array):
+        result = sweep_configurations(geometries, small_array, fake_accuracy)
+        best = best_configuration(result, max_accuracy_drop=100.0, baseline_accuracy=86.0)
+        assert best is not None
+        assert best.cycles == min(p.cycles for p in result.points)
+
+
+class TestParetoFrontFunction:
+    def test_single_point(self):
+        point = SweepPoint(CompressionSpec(), accuracy=90.0, cycles=10, use_sdk=True)
+        assert pareto_front([point]) == [point]
+
+    def test_dominated_point_removed(self):
+        good = SweepPoint(CompressionSpec(rank_divisor=2), accuracy=92.0, cycles=10, use_sdk=True)
+        bad = SweepPoint(CompressionSpec(rank_divisor=4), accuracy=90.0, cycles=20, use_sdk=True)
+        assert pareto_front([good, bad]) == [good]
+
+    def test_incomparable_points_kept(self):
+        fast = SweepPoint(CompressionSpec(rank_divisor=16), accuracy=85.0, cycles=5, use_sdk=True)
+        accurate = SweepPoint(CompressionSpec(rank_divisor=2), accuracy=95.0, cycles=50, use_sdk=True)
+        front = pareto_front([fast, accurate])
+        assert set(id(p) for p in front) == {id(fast), id(accurate)}

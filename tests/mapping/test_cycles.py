@@ -1,0 +1,186 @@
+"""Tests for the AR/AC computing-cycle model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping.cycles import (
+    aggregate,
+    im2col_cycles,
+    lowrank_cycles,
+    pairs_cycles,
+    pattern_pruning_cycles,
+    sdk_cycles,
+    select_lowrank_window,
+    select_sdk_window,
+    tiles_for_block_diagonal,
+    tiles_for_matrix,
+)
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.im2col import Im2colMapping
+from repro.mapping.sdk import ParallelWindow
+
+
+class TestTilingPrimitives:
+    def test_tiles_for_matrix(self, small_array):
+        assert tiles_for_matrix(32, 32, small_array) == 1
+        assert tiles_for_matrix(33, 32, small_array) == 2
+        assert tiles_for_matrix(64, 65, small_array) == 2 * 3
+        assert tiles_for_matrix(0, 10, small_array) == 0
+
+    def test_block_diagonal_fits_single_tile(self, small_array):
+        # 4 blocks of 8x8 along the diagonal of a 32x32 region: exactly one tile.
+        assert tiles_for_block_diagonal(4, 8, 8, small_array) == 1
+
+    def test_block_diagonal_skips_zero_tiles(self, small_array):
+        # 2 blocks of 32x32: the two off-diagonal tiles are never allocated.
+        assert tiles_for_block_diagonal(2, 32, 32, small_array) == 2
+        assert tiles_for_matrix(64, 64, small_array) == 4
+
+    def test_block_diagonal_straddling_tiles(self, small_array):
+        # 3 blocks of 20 rows x 20 cols: blocks straddle tile boundaries.
+        tiles = tiles_for_block_diagonal(3, 20, 20, small_array)
+        assert 3 <= tiles <= 9
+
+    def test_block_diagonal_empty(self, small_array):
+        assert tiles_for_block_diagonal(0, 8, 8, small_array) == 0
+
+
+class TestIm2colCycles:
+    def test_matches_mapping_object(self, small_geometry, small_array):
+        entry = im2col_cycles(small_geometry, small_array)
+        mapping = Im2colMapping(small_geometry)
+        assert entry.cycles == mapping.computing_cycles(small_array)
+        assert entry.arrays == mapping.num_arrays(small_array)
+        assert entry.method == "im2col"
+
+    def test_larger_array_fewer_cycles(self, small_geometry):
+        small = im2col_cycles(small_geometry, ArrayDims.square(32)).cycles
+        large = im2col_cycles(small_geometry, ArrayDims.square(128)).cycles
+        assert large <= small
+
+
+class TestSdkCycles:
+    def test_never_worse_than_im2col(self, small_geometry, small_array):
+        assert sdk_cycles(small_geometry, small_array).cycles <= im2col_cycles(small_geometry, small_array).cycles
+
+    def test_strided_layer_uses_im2col(self, small_array):
+        geometry = ConvGeometry(4, 8, 3, 3, 8, 8, stride=2, padding=1)
+        entry = sdk_cycles(geometry, small_array)
+        assert entry.cycles == im2col_cycles(geometry, small_array).cycles
+        assert "im2col" in entry.details
+
+    def test_explicit_window(self, small_geometry, small_array):
+        entry = sdk_cycles(small_geometry, small_array, window=ParallelWindow(4, 4))
+        assert "PW 4x4" in entry.details
+
+
+class TestLowRankCycles:
+    def test_invalid_rank_or_groups(self, small_geometry, small_array):
+        with pytest.raises(ValueError):
+            lowrank_cycles(small_geometry, small_array, rank=0)
+        with pytest.raises(ValueError):
+            lowrank_cycles(small_geometry, small_array, rank=2, groups=0)
+
+    def test_im2col_factor_cycles_formula(self, small_geometry, small_array):
+        entry = lowrank_cycles(small_geometry, small_array, rank=2, groups=1, use_sdk=False)
+        stage1 = tiles_for_matrix(small_geometry.n, 2, small_array)
+        stage2 = tiles_for_matrix(2, small_geometry.m, small_array)
+        assert entry.cycles == (stage1 + stage2) * small_geometry.num_windows
+
+    def test_sdk_variant_never_worse_than_im2col_variant(self, small_geometry):
+        array = ArrayDims.square(128)
+        with_sdk = lowrank_cycles(small_geometry, array, rank=2, groups=2, use_sdk=True).cycles
+        without = lowrank_cycles(small_geometry, array, rank=2, groups=2, use_sdk=False).cycles
+        assert with_sdk <= without
+
+    def test_strided_layer_falls_back(self, small_array):
+        geometry = ConvGeometry(4, 8, 3, 3, 8, 8, stride=2, padding=1)
+        entry = lowrank_cycles(geometry, small_array, rank=2, groups=2, use_sdk=True)
+        assert "strided" in entry.details or "im2col" in entry.details
+
+    def test_higher_rank_needs_more_cycles_or_equal(self, small_geometry, small_array):
+        low = lowrank_cycles(small_geometry, small_array, rank=1, groups=1, use_sdk=False).cycles
+        high = lowrank_cycles(small_geometry, small_array, rank=8, groups=1, use_sdk=False).cycles
+        assert high >= low
+
+    def test_explicit_window_used(self, small_geometry, small_array):
+        entry = lowrank_cycles(
+            small_geometry, small_array, rank=2, groups=1, use_sdk=True, window=ParallelWindow(4, 4)
+        )
+        assert "PW 4x4" in entry.details
+
+    def test_method_label_mentions_configuration(self, small_geometry, small_array):
+        entry = lowrank_cycles(small_geometry, small_array, rank=2, groups=4, use_sdk=False)
+        assert "g=4" in entry.method and "k=2" in entry.method
+
+
+class TestPruningCycles:
+    def test_pattern_pruning_reduces_rows(self, small_geometry, small_array):
+        full = pattern_pruning_cycles(small_geometry, small_array, entries=9)
+        pruned = pattern_pruning_cycles(small_geometry, small_array, entries=3)
+        assert pruned.mapped_rows < full.mapped_rows
+        assert pruned.cycles <= full.cycles
+
+    def test_without_zero_skipping_no_benefit(self, small_geometry, small_array):
+        pruned = pattern_pruning_cycles(small_geometry, small_array, entries=3, zero_skipping=False)
+        assert pruned.cycles == im2col_cycles(small_geometry, small_array).cycles
+
+    def test_invalid_entries(self, small_geometry, small_array):
+        with pytest.raises(ValueError):
+            pattern_pruning_cycles(small_geometry, small_array, entries=0)
+        with pytest.raises(ValueError):
+            pattern_pruning_cycles(small_geometry, small_array, entries=10)
+
+    def test_pairs_reduces_rows_vs_sdk(self, small_geometry):
+        array = ArrayDims.square(128)
+        pairs = pairs_cycles(small_geometry, array, entries=4)
+        dense_sdk = sdk_cycles(small_geometry, array)
+        assert pairs.mapped_rows <= dense_sdk.mapped_rows
+
+    def test_pairs_strided_falls_back_to_pattern(self, small_array):
+        geometry = ConvGeometry(4, 8, 3, 3, 8, 8, stride=2, padding=1)
+        entry = pairs_cycles(geometry, small_array, entries=4)
+        assert entry.method.startswith("pattern")
+
+
+class TestWindowSelectors:
+    def test_select_sdk_window_none_for_strided(self, small_array):
+        geometry = ConvGeometry(4, 8, 3, 3, 8, 8, stride=2, padding=1)
+        assert select_sdk_window(geometry, small_array) is None
+
+    def test_select_lowrank_window_consistent_with_cycles(self, small_geometry):
+        array = ArrayDims.square(128)
+        window = select_lowrank_window(small_geometry, array, rank=2, groups=1)
+        entry = lowrank_cycles(small_geometry, array, rank=2, groups=1, use_sdk=True)
+        if window is None:
+            assert "im2col" in entry.details
+        else:
+            assert f"PW {window}" in entry.details
+
+    def test_selectors_cached(self, small_geometry, small_array):
+        first = select_sdk_window(small_geometry, small_array)
+        second = select_sdk_window(small_geometry, small_array)
+        assert first is second or first == second
+
+
+class TestAggregation:
+    def test_network_totals(self, small_geometry, small_array):
+        entries = [im2col_cycles(small_geometry, small_array) for _ in range(3)]
+        report = aggregate("im2col", entries)
+        assert report.total_cycles == 3 * entries[0].cycles
+        assert report.total_arrays == 3 * entries[0].arrays
+        assert len(report.per_layer()) == 1  # same layer name collapses in the dict
+
+    def test_speedup_over(self, small_geometry, small_array):
+        baseline = aggregate("im2col", [im2col_cycles(small_geometry, small_array)])
+        compressed = aggregate(
+            "lowrank", [lowrank_cycles(small_geometry, small_array, rank=1, groups=1, use_sdk=False)]
+        )
+        assert compressed.speedup_over(baseline) == pytest.approx(
+            baseline.total_cycles / compressed.total_cycles
+        )
+
+    def test_layer_cycles_scaled(self, small_geometry, small_array):
+        entry = im2col_cycles(small_geometry, small_array)
+        assert entry.scaled(0.5).cycles == round(entry.cycles * 0.5)

@@ -1,0 +1,101 @@
+"""Tests for ConvGeometry / ArrayDims shape arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping.geometry import ArrayDims, ConvGeometry, ceil_div, standard_array_sizes
+from repro.nn.modules import Conv2d
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,expected", [(10, 5, 2), (11, 5, 3), (1, 5, 1), (0, 5, 0)])
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_non_positive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestConvGeometry:
+    def test_im2col_dimensions(self, small_geometry):
+        assert small_geometry.m == 8
+        assert small_geometry.n == 4 * 3 * 3
+
+    def test_output_size_with_padding(self, small_geometry):
+        assert small_geometry.output_h == 8
+        assert small_geometry.output_w == 8
+        assert small_geometry.num_windows == 64
+
+    def test_output_size_strided(self):
+        geometry = ConvGeometry(3, 8, 3, 3, 32, 32, stride=2, padding=1)
+        assert geometry.output_h == 16
+
+    def test_macs_and_weight_count(self, small_geometry):
+        assert small_geometry.weight_count == 8 * 36
+        assert small_geometry.macs == 64 * 8 * 36
+
+    def test_pointwise_detection(self):
+        assert ConvGeometry(4, 8, 1, 1, 8, 8).is_pointwise
+        assert not ConvGeometry(4, 8, 3, 3, 8, 8).is_pointwise
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            ConvGeometry(0, 8, 3, 3, 8, 8)
+        with pytest.raises(ValueError):
+            ConvGeometry(4, 8, 3, 3, 8, 8, stride=0)
+        with pytest.raises(ValueError):
+            ConvGeometry(4, 8, 5, 5, 3, 3)  # kernel larger than unpadded input
+
+    def test_from_conv2d(self):
+        conv = Conv2d(3, 16, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        geometry = ConvGeometry.from_conv2d(conv, (32, 32), name="layer")
+        assert geometry.in_channels == 3
+        assert geometry.out_channels == 16
+        assert geometry.stride == 2
+        assert geometry.padding == 1
+        assert geometry.name == "layer"
+
+    def test_scaled_copy(self, small_geometry):
+        scaled = small_geometry.scaled(channel_scale=0.5, spatial_scale=0.5)
+        assert scaled.in_channels == 2
+        assert scaled.out_channels == 4
+        assert scaled.input_h == 4
+
+    def test_scaled_never_below_kernel(self, small_geometry):
+        scaled = small_geometry.scaled(spatial_scale=0.01)
+        assert scaled.input_h >= scaled.kernel_h
+
+    def test_hashable_and_frozen(self, small_geometry):
+        assert hash(small_geometry) == hash(
+            ConvGeometry(4, 8, 3, 3, 8, 8, stride=1, padding=1, name="test-conv")
+        )
+        with pytest.raises(Exception):
+            small_geometry.in_channels = 5  # type: ignore[misc]
+
+
+class TestArrayDims:
+    def test_cols_per_weight(self):
+        assert ArrayDims(64, 64, weight_bits=4, cell_bits=4).cols_per_weight == 1
+        assert ArrayDims(64, 64, weight_bits=4, cell_bits=1).cols_per_weight == 4
+        assert ArrayDims(64, 64, weight_bits=4, cell_bits=2).cols_per_weight == 2
+
+    def test_logical_cols(self):
+        assert ArrayDims(64, 64, weight_bits=4, cell_bits=2).logical_cols == 32
+
+    def test_cells_and_str(self):
+        array = ArrayDims.square(32)
+        assert array.cells == 1024
+        assert str(array) == "32x32"
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDims(0, 64)
+        with pytest.raises(ValueError):
+            ArrayDims(64, 64, weight_bits=0)
+
+    def test_standard_sizes(self):
+        sizes = standard_array_sizes()
+        assert [a.rows for a in sizes] == [32, 64, 128]

@@ -1,0 +1,76 @@
+"""Tests for the im2col mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.im2col import Im2colMapping, im2col_weight_matrix, unroll_kernel
+
+
+class TestUnrollKernel:
+    def test_shape(self, rng):
+        weight = rng.standard_normal((8, 4, 3, 3))
+        assert unroll_kernel(weight).shape == (8, 36)
+
+    def test_row_is_vectorized_output_channel(self, rng):
+        weight = rng.standard_normal((2, 3, 3, 3))
+        matrix = unroll_kernel(weight)
+        np.testing.assert_allclose(matrix[1], weight[1].reshape(-1))
+
+    def test_alias(self, rng):
+        weight = rng.standard_normal((2, 2, 3, 3))
+        np.testing.assert_allclose(im2col_weight_matrix(weight), unroll_kernel(weight))
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            unroll_kernel(rng.standard_normal((4, 9)))
+
+
+class TestIm2colMapping:
+    def test_mapped_dimensions(self, small_geometry):
+        mapping = Im2colMapping(small_geometry)
+        assert mapping.mapped_rows == small_geometry.n
+        assert mapping.mapped_cols == small_geometry.m
+        assert mapping.outputs_per_cycle == 1
+        assert mapping.window_positions == small_geometry.num_windows
+
+    def test_array_tiles(self, small_geometry, small_array):
+        mapping = Im2colMapping(small_geometry)
+        ar, ac = mapping.array_tiles(small_array)
+        assert ar == 2  # 36 rows over a 32-row array
+        assert ac == 1
+        assert mapping.num_arrays(small_array) == 2
+
+    def test_computing_cycles(self, small_geometry, small_array):
+        mapping = Im2colMapping(small_geometry)
+        assert mapping.computing_cycles(small_array) == 2 * 64
+
+    def test_utilization(self, small_geometry, small_array):
+        mapping = Im2colMapping(small_geometry)
+        util = mapping.utilization(small_array)
+        assert util == pytest.approx((36 * 8) / (2 * 32 * 1 * 32))
+        assert 0 < util <= 1
+
+    def test_utilization_improves_with_matching_array(self, small_geometry):
+        mapping = Im2colMapping(small_geometry)
+        small = mapping.utilization(ArrayDims.square(128))
+        large = mapping.utilization(ArrayDims.square(32))
+        assert large > small
+
+    def test_physical_matrix_is_transposed(self, small_geometry, rng):
+        weight = rng.standard_normal((8, 4, 3, 3))
+        mapping = Im2colMapping(small_geometry)
+        physical = mapping.physical_matrix(weight)
+        assert physical.shape == (36, 8)
+        np.testing.assert_allclose(physical, unroll_kernel(weight).T)
+
+    def test_describe_mentions_cycles(self, small_geometry, small_array):
+        text = Im2colMapping(small_geometry).describe(small_array)
+        assert "cycles" in text
+
+    def test_more_output_channels_use_more_columns(self):
+        narrow = Im2colMapping(ConvGeometry(4, 8, 3, 3, 8, 8, padding=1))
+        wide = Im2colMapping(ConvGeometry(4, 64, 3, 3, 8, 8, padding=1))
+        assert wide.mapped_cols > narrow.mapped_cols

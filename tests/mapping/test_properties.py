@@ -1,0 +1,151 @@
+"""Property-based invariants of the mapping and cycle models.
+
+These hypothesis tests encode the facts every experiment implicitly relies on:
+bigger arrays never need more cycles, the VW-SDK search never loses to im2col,
+cycle counts are consistent between the mapping objects and the cycle-model
+functions, and utilization stays within physical bounds — for arbitrary layer
+geometries, not just the catalogued networks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.cycles import (
+    im2col_cycles,
+    lowrank_cycles,
+    pattern_pruning_cycles,
+    sdk_cycles,
+    tiles_for_block_diagonal,
+    tiles_for_matrix,
+)
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.im2col import Im2colMapping
+from repro.mapping.sdk import ParallelWindow, SDKMapping
+from repro.mapping.utilization import im2col_utilization, sdk_utilization
+
+
+@st.composite
+def geometries(draw):
+    """Random stride-1 convolution geometries with CIFAR-like extents."""
+    in_channels = draw(st.integers(min_value=1, max_value=64))
+    out_channels = draw(st.integers(min_value=1, max_value=128))
+    kernel = draw(st.sampled_from([1, 3, 5]))
+    input_size = draw(st.integers(min_value=kernel, max_value=32))
+    padding = draw(st.integers(min_value=0, max_value=kernel // 2))
+    return ConvGeometry(
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        input_h=input_size,
+        input_w=input_size,
+        stride=1,
+        padding=padding,
+        name="prop",
+    )
+
+
+@st.composite
+def arrays(draw):
+    size = draw(st.sampled_from([16, 32, 64, 128, 256]))
+    return ArrayDims.square(size)
+
+
+class TestCycleModelInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(geometries())
+    def test_larger_arrays_never_need_more_cycles(self, geometry):
+        cycles = [im2col_cycles(geometry, ArrayDims.square(s)).cycles for s in (32, 64, 128, 256)]
+        assert all(cycles[i] >= cycles[i + 1] for i in range(len(cycles) - 1))
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries(), arrays())
+    def test_sdk_never_worse_than_im2col(self, geometry, array):
+        assert sdk_cycles(geometry, array).cycles <= im2col_cycles(geometry, array).cycles
+
+    @settings(max_examples=40, deadline=None)
+    @given(geometries(), arrays(), st.integers(min_value=1, max_value=16), st.sampled_from([1, 2, 4]))
+    def test_lowrank_sdk_never_worse_than_im2col_factors(self, geometry, array, rank, groups):
+        with_sdk = lowrank_cycles(geometry, array, rank=rank, groups=groups, use_sdk=True).cycles
+        without = lowrank_cycles(geometry, array, rank=rank, groups=groups, use_sdk=False).cycles
+        assert with_sdk <= without
+
+    @settings(max_examples=40, deadline=None)
+    @given(geometries(), arrays(), st.sampled_from([1, 2, 4]))
+    def test_lowrank_cycles_monotone_in_rank(self, geometry, array, groups):
+        previous = 0
+        for rank in (1, 2, 4, 8):
+            current = lowrank_cycles(geometry, array, rank=rank, groups=groups, use_sdk=False).cycles
+            assert current >= previous
+            previous = current
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries(), arrays())
+    def test_im2col_cycles_match_mapping_object(self, geometry, array):
+        assert im2col_cycles(geometry, array).cycles == Im2colMapping(geometry).computing_cycles(array)
+
+    @settings(max_examples=40, deadline=None)
+    @given(geometries(), arrays(), st.integers(min_value=1, max_value=9))
+    def test_pattern_pruning_never_worse_than_dense(self, geometry, array, entries):
+        entries = min(entries, geometry.kernel_h * geometry.kernel_w)
+        pruned = pattern_pruning_cycles(geometry, array, entries=entries).cycles
+        assert pruned <= im2col_cycles(geometry, array).cycles
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        arrays(),
+    )
+    def test_block_diagonal_tiles_bounded_by_dense_tiling(self, blocks, rows, cols, array):
+        from repro.mapping.geometry import ceil_div
+
+        block_diag = tiles_for_block_diagonal(blocks, rows, cols, array)
+        dense = tiles_for_matrix(blocks * rows, blocks * cols, array)
+        # An unaligned block can straddle one extra tile per dimension.
+        per_block_upper = blocks * (ceil_div(rows, array.rows) + 1) * (
+            ceil_div(cols, array.logical_cols) + 1
+        )
+        assert 0 < block_diag <= dense
+        assert block_diag <= per_block_upper
+
+
+class TestUtilizationInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(geometries(), arrays())
+    def test_im2col_utilization_bounds(self, geometry, array):
+        report = im2col_utilization(geometry, array)
+        assert 0 < report.utilization <= 1.0 + 1e-12
+        assert 0 < report.row_utilization <= 1.0 + 1e-12
+        assert 0 < report.col_utilization <= 1.0 + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(geometries(), arrays(), st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    def test_sdk_utilization_bounds(self, geometry, array, extra_h, extra_w):
+        if geometry.kernel_h == 1 and extra_h == 0 and extra_w == 0:
+            return
+        window = ParallelWindow(geometry.kernel_h + extra_h, geometry.kernel_w + extra_w)
+        report = sdk_utilization(geometry, array, window)
+        assert 0 < report.utilization <= 1.0 + 1e-12
+
+
+class TestSDKStructuralInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(geometries(), st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3))
+    def test_outputs_per_cycle_times_positions_covers_output_map(self, geometry, extra_h, extra_w):
+        window = ParallelWindow(geometry.kernel_h + extra_h, geometry.kernel_w + extra_w)
+        mapping = SDKMapping(geometry, window)
+        covered = mapping.outputs_per_cycle * mapping.window_positions
+        assert covered >= geometry.num_windows
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometries(), st.integers(min_value=1, max_value=3))
+    def test_mapped_columns_scale_with_parallel_outputs(self, geometry, extra):
+        window = ParallelWindow(geometry.kernel_h + extra, geometry.kernel_w + extra)
+        mapping = SDKMapping(geometry, window)
+        assert mapping.mapped_cols == mapping.num_parallel_outputs * geometry.m
+        assert mapping.mapped_rows == geometry.in_channels * window.height * window.width

@@ -1,0 +1,165 @@
+"""Tests for the SDK mapping, including functional correctness of the operator.
+
+The central test checks that the SDK-mapped matrix, applied to a flattened
+parallel-window input, produces exactly the convolution outputs of the sliding
+windows contained in that PW — i.e. the padding-matrix formulation of Eq. (7/8)
+implements the dataflow of Fig. 2b/d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.sdk import ParallelWindow, SDKMapping, build_padding_matrix, sdk_operator
+
+
+def naive_conv_outputs(inputs: np.ndarray, weight: np.ndarray, padding: int) -> np.ndarray:
+    """Stride-1 convolution outputs (C_out, out_h, out_w) for a single image."""
+    c_in, h, w = inputs.shape
+    c_out, _, kh, kw = weight.shape
+    padded = np.pad(inputs, ((0, 0), (padding, padding), (padding, padding)))
+    out_h = h + 2 * padding - kh + 1
+    out_w = w + 2 * padding - kw + 1
+    out = np.zeros((c_out, out_h, out_w))
+    for oc in range(c_out):
+        for i in range(out_h):
+            for j in range(out_w):
+                out[oc, i, j] = np.sum(padded[:, i : i + kh, j : j + kw] * weight[oc])
+    return out
+
+
+class TestParallelWindow:
+    def test_num_outputs(self):
+        window = ParallelWindow(4, 4)
+        assert window.num_outputs(3, 3) == 4
+        assert window.output_grid(3, 3) == (2, 2)
+
+    def test_window_smaller_than_kernel_raises(self):
+        with pytest.raises(ValueError):
+            ParallelWindow(2, 2).num_outputs(3, 3)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            ParallelWindow(0, 4)
+
+    def test_str(self):
+        assert str(ParallelWindow(4, 5)) == "4x5"
+
+
+class TestPaddingMatrix:
+    def test_shape_and_binary(self, small_geometry):
+        window = ParallelWindow(4, 4)
+        padding = build_padding_matrix(small_geometry, window, 0)
+        b = small_geometry.in_channels * 16
+        assert padding.shape == (b, small_geometry.n)
+        assert set(np.unique(padding)).issubset({0.0, 1.0})
+
+    def test_each_kernel_element_maps_to_one_input(self, small_geometry):
+        window = ParallelWindow(4, 5)
+        padding = build_padding_matrix(small_geometry, window, 2)
+        # Every column (kernel element) selects exactly one PW input.
+        np.testing.assert_allclose(padding.sum(axis=0), np.ones(small_geometry.n))
+
+    def test_shift_index_out_of_range(self, small_geometry):
+        with pytest.raises(ValueError):
+            build_padding_matrix(small_geometry, ParallelWindow(4, 4), 4)
+
+    def test_different_shifts_select_different_inputs(self, small_geometry):
+        window = ParallelWindow(4, 4)
+        p0 = build_padding_matrix(small_geometry, window, 0)
+        p3 = build_padding_matrix(small_geometry, window, 3)
+        assert not np.array_equal(p0, p3)
+
+
+class TestSDKMappingDimensions:
+    def test_mapped_dimensions(self, small_geometry):
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        assert mapping.num_parallel_outputs == 4
+        assert mapping.flattened_window_size == 4 * 16
+        assert mapping.mapped_rows == 64
+        assert mapping.mapped_cols == 4 * small_geometry.m
+
+    def test_window_positions_cover_output(self, small_geometry):
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        # 8x8 output covered by 2x2 output tiles -> 4x4 = 16 PW positions.
+        assert mapping.window_positions == 16
+
+    def test_strided_geometry_rejected(self):
+        geometry = ConvGeometry(4, 8, 3, 3, 8, 8, stride=2, padding=1)
+        with pytest.raises(ValueError):
+            SDKMapping(geometry, ParallelWindow(4, 4))
+
+    def test_structural_sparsity_increases_with_window(self, small_geometry):
+        small = SDKMapping(small_geometry, ParallelWindow(4, 4)).structural_sparsity()
+        large = SDKMapping(small_geometry, ParallelWindow(6, 6)).structural_sparsity()
+        assert 0 <= small < large < 1
+
+    def test_apply_rejects_wrong_columns(self, small_geometry, rng):
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        with pytest.raises(ValueError):
+            mapping.apply(rng.standard_normal((8, 10)))
+
+    def test_cycles_vs_im2col_on_wide_array(self, small_geometry):
+        """SDK uses idle columns: with enough columns it needs fewer cycles than im2col."""
+        from repro.mapping.im2col import Im2colMapping
+
+        array = ArrayDims.square(128)
+        sdk = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        im2col = Im2colMapping(small_geometry)
+        assert sdk.computing_cycles(array) < im2col.computing_cycles(array)
+
+
+class TestSDKFunctionalCorrectness:
+    @pytest.mark.parametrize("window_shape", [(4, 4), (4, 5), (5, 5), (3, 4)])
+    def test_sdk_matrix_computes_parallel_conv_outputs(self, window_shape, rng):
+        """SDK(W) · (flattened PW input) equals the N sliding-window conv outputs."""
+        geometry = ConvGeometry(3, 5, 3, 3, 10, 10, stride=1, padding=1, name="sdk-check")
+        window = ParallelWindow(*window_shape)
+        mapping = SDKMapping(geometry, window)
+        weight = rng.standard_normal((geometry.out_channels, geometry.in_channels, 3, 3))
+        inputs = rng.standard_normal((geometry.in_channels, geometry.input_h, geometry.input_w))
+
+        conv = naive_conv_outputs(inputs, weight, geometry.padding)
+        padded = np.pad(inputs, ((0, 0), (geometry.padding, geometry.padding), (geometry.padding, geometry.padding)))
+
+        sdk_matrix = mapping.mapped_matrix(weight)
+        nh, nw = window.output_grid(3, 3)
+        top, left = 2, 1  # an arbitrary PW position inside the padded input
+        x = mapping.window_input_vector(padded, top, left)
+        outputs = sdk_matrix @ x  # (N * m,)
+
+        for shift in range(mapping.num_parallel_outputs):
+            dy, dx = divmod(shift, nw)
+            expected = conv[:, top + dy, left + dx]
+            got = outputs[shift * geometry.m : (shift + 1) * geometry.m]
+            np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_sdk_operator_linear_in_matrix(self, small_geometry, rng):
+        """SDK(aA + bB) == a·SDK(A) + b·SDK(B) — linearity used by Theorem 2."""
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        a = rng.standard_normal((small_geometry.m, small_geometry.n))
+        b = rng.standard_normal((small_geometry.m, small_geometry.n))
+        lhs = mapping.apply(2.0 * a - 3.0 * b)
+        rhs = 2.0 * mapping.apply(a) - 3.0 * mapping.apply(b)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_mapped_matrix_accepts_4d_kernel(self, small_geometry, rng):
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        weight = rng.standard_normal((small_geometry.m, small_geometry.in_channels, 3, 3))
+        from_4d = mapping.mapped_matrix(weight)
+        from_2d = mapping.mapped_matrix(weight.reshape(small_geometry.m, small_geometry.n))
+        np.testing.assert_allclose(from_4d, from_2d)
+
+    def test_padding_matrices_cached(self, small_geometry):
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        first = mapping.padding_matrices()
+        second = mapping.padding_matrices()
+        assert first is second
+
+    def test_window_vector_out_of_bounds_raises(self, small_geometry, rng):
+        mapping = SDKMapping(small_geometry, ParallelWindow(4, 4))
+        padded = rng.standard_normal((4, 10, 10))
+        with pytest.raises(ValueError):
+            mapping.window_input_vector(padded, 8, 8)

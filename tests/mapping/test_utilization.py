@@ -1,0 +1,74 @@
+"""Tests for the utilization metrics that motivate the paper's techniques."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.sdk import ParallelWindow
+from repro.mapping.utilization import (
+    im2col_utilization,
+    lowrank_utilization,
+    sdk_utilization,
+)
+
+
+class TestIm2colUtilization:
+    def test_bounds(self, small_geometry, small_array):
+        report = im2col_utilization(small_geometry, small_array)
+        assert 0 < report.utilization <= 1
+        assert 0 < report.row_utilization <= 1
+        assert 0 < report.col_utilization <= 1
+
+    def test_low_column_utilization_with_few_output_channels(self):
+        """The paper's motivation: few output channels leave most columns idle."""
+        geometry = ConvGeometry(16, 8, 3, 3, 16, 16, padding=1)
+        report = im2col_utilization(geometry, ArrayDims.square(128))
+        assert report.col_utilization < 0.1
+
+
+class TestSdkUtilization:
+    def test_sdk_improves_column_utilization(self, small_geometry):
+        """SDK fills idle columns with duplicated kernels (Fig. 2)."""
+        array = ArrayDims.square(128)
+        baseline = im2col_utilization(small_geometry, array)
+        sdk = sdk_utilization(small_geometry, array, ParallelWindow(5, 5))
+        assert sdk.col_utilization > baseline.col_utilization
+
+    def test_used_cells_account_for_duplicates(self, small_geometry, small_array):
+        window = ParallelWindow(4, 4)
+        report = sdk_utilization(small_geometry, small_array, window)
+        n_par = window.num_outputs(3, 3)
+        assert report.used_cells == n_par * small_geometry.m * small_geometry.n
+
+
+class TestLowRankUtilization:
+    def test_im2col_factors_have_low_column_utilization(self, small_geometry):
+        """Fig. 4b: the thin factors under-use the array columns."""
+        array = ArrayDims.square(128)
+        report = lowrank_utilization(small_geometry, array, rank=2, groups=1, use_sdk=False)
+        baseline = im2col_utilization(small_geometry, array)
+        assert report.col_utilization < baseline.col_utilization
+
+    def test_sdk_factors_improve_column_utilization(self, small_geometry):
+        """Fig. 5b: SDK-mapping the factors recovers column utilization."""
+        array = ArrayDims.square(128)
+        plain = lowrank_utilization(small_geometry, array, rank=2, groups=2, use_sdk=False)
+        sdk = lowrank_utilization(
+            small_geometry, array, rank=2, groups=2, use_sdk=True, window=ParallelWindow(5, 5)
+        )
+        assert sdk.col_utilization > plain.col_utilization
+
+    def test_sdk_requires_window(self, small_geometry, small_array):
+        with pytest.raises(ValueError):
+            lowrank_utilization(small_geometry, small_array, rank=2, groups=1, use_sdk=True)
+
+    def test_method_labels(self, small_geometry, small_array):
+        report = lowrank_utilization(small_geometry, small_array, rank=2, groups=4, use_sdk=False)
+        assert "g=4" in report.method
+
+    def test_zero_allocated_guard(self):
+        from repro.mapping.utilization import UtilizationReport
+
+        report = UtilizationReport(method="x", used_cells=0, allocated_cells=0, row_utilization=0, col_utilization=0)
+        assert report.utilization == 0.0

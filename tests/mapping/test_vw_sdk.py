@@ -1,0 +1,71 @@
+"""Tests for the VW-SDK parallel-window search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.im2col import Im2colMapping
+from repro.mapping.sdk import ParallelWindow, SDKMapping
+from repro.mapping.vw_sdk import best_mapping, candidate_windows, search_parallel_window
+
+
+class TestCandidateWindows:
+    def test_excludes_kernel_sized_window(self, small_geometry, small_array):
+        windows = candidate_windows(small_geometry, small_array, max_extra=3)
+        assert ParallelWindow(3, 3) not in windows
+        assert all(w.height >= 3 and w.width >= 3 for w in windows)
+
+    def test_respects_max_extra(self, small_geometry, small_array):
+        windows = candidate_windows(small_geometry, small_array, max_extra=2)
+        assert all(w.height <= 5 and w.width <= 5 for w in windows)
+
+    def test_bounded_by_input_size(self, small_array):
+        geometry = ConvGeometry(2, 4, 3, 3, 4, 4, stride=1, padding=0)
+        windows = candidate_windows(geometry, small_array, max_extra=10)
+        assert all(w.height <= 4 and w.width <= 4 for w in windows)
+
+
+class TestSearch:
+    def test_never_worse_than_im2col(self, small_geometry, small_array):
+        result = search_parallel_window(small_geometry, small_array)
+        im2col = Im2colMapping(small_geometry).computing_cycles(small_array)
+        assert result.cycles <= im2col
+
+    def test_strided_layer_falls_back_to_im2col(self, small_array):
+        geometry = ConvGeometry(4, 8, 3, 3, 8, 8, stride=2, padding=1)
+        result = search_parallel_window(geometry, small_array)
+        assert not result.used_sdk
+        assert result.window is None
+
+    def test_wide_array_prefers_sdk(self, small_geometry):
+        """With many idle columns the search should pick a PW larger than the kernel."""
+        result = search_parallel_window(small_geometry, ArrayDims.square(128))
+        assert result.used_sdk
+        assert result.window is not None
+        assert result.window.num_outputs(3, 3) > 1
+
+    def test_custom_cost_function_is_used(self, small_geometry, small_array):
+        calls = []
+
+        def cost(mapping: SDKMapping, array: ArrayDims) -> int:
+            calls.append(mapping.window)
+            return 10**9  # make SDK always look terrible
+
+        result = search_parallel_window(small_geometry, small_array, cycle_fn=cost)
+        assert calls, "cost function was never called"
+        assert not result.used_sdk
+
+    def test_description(self, small_geometry, small_array):
+        result = search_parallel_window(small_geometry, small_array)
+        assert "cycles" in result.description
+
+
+class TestBestMapping:
+    def test_returns_mapping_object(self, small_geometry):
+        mapping = best_mapping(small_geometry, ArrayDims.square(128))
+        assert isinstance(mapping, (SDKMapping, Im2colMapping))
+
+    def test_strided_returns_im2col(self, small_array):
+        geometry = ConvGeometry(4, 8, 3, 3, 8, 8, stride=2, padding=1)
+        assert isinstance(best_mapping(geometry, small_array), Im2colMapping)

@@ -1,0 +1,191 @@
+"""Tests for the functional NN operations (conv2d correctness, pools, losses)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from ..conftest import check_gradient
+
+
+def naive_conv2d(x: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Reference convolution implemented with explicit loops."""
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    for sample in range(n):
+        for oc in range(c_out):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x_padded[sample, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[sample, oc, i, j] = np.sum(patch * weight[oc])
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive_convolution(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 7, 7))
+        w = rng.standard_normal((5, 3, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, naive_conv2d(x, w, stride, padding), atol=1e-10)
+
+    def test_bias_broadcasting(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        w = rng.standard_normal((3, 2, 3, 3))
+        b = rng.standard_normal(3)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), padding=1)
+        reference = naive_conv2d(x, w, 1, 1) + b[None, :, None, None]
+        np.testing.assert_allclose(out.data, reference, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.standard_normal((1, 2, 4, 4))), Tensor(rng.standard_normal((3, 5, 3, 3))))
+
+    def test_conv_weight_gradient(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)))
+        values = rng.standard_normal((3, 2, 3, 3))
+        check_gradient(lambda w: (F.conv2d(x, w, padding=1) ** 2).sum(), values)
+
+    def test_conv_input_gradient(self, rng):
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)))
+        values = rng.standard_normal((1, 2, 5, 5))
+        check_gradient(lambda x: (F.conv2d(x, w, padding=1) ** 2).sum(), values)
+
+    def test_pointwise_convolution(self, rng):
+        x = rng.standard_normal((2, 4, 5, 5))
+        w = rng.standard_normal((6, 4, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data, naive_conv2d(x, w), atol=1e-10)
+
+    def test_conv_output_size_helper(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(8, 3, 1, 0) == 6
+
+
+class TestLinear:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal((4, 6))
+        w = rng.standard_normal((3, 6))
+        b = rng.standard_normal(3)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b)
+
+    def test_gradient(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        values = rng.standard_normal((3, 6))
+        check_gradient(lambda w: (F.linear(x, w) ** 2).sum(), values)
+
+
+class TestPooling:
+    def test_avg_pool_matches_numpy(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        out = F.avg_pool2d(Tensor(x), 2).data
+        manual = x.reshape(1, 2, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out, manual)
+
+    def test_max_pool_matches_numpy(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        out = F.max_pool2d(Tensor(x), 2).data
+        manual = x.reshape(1, 2, 2, 2, 2, 2).max(axis=(3, 5))
+        np.testing.assert_allclose(out, manual)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((3, 5, 4, 4))
+        np.testing.assert_allclose(F.global_avg_pool2d(Tensor(x)).data, x.mean(axis=(2, 3)))
+
+    def test_avg_pool_gradient(self, rng):
+        values = rng.standard_normal((1, 2, 4, 4))
+        check_gradient(lambda t: (F.avg_pool2d(t, 2) ** 2).sum(), values)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        x = rng.standard_normal((8, 3, 5, 5)) * 3 + 2
+        gamma, beta = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        running_mean, running_var = np.zeros(3), np.ones(3)
+        out = F.batch_norm2d(Tensor(x), gamma, beta, running_mean, running_var, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), np.ones(3), atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = rng.standard_normal((8, 3, 5, 5)) + 5.0
+        running_mean, running_var = np.zeros(3), np.ones(3)
+        F.batch_norm2d(Tensor(x), Tensor(np.ones(3)), Tensor(np.zeros(3)), running_mean, running_var, training=True)
+        assert np.all(running_mean > 0)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3))
+        running_mean = np.array([1.0, -1.0])
+        running_var = np.array([4.0, 0.25])
+        out = F.batch_norm2d(
+            Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)), running_mean, running_var, training=False
+        )
+        expected = (x - running_mean[None, :, None, None]) / np.sqrt(running_var[None, :, None, None] + 1e-5)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_affine_parameters_applied(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3))
+        out = F.batch_norm2d(
+            Tensor(x), Tensor(np.array([2.0, 3.0])), Tensor(np.array([1.0, -1.0])),
+            np.zeros(2), np.ones(2), training=False,
+        )
+        expected = x / np.sqrt(1 + 1e-5) * np.array([2.0, 3.0])[None, :, None, None] + np.array(
+            [1.0, -1.0]
+        )[None, :, None, None]
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_sums_to_one(self, rng):
+        logits = rng.standard_normal((5, 7)) * 10
+        probs = F.softmax(Tensor(logits)).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert np.all(probs >= 0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(logits)).data, np.log(F.softmax(Tensor(logits)).data), atol=1e-10
+        )
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.standard_normal((6, 4))
+        targets = rng.integers(0, 4, size=6)
+        loss = F.cross_entropy(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        manual = -log_probs[np.arange(6), targets].mean()
+        assert loss.item() == pytest.approx(manual)
+
+    def test_cross_entropy_gradient(self, rng):
+        targets = rng.integers(0, 3, size=4)
+        values = rng.standard_normal((4, 3))
+        check_gradient(lambda t: F.cross_entropy(t, targets), values)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.eye(3) * 100.0
+        loss = F.cross_entropy(Tensor(logits), np.arange(3))
+        assert loss.item() < 1e-6
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_identity_with_zero_probability(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_scaling_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=np.random.default_rng(0))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,52 @@
+"""Tests for weight initialization schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        assert init.fan_in_fan_out((8, 4)) == (4, 8)
+
+    def test_conv_shape(self):
+        fan_in, fan_out = init.fan_in_fan_out((16, 3, 3, 3))
+        assert fan_in == 27
+        assert fan_out == 144
+
+    def test_requires_two_dimensions(self):
+        with pytest.raises(ValueError):
+            init.fan_in_fan_out((5,))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        values = init.kaiming_normal((256, 128), rng)
+        expected_std = math.sqrt(2.0) / math.sqrt(128)
+        assert values.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        values = init.kaiming_uniform((64, 64), rng)
+        bound = math.sqrt(2.0) * math.sqrt(3.0 / 64)
+        assert np.all(np.abs(values) <= bound + 1e-12)
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        values = init.xavier_uniform((32, 96), rng)
+        bound = math.sqrt(6.0 / (96 + 32))
+        assert np.all(np.abs(values) <= bound + 1e-12)
+
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+        assert np.all(init.ones((2, 2)) == 1)
+
+    def test_shapes_preserved(self):
+        rng = np.random.default_rng(0)
+        assert init.kaiming_normal((4, 5, 3, 3), rng).shape == (4, 5, 3, 3)

@@ -1,0 +1,111 @@
+"""Tests for the reference model architectures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import Conv2d, Linear
+from repro.nn.models import MLP, SimpleCNN, TinyConvNet, resnet20, wrn16_4
+from repro.nn.models.resnet import ResNet
+from repro.nn.models.wide_resnet import WideResNet
+from repro.nn.tensor import Tensor
+from repro.workloads import resnet20_geometries, wrn16_4_geometries
+
+
+class TestResNet20:
+    def test_forward_shape(self):
+        model = resnet20(num_classes=10, base_width=4)  # scaled down for speed
+        out = model(Tensor(np.random.default_rng(0).standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_parameter_count_full_model(self):
+        model = resnet20()
+        # The canonical ResNet-20 (CIFAR-10, width 16) has roughly 0.27M parameters.
+        assert 0.25e6 < model.num_parameters() < 0.30e6
+
+    def test_conv_layer_count(self):
+        model = resnet20()
+        convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+        # 1 stem + 18 block convs + 2 projection shortcuts
+        assert len(convs) == 21
+
+    def test_depth_configuration(self):
+        model = ResNet([2, 2, 2], num_classes=10, base_width=8)
+        convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+        assert len(convs) == 1 + 12 + 2
+
+    def test_geometry_catalogue_matches_model(self):
+        """The workload catalogue must agree with the instantiated network."""
+        model = resnet20()
+        model_convs = {}
+        hw = {"conv1": 32}
+        geometries = {g.name: g for g in resnet20_geometries()}
+        for name, module in model.named_modules():
+            if isinstance(module, Conv2d):
+                model_convs[name] = module
+        # conv1 and all block convs must exist in the catalogue with matching channels.
+        for geom_name, geometry in geometries.items():
+            if geom_name.endswith("shortcut"):
+                lookup = geom_name.replace("shortcut", "shortcut.0")
+            else:
+                lookup = geom_name
+            assert lookup in model_convs, f"{lookup} missing from model"
+            conv = model_convs[lookup]
+            assert conv.in_channels == geometry.in_channels
+            assert conv.out_channels == geometry.out_channels
+            assert conv.kernel_size == (geometry.kernel_h, geometry.kernel_w)
+            assert conv.stride[0] == geometry.stride
+
+
+class TestWRN16_4:
+    def test_forward_shape_small(self):
+        model = WideResNet(depth=10, widen_factor=2, num_classes=7, base_width=4)
+        out = model(Tensor(np.random.default_rng(0).standard_normal((2, 3, 12, 12))))
+        assert out.shape == (2, 7)
+
+    def test_parameter_count_full_model(self):
+        model = wrn16_4()
+        # WRN16-4 on CIFAR-100 has ~2.77M parameters.
+        assert 2.5e6 < model.num_parameters() < 3.1e6
+
+    def test_invalid_depth_raises(self):
+        with pytest.raises(ValueError):
+            WideResNet(depth=17)
+
+    def test_geometry_catalogue_matches_model(self):
+        model = wrn16_4()
+        model_convs = {name: m for name, m in model.named_modules() if isinstance(m, Conv2d)}
+        for geometry in wrn16_4_geometries():
+            name = geometry.name
+            if name.endswith("shortcut"):
+                assert name in model_convs
+            elif name != "conv1":
+                assert name in model_convs
+            if name in model_convs:
+                conv = model_convs[name]
+                assert conv.in_channels == geometry.in_channels
+                assert conv.out_channels == geometry.out_channels
+
+
+class TestSmallModels:
+    def test_simple_cnn_forward(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8))
+        out = model(Tensor(np.random.default_rng(0).standard_normal((3, 3, 12, 12))))
+        assert out.shape == (3, 5)
+
+    def test_tiny_convnet_forward(self):
+        model = TinyConvNet(num_classes=4)
+        out = model(Tensor(np.random.default_rng(0).standard_normal((2, 1, 8, 8))))
+        assert out.shape == (2, 4)
+
+    def test_mlp_forward(self):
+        model = MLP(in_features=12, hidden=8, num_classes=3)
+        out = model(Tensor(np.random.default_rng(0).standard_normal((5, 3, 2, 2))))
+        assert out.shape == (5, 3)
+
+    def test_models_are_deterministic_given_seed(self):
+        a = SimpleCNN(seed=7)
+        b = SimpleCNN(seed=7)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)

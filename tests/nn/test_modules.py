@@ -1,0 +1,193 @@
+"""Tests for the Module system (registration, traversal, state dicts, layers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+
+
+class SmallNet(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self.conv = Conv2d(2, 4, 3, padding=1, rng=np.random.default_rng(0))
+        self.block = Sequential(ReLU(), Conv2d(4, 4, 1, rng=np.random.default_rng(1)))
+        self.fc = Linear(4, 3, rng=np.random.default_rng(2))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.block(self.conv(x))
+        out = F.global_avg_pool2d(out)
+        return self.fc(out)
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        net = SmallNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert "conv.weight" in names
+        assert "block.1.weight" in names
+        assert "fc.bias" in names
+
+    def test_num_parameters(self):
+        net = SmallNet()
+        expected = sum(p.size for p in net.parameters())
+        assert net.num_parameters() == expected
+        assert expected > 0
+
+    def test_named_modules_includes_nested(self):
+        net = SmallNet()
+        names = dict(net.named_modules())
+        assert "" in names and "block" in names and "block.0" in names
+
+    def test_buffers_registered(self):
+        bn = BatchNorm2d(4)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+    def test_get_and_set_submodule(self):
+        net = SmallNet()
+        original = net.get_submodule("block.1")
+        assert isinstance(original, Conv2d)
+        net.set_submodule("block.1", Identity())
+        assert isinstance(net.get_submodule("block.1"), Identity)
+
+    def test_get_submodule_missing_path_raises(self):
+        with pytest.raises(KeyError):
+            SmallNet().get_submodule("does.not.exist")
+
+    def test_set_submodule_root_raises(self):
+        with pytest.raises(ValueError):
+            SmallNet().set_submodule("", Identity())
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = SmallNet()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears_gradients(self):
+        net = SmallNet()
+        out = net(Tensor(np.random.default_rng(0).standard_normal((2, 2, 4, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_restores_parameters(self):
+        net = SmallNet()
+        state = net.state_dict()
+        for p in net.parameters():
+            p.data += 1.0
+        net.load_state_dict(state)
+        fresh = SmallNet()
+        for (name_a, a), (name_b, b) in zip(net.named_parameters(), fresh.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_buffers_included(self):
+        bn = BatchNorm2d(3)
+        bn.running_mean += 2.0
+        state = bn.state_dict()
+        assert "buffer:running_mean" in state
+        np.testing.assert_allclose(state["buffer:running_mean"], np.full(3, 2.0))
+
+    def test_load_ignores_unknown_keys(self):
+        net = SmallNet()
+        net.load_state_dict({"unknown.weight": np.zeros(3)})  # should not raise
+
+
+class TestLayers:
+    def test_conv2d_forward_shape(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv2d_im2col_weight_shape(self, rng):
+        conv = Conv2d(3, 8, (3, 5), rng=rng)
+        assert conv.im2col_weight().shape == (8, 3 * 3 * 5)
+
+    def test_conv2d_no_bias(self, rng):
+        conv = Conv2d(3, 4, 3, bias=False, rng=rng)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_linear_forward(self, rng):
+        linear = Linear(6, 4, rng=rng)
+        out = linear(Tensor(rng.standard_normal((3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_batchnorm_updates_running_stats_only_in_training(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)) + 10)
+        bn.eval()
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, np.zeros(2))
+        bn.train()
+        bn(x)
+        assert np.all(bn.running_mean != 0)
+
+    def test_sequential_iteration_and_indexing(self):
+        seq = Sequential(ReLU(), Flatten())
+        assert len(seq) == 2
+        assert isinstance(seq[0], ReLU)
+        assert isinstance(list(iter(seq))[1], Flatten)
+
+    def test_sequential_append(self):
+        seq = Sequential(ReLU())
+        seq.append(Flatten())
+        assert len(seq) == 2
+
+    def test_identity_passthrough(self, rng):
+        x = Tensor(rng.standard_normal((2, 3)))
+        assert Identity()(x) is x
+
+    def test_pooling_modules(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)))
+        assert AvgPool2d(2)(x).shape == (1, 2, 2, 2)
+        assert MaxPool2d(2)(x).shape == (1, 2, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (1, 2)
+
+    def test_flatten_module(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)))
+        assert Flatten()(x).shape == (2, 48)
+
+    def test_dropout_module_respects_training_flag(self, rng):
+        dropout = Dropout(0.5)
+        x = Tensor(np.ones((10, 10)))
+        dropout.eval()
+        np.testing.assert_allclose(dropout(x).data, np.ones((10, 10)))
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+    def test_end_to_end_gradients_flow(self, rng):
+        net = SmallNet()
+        x = Tensor(rng.standard_normal((2, 2, 4, 4)))
+        loss = F.cross_entropy(net(x), np.array([0, 2]))
+        loss.backward()
+        grads = [p.grad for p in net.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.any(g != 0) for g in grads)

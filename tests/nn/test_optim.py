@@ -1,0 +1,120 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Simple convex objective ||p - 3||^2 whose minimum is at 3."""
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, param: Parameter, steps: int) -> float:
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param)
+        loss.backward()
+        optimizer.step()
+    return float(quadratic_loss(param).data)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        final = run_steps(SGD([param], lr=0.1), param, 100)
+        assert final < 1e-6
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(4))
+        momentum = Parameter(np.zeros(4))
+        loss_plain = run_steps(SGD([plain], lr=0.01), plain, 50)
+        loss_momentum = run_steps(SGD([momentum], lr=0.01, momentum=0.9), momentum, 50)
+        assert loss_momentum < loss_plain
+
+    def test_nesterov_converges(self):
+        param = Parameter(np.zeros(3))
+        final = run_steps(SGD([param], lr=0.05, momentum=0.9, nesterov=True), param, 100)
+        assert final < 1e-4
+
+    def test_weight_decay_shrinks_solution(self):
+        param = Parameter(np.zeros(2))
+        run_steps(SGD([param], lr=0.1, weight_decay=0.5), param, 200)
+        assert np.all(param.data < 3.0)
+
+    def test_skips_parameters_without_grad(self):
+        a = Parameter(np.ones(2))
+        b = Parameter(np.ones(2))
+        optimizer = SGD([a, b], lr=0.1)
+        loss = (a * a).sum()
+        loss.backward()
+        optimizer.step()
+        np.testing.assert_allclose(b.data, np.ones(2))
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        final = run_steps(Adam([param], lr=0.1), param, 200)
+        assert final < 1e-4
+
+    def test_weight_decay(self):
+        param = Parameter(np.zeros(2))
+        run_steps(Adam([param], lr=0.05, weight_decay=1.0), param, 300)
+        assert np.all(param.data < 3.0)
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(2))
+        optimizer = Adam([param], lr=0.1)
+        quadratic_loss(param).backward()
+        optimizer.zero_grad()
+        assert param.grad is None
+
+
+class TestSchedulers:
+    def make(self):
+        param = Parameter(np.zeros(1))
+        return SGD([param], lr=1.0)
+
+    def test_step_lr(self):
+        optimizer = self.make()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_multistep_lr(self):
+        optimizer = self.make()
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.1)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)
+
+    def test_cosine_annealing_endpoints(self):
+        optimizer = self.make()
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        values = [scheduler.step() for _ in range(10)]
+        assert values[0] < 1.0
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+        assert all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+
+    def test_scheduler_updates_optimizer_lr(self):
+        optimizer = self.make()
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)

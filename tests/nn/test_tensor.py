@@ -1,0 +1,296 @@
+"""Unit tests for the autograd Tensor (forward values and gradients)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad, stack
+
+from ..conftest import check_gradient
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_from_int_array_promotes_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype == np.float64
+
+    def test_zeros_ones_randn(self):
+        assert np.all(Tensor.zeros(2, 3).data == 0)
+        assert np.all(Tensor.ones(2, 3).data == 1)
+        assert Tensor.randn(4, 5, rng=np.random.default_rng(0)).shape == (4, 5)
+
+    def test_basic_properties(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.ndim == 2
+        assert t.size == 6
+        assert len(t) == 2
+        assert t.item is not None
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_grad_for_nonscalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+
+class TestArithmeticForward:
+    def test_add_sub_mul_div(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+        np.testing.assert_allclose((a - b).data, [-2.0, -2.0])
+        np.testing.assert_allclose((a * b).data, [3.0, 8.0])
+        np.testing.assert_allclose((a / b).data, [1 / 3, 0.5])
+
+    def test_scalar_operations(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1).data, [2.0, 3.0])
+        np.testing.assert_allclose((1 + a).data, [2.0, 3.0])
+        np.testing.assert_allclose((1 - a).data, [0.0, -1.0])
+        np.testing.assert_allclose((2 * a).data, [2.0, 4.0])
+        np.testing.assert_allclose((2 / a).data, [2.0, 1.0])
+
+    def test_neg_pow(self):
+        a = Tensor([1.0, -2.0])
+        np.testing.assert_allclose((-a).data, [-1.0, 2.0])
+        np.testing.assert_allclose((a ** 2).data, [1.0, 4.0])
+
+    def test_matmul_2d(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_broadcast_batch(self, rng):
+        a = rng.standard_normal((2, 5))
+        x = rng.standard_normal((7, 5, 3))
+        np.testing.assert_allclose(Tensor(a).matmul(Tensor(x)).data, a @ x)
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self, rng):
+        values = rng.standard_normal((3, 4))
+        check_gradient(lambda t: (t + 2.0).sum(), values)
+
+    def test_mul_gradient_with_broadcast(self, rng):
+        values = rng.standard_normal((3, 4))
+        other = Tensor(rng.standard_normal((4,)))
+        check_gradient(lambda t: (t * other).sum(), values)
+
+    def test_div_gradient(self, rng):
+        values = rng.standard_normal((3, 3)) + 3.0
+        other = Tensor(rng.standard_normal((3, 3)) + 3.0)
+        check_gradient(lambda t: (t / other).sum(), values)
+
+    def test_rsub_gradient(self, rng):
+        values = rng.standard_normal((4,))
+        check_gradient(lambda t: (5.0 - t).sum(), values)
+
+    def test_pow_gradient(self, rng):
+        values = np.abs(rng.standard_normal((5,))) + 0.5
+        check_gradient(lambda t: (t ** 3).sum(), values)
+
+    def test_matmul_gradient(self, rng):
+        values = rng.standard_normal((3, 4))
+        other = Tensor(rng.standard_normal((4, 2)))
+        check_gradient(lambda t: (t @ other).sum(), values)
+
+    def test_matmul_gradient_right_operand(self, rng):
+        values = rng.standard_normal((4, 2))
+        other = Tensor(rng.standard_normal((3, 4)))
+        check_gradient(lambda t: other.matmul(t).sum(), values)
+
+    def test_gradient_accumulation_over_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_broadcast_add_gradient_shapes(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, np.full(4, 6.0))
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self, rng):
+        values = rng.standard_normal((2, 6))
+        check_gradient(lambda t: (t.reshape(3, 4) * 2).sum(), values)
+
+    def test_transpose_gradient(self, rng):
+        values = rng.standard_normal((2, 3, 4))
+        check_gradient(lambda t: (t.transpose(2, 0, 1) ** 2).sum(), values)
+
+    def test_default_transpose_reverses_axes(self, rng):
+        values = rng.standard_normal((2, 3))
+        assert Tensor(values).T.shape == (3, 2)
+
+    def test_flatten(self, rng):
+        t = Tensor(rng.standard_normal((2, 3, 4)))
+        assert t.flatten(start_dim=1).shape == (2, 12)
+
+    def test_getitem_gradient(self, rng):
+        values = rng.standard_normal((4, 5))
+        check_gradient(lambda t: (t[1:3, ::2] * 3).sum(), values)
+
+    def test_getitem_fancy_index_gradient(self, rng):
+        values = rng.standard_normal((6, 3))
+        index = np.array([0, 0, 2])
+        check_gradient(lambda t: t[index, np.arange(3)].sum(), values)
+
+    def test_pad2d_forward_and_gradient(self, rng):
+        values = rng.standard_normal((1, 2, 3, 3))
+        padded = Tensor(values).pad2d((1, 2))
+        assert padded.shape == (1, 2, 5, 7)
+        check_gradient(lambda t: (t.pad2d((1, 1)) ** 2).sum(), values)
+
+    def test_pad2d_zero_padding_is_identity(self, rng):
+        values = rng.standard_normal((1, 1, 3, 3))
+        t = Tensor(values)
+        assert t.pad2d((0, 0)) is t
+
+    def test_concatenate_gradient(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        Tensor.concatenate([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (2, 2)
+
+    def test_stack(self, rng):
+        a = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+
+class TestReductions:
+    def test_sum_axis_gradient(self, rng):
+        values = rng.standard_normal((3, 4))
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), values)
+
+    def test_sum_keepdims(self, rng):
+        t = Tensor(rng.standard_normal((3, 4)))
+        assert t.sum(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_mean_matches_numpy(self, rng):
+        values = rng.standard_normal((3, 4, 5))
+        np.testing.assert_allclose(
+            Tensor(values).mean(axis=(0, 2)).data, values.mean(axis=(0, 2))
+        )
+
+    def test_var_matches_numpy(self, rng):
+        values = rng.standard_normal((6, 7))
+        np.testing.assert_allclose(Tensor(values).var(axis=0).data, values.var(axis=0), atol=1e-12)
+
+    def test_max_gradient(self, rng):
+        values = rng.standard_normal((3, 4))
+        check_gradient(lambda t: t.max(axis=1).sum(), values)
+
+    def test_global_max(self, rng):
+        values = rng.standard_normal((3, 4))
+        assert Tensor(values).max().item() == pytest.approx(values.max())
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("name", ["exp", "log", "sqrt", "relu", "sigmoid", "tanh", "abs"])
+    def test_elementwise_gradients(self, name, rng):
+        values = np.abs(rng.standard_normal((3, 4))) + 0.5
+        check_gradient(lambda t: getattr(t, name)().sum(), values)
+
+    def test_relu_zeroes_negatives(self):
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).relu().data, [0.0, 2.0])
+
+    def test_clip_forward_and_gradient(self, rng):
+        values = rng.standard_normal((10,)) * 2
+        clipped = Tensor(values).clip(-1.0, 1.0)
+        assert clipped.data.max() <= 1.0 and clipped.data.min() >= -1.0
+        check_gradient(lambda t: (t.clip(-1.0, 1.0) * 2).sum(), values)
+
+    def test_sigmoid_range(self, rng):
+        out = Tensor(rng.standard_normal((100,)) * 5).sigmoid().data
+        assert np.all((out > 0) & (out < 1))
+
+
+class TestStraightThrough:
+    def test_forward_uses_quantized_value(self):
+        x = Tensor([0.3, 0.7], requires_grad=True)
+        y = x.straight_through(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(y.data, [0.0, 1.0])
+
+    def test_gradient_is_identity(self):
+        x = Tensor([0.3, 0.7], requires_grad=True)
+        (x.straight_through(np.array([0.0, 1.0])) * np.array([2.0, 3.0])).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 3.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).straight_through(np.zeros(3))
+
+
+class TestUnfold:
+    def test_unfold_shape(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        cols = x.unfold2d((3, 3), (1, 1))
+        assert cols.shape == (2, 3 * 9, 16)
+
+    def test_unfold_values_match_manual_patches(self, rng):
+        values = rng.standard_normal((1, 2, 4, 4))
+        cols = Tensor(values).unfold2d((2, 2), (1, 1)).data
+        # first window (top-left) of the first sample
+        manual = values[0, :, 0:2, 0:2].reshape(-1)
+        np.testing.assert_allclose(cols[0, :, 0], manual)
+
+    def test_unfold_stride(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 6, 6)))
+        cols = x.unfold2d((2, 2), (2, 2))
+        assert cols.shape == (1, 4, 9)
+
+    def test_unfold_gradient(self, rng):
+        values = rng.standard_normal((1, 2, 5, 5))
+        check_gradient(lambda t: (t.unfold2d((3, 3), (1, 1)) ** 2).sum(), values)
+
+    def test_unfold_too_large_kernel_raises(self, rng):
+        with pytest.raises(ValueError):
+            Tensor(rng.standard_normal((1, 1, 3, 3))).unfold2d((5, 5), (1, 1))

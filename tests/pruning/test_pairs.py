@@ -1,0 +1,95 @@
+"""Tests for PAIRS row-aligned pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.sdk import ParallelWindow
+from repro.nn.models import SimpleCNN
+from repro.pruning.pairs import (
+    PairsSpec,
+    apply_pairs_pruning,
+    select_row_aligned_pattern,
+    skippable_sdk_rows,
+)
+from repro.pruning.patterns import Pattern, all_patterns
+
+
+class TestSkippableRows:
+    def test_full_kernel_skips_only_untouched_rows(self, small_geometry):
+        window = ParallelWindow(4, 4)
+        full = Pattern(3, 3, frozenset((i, j) for i in range(3) for j in range(3)))
+        skippable, total = skippable_sdk_rows(small_geometry, window, full)
+        assert total == small_geometry.in_channels * 16
+        assert skippable == 0  # a 4x4 PW is fully covered by shifted 3x3 kernels
+
+    def test_single_entry_pattern_skips_many_rows(self, small_geometry):
+        window = ParallelWindow(4, 4)
+        single = Pattern(3, 3, frozenset({(1, 1)}))
+        skippable, total = skippable_sdk_rows(small_geometry, window, single)
+        # Only a 2x2 region of each channel's PW is read -> 12 of 16 rows skip.
+        assert skippable == small_geometry.in_channels * 12
+        assert 0 < skippable < total
+
+    def test_fewer_entries_never_skip_fewer_rows(self, small_geometry):
+        window = ParallelWindow(4, 4)
+        best_by_entries = []
+        for entries in (1, 3, 6, 9):
+            best = max(
+                skippable_sdk_rows(small_geometry, window, p)[0] for p in all_patterns(3, 3, entries)
+            )
+            best_by_entries.append(best)
+        assert all(best_by_entries[i] >= best_by_entries[i + 1] for i in range(len(best_by_entries) - 1))
+
+
+class TestSelectRowAlignedPattern:
+    def test_selected_pattern_has_requested_entries(self, small_geometry):
+        window = ParallelWindow(4, 4)
+        pattern = select_row_aligned_pattern(small_geometry, window, entries=4)
+        assert pattern.entries == 4
+
+    def test_selected_pattern_maximizes_skipping(self, small_geometry):
+        window = ParallelWindow(4, 4)
+        pattern = select_row_aligned_pattern(small_geometry, window, entries=4)
+        best = max(skippable_sdk_rows(small_geometry, window, p)[0] for p in all_patterns(3, 3, 4))
+        assert skippable_sdk_rows(small_geometry, window, pattern)[0] == best
+
+    def test_magnitude_breaks_ties(self, small_geometry, rng):
+        window = ParallelWindow(4, 4)
+        weight = rng.standard_normal((small_geometry.m, small_geometry.in_channels, 3, 3))
+        pattern = select_row_aligned_pattern(small_geometry, window, entries=4, weight=weight)
+        assert pattern.entries == 4
+
+
+class TestApplyPairs:
+    def test_report_contains_results(self, small_array):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_pairs_pruning(model, small_array, input_hw=(12, 12), spec=PairsSpec(entries=4))
+        assert report.results
+        assert all(0 <= r.row_skip_fraction <= 1 for r in report.results)
+        assert 0 <= report.mean_row_skip_fraction <= 1
+
+    def test_model_runs_after_pairs(self, small_array, rng):
+        from repro.nn.tensor import Tensor
+
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        apply_pairs_pruning(model, small_array, input_hw=(12, 12), spec=PairsSpec(entries=4))
+        out = model(Tensor(rng.standard_normal((1, 3, 12, 12))))
+        assert out.shape == (1, 5)
+
+    def test_effective_rows_consistent(self, small_array):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_pairs_pruning(model, small_array, input_hw=(12, 12), spec=PairsSpec(entries=4))
+        for result in report.results:
+            assert result.effective_rows == result.total_rows - result.skippable_rows
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PairsSpec(entries=0)
+
+    def test_describe(self, small_array):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_pairs_pruning(model, small_array, input_hw=(12, 12))
+        assert "PAIRS" in report.describe()

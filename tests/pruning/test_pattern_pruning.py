@@ -1,0 +1,125 @@
+"""Tests for model-level pattern pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import SimpleCNN
+from repro.nn.modules import Conv2d
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+from repro.pruning.pattern_pruning import (
+    PatternPrunedConv2d,
+    PatternPruningSpec,
+    apply_pattern_pruning,
+    prune_conv_pattern,
+)
+
+
+class TestPatternPrunedConv2d:
+    def test_mask_applied_to_weights(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        mask = np.zeros_like(conv.weight.data)
+        mask[:, :, 1, 1] = 1.0
+        pruned = PatternPrunedConv2d(conv, mask)
+        assert np.count_nonzero(pruned.effective_weight()) <= 3 * 4
+
+    def test_forward_shape_matches_original(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        mask = np.ones_like(conv.weight.data)
+        pruned = PatternPrunedConv2d(conv, mask)
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        assert pruned(x).shape == conv(x).shape
+
+    def test_full_mask_is_identity(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        pruned = PatternPrunedConv2d(conv, np.ones_like(conv.weight.data))
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)))
+        np.testing.assert_allclose(pruned(x).data, conv(x).data, atol=1e-12)
+
+    def test_sparsity_property(self, rng):
+        conv = Conv2d(2, 2, 3, rng=rng)
+        mask = np.zeros_like(conv.weight.data)
+        mask[:, :, 0, 0] = 1.0
+        assert PatternPrunedConv2d(conv, mask).sparsity == pytest.approx(8 / 9)
+
+    def test_kept_rows(self, rng):
+        conv = Conv2d(2, 4, 3, rng=rng)
+        mask = np.zeros_like(conv.weight.data)
+        mask[:, :, 1, :] = 1.0  # keep only the middle kernel row
+        pruned = PatternPrunedConv2d(conv, mask)
+        assert pruned.kept_rows() == 2 * 3
+
+    def test_mask_shape_mismatch_raises(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            PatternPrunedConv2d(conv, np.ones((4, 3, 2, 2)))
+
+    def test_pruned_positions_stay_zero_after_training(self, rng):
+        conv = Conv2d(2, 3, 3, padding=1, rng=rng)
+        mask = np.zeros_like(conv.weight.data)
+        mask[:, :, 1, 1] = 1.0
+        pruned = PatternPrunedConv2d(conv, mask)
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)))
+        optimizer = SGD(pruned.parameters(), lr=0.1)
+        for _ in range(5):
+            optimizer.zero_grad()
+            (pruned(x) ** 2).mean().backward()
+            optimizer.step()
+        assert np.all(pruned.effective_weight()[mask == 0] == 0)
+
+
+class TestPruneConv:
+    def test_sparsity_matches_entries(self, rng):
+        conv = Conv2d(4, 8, 3, rng=rng)
+        pruned, record = prune_conv_pattern(conv, entries=4)
+        assert record.sparsity == pytest.approx(1 - 4 / 9)
+        assert pruned.sparsity == pytest.approx(1 - 4 / 9)
+
+    def test_preserved_energy_increases_with_entries(self, rng):
+        conv = Conv2d(4, 8, 3, rng=rng)
+        _, low = prune_conv_pattern(conv, entries=2)
+        _, high = prune_conv_pattern(conv, entries=8)
+        assert high.preserved_energy >= low.preserved_energy
+        assert 0 < low.preserved_energy <= 1
+
+    def test_entries_clamped_to_kernel_size(self, rng):
+        conv = Conv2d(2, 2, 2, rng=rng)  # 2x2 kernel: at most 4 entries
+        pruned, record = prune_conv_pattern(conv, entries=9)
+        assert record.entries == 4
+        assert pruned.sparsity == pytest.approx(0.0)
+
+
+class TestApplyPatternPruning:
+    def test_replaces_eligible_layers(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_pattern_pruning(model, PatternPruningSpec(entries=4))
+        pruned_layers = [m for m in model.modules() if isinstance(m, PatternPrunedConv2d)]
+        assert len(pruned_layers) == len(report.records) == 2
+        assert report.skipped  # first conv skipped
+
+    def test_model_runs_after_pruning(self, rng):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        apply_pattern_pruning(model, PatternPruningSpec(entries=4))
+        out = model(Tensor(rng.standard_normal((2, 3, 12, 12))))
+        assert out.shape == (2, 5)
+
+    def test_mean_sparsity_reported(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_pattern_pruning(model, PatternPruningSpec(entries=3))
+        assert report.mean_sparsity == pytest.approx(1 - 3 / 9)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PatternPruningSpec(entries=0)
+        with pytest.raises(ValueError):
+            PatternPruningSpec(library_size=0)
+
+    def test_describe(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_pattern_pruning(model, PatternPruningSpec(entries=4))
+        assert "pattern pruning" in report.describe()
+
+    def test_label(self):
+        assert PatternPruningSpec(entries=6).label == "pattern(e=6)"

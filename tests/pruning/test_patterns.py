@@ -1,0 +1,134 @@
+"""Tests for the kernel pattern library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning.patterns import (
+    Pattern,
+    all_patterns,
+    assign_patterns,
+    build_pattern_library,
+    pattern_from_mask,
+    score_patterns,
+)
+
+
+class TestPattern:
+    def test_entries_and_sparsity(self):
+        pattern = Pattern(3, 3, frozenset({(0, 0), (1, 1), (2, 2)}))
+        assert pattern.entries == 3
+        assert pattern.sparsity == pytest.approx(6 / 9)
+
+    def test_mask(self):
+        pattern = Pattern(3, 3, frozenset({(0, 1)}))
+        mask = pattern.mask()
+        assert mask[0, 1] == 1 and mask.sum() == 1
+
+    def test_apply_zeroes_pruned_positions(self, rng):
+        kernel = rng.standard_normal((3, 3))
+        pattern = Pattern(3, 3, frozenset({(1, 1)}))
+        pruned = pattern.apply(kernel)
+        assert pruned[1, 1] == kernel[1, 1]
+        assert np.count_nonzero(pruned) <= 1
+
+    def test_apply_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Pattern(3, 3, frozenset({(0, 0)})).apply(rng.standard_normal((2, 2)))
+
+    def test_preserved_magnitude(self):
+        kernel = np.arange(9.0).reshape(3, 3)
+        pattern = Pattern(3, 3, frozenset({(2, 2)}))
+        assert pattern.preserved_magnitude(kernel) == pytest.approx(64.0)
+
+    def test_invalid_patterns(self):
+        with pytest.raises(ValueError):
+            Pattern(3, 3, frozenset())
+        with pytest.raises(ValueError):
+            Pattern(3, 3, frozenset({(3, 0)}))
+        with pytest.raises(ValueError):
+            Pattern(0, 3, frozenset({(0, 0)}))
+
+    def test_pattern_from_mask_roundtrip(self):
+        pattern = Pattern(3, 3, frozenset({(0, 0), (2, 1)}))
+        recovered = pattern_from_mask(pattern.mask())
+        assert recovered == pattern
+
+    def test_pattern_from_mask_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pattern_from_mask(np.ones(4))
+
+
+class TestAllPatterns:
+    def test_count_is_binomial(self):
+        assert len(all_patterns(3, 3, 4)) == 126  # C(9, 4)
+        assert len(all_patterns(3, 3, 1)) == 9
+        assert len(all_patterns(2, 2, 4)) == 1
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            all_patterns(3, 3, 0)
+        with pytest.raises(ValueError):
+            all_patterns(3, 3, 10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=9))
+    def test_every_pattern_has_requested_entries(self, entries):
+        assert all(p.entries == entries for p in all_patterns(3, 3, entries))
+
+
+class TestLibraryConstruction:
+    def test_scores_shape(self, rng):
+        weight = rng.standard_normal((4, 3, 3, 3))
+        patterns = all_patterns(3, 3, 4)
+        scores = score_patterns(weight, patterns)
+        assert scores.shape == (len(patterns),)
+        assert np.all(scores >= 0)
+
+    def test_score_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            score_patterns(rng.standard_normal((3, 3)), all_patterns(3, 3, 4))
+
+    def test_library_size_respected(self, rng):
+        weight = rng.standard_normal((4, 3, 3, 3))
+        library = build_pattern_library(weight, entries=4, library_size=6)
+        assert len(library) == 6
+        assert all(p.entries == 4 for p in library)
+
+    def test_library_contains_best_scoring_pattern(self, rng):
+        weight = rng.standard_normal((4, 3, 3, 3))
+        candidates = all_patterns(3, 3, 4)
+        scores = score_patterns(weight, candidates)
+        best = candidates[int(np.argmax(scores))]
+        library = build_pattern_library(weight, entries=4, library_size=8)
+        assert best in library
+
+    def test_library_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            build_pattern_library(rng.standard_normal((2, 2, 3, 3)), entries=4, library_size=0)
+
+
+class TestAssignment:
+    def test_assignment_shape(self, rng):
+        weight = rng.standard_normal((4, 5, 3, 3))
+        library = build_pattern_library(weight, entries=4, library_size=4)
+        assignment = assign_patterns(weight, library)
+        assert len(assignment) == 4
+        assert len(assignment[0]) == 5
+        assert all(p in library for row in assignment for p in row)
+
+    def test_assignment_picks_magnitude_maximizing_pattern(self):
+        """A kernel whose energy sits in one corner picks the pattern covering it."""
+        weight = np.zeros((1, 1, 3, 3))
+        weight[0, 0, 0, 0] = 10.0
+        corner = Pattern(3, 3, frozenset({(0, 0)}))
+        center = Pattern(3, 3, frozenset({(1, 1)}))
+        assignment = assign_patterns(weight, [center, corner])
+        assert assignment[0][0] == corner
+
+    def test_empty_library_rejected(self, rng):
+        with pytest.raises(ValueError):
+            assign_patterns(rng.standard_normal((2, 2, 3, 3)), [])

@@ -1,0 +1,108 @@
+"""Tests for magnitude and column (channel) pruning baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import SimpleCNN
+from repro.nn.tensor import Tensor
+from repro.pruning.structured import (
+    ColumnPruningSpec,
+    MagnitudePruningSpec,
+    apply_column_pruning,
+    apply_magnitude_pruning,
+    channel_importance,
+    column_mask,
+    magnitude_mask,
+    sparsity,
+)
+
+
+class TestMasks:
+    def test_sparsity_helper(self):
+        assert sparsity(np.array([0.0, 1.0, 0.0, 2.0])) == pytest.approx(0.5)
+        assert sparsity(np.array([])) == 0.0
+
+    def test_magnitude_mask_density(self, rng):
+        weight = rng.standard_normal((8, 4, 3, 3))
+        mask = magnitude_mask(weight, 0.75)
+        assert sparsity(mask) == pytest.approx(0.75, abs=0.02)
+
+    def test_magnitude_mask_keeps_largest(self, rng):
+        weight = rng.standard_normal((4, 4, 3, 3))
+        mask = magnitude_mask(weight, 0.5)
+        kept = np.abs(weight[mask == 1])
+        pruned = np.abs(weight[mask == 0])
+        assert kept.min() >= pruned.max() - 1e-12
+
+    def test_magnitude_mask_zero_sparsity(self, rng):
+        weight = rng.standard_normal((2, 2, 3, 3))
+        assert np.all(magnitude_mask(weight, 0.0) == 1)
+
+    def test_magnitude_mask_invalid(self, rng):
+        with pytest.raises(ValueError):
+            magnitude_mask(rng.standard_normal((2, 2)), 1.0)
+
+    def test_channel_importance_shape(self, rng):
+        weight = rng.standard_normal((8, 5, 3, 3))
+        assert channel_importance(weight).shape == (5,)
+
+    def test_channel_importance_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            channel_importance(rng.standard_normal((8, 5)))
+
+    def test_column_mask_prunes_whole_channels(self, rng):
+        weight = rng.standard_normal((8, 8, 3, 3))
+        mask = column_mask(weight, 0.5)
+        per_channel = mask.sum(axis=(0, 2, 3))
+        assert set(np.unique(per_channel)).issubset({0.0, 8 * 9})
+        assert (per_channel == 0).sum() == 4
+
+    def test_column_mask_prunes_least_important(self, rng):
+        weight = rng.standard_normal((4, 4, 3, 3))
+        weight[:, 0] *= 0.001  # channel 0 is clearly the least important
+        mask = column_mask(weight, 0.25)
+        assert np.all(mask[:, 0] == 0)
+
+    def test_column_mask_invalid(self, rng):
+        with pytest.raises(ValueError):
+            column_mask(rng.standard_normal((4, 4, 3, 3)), -0.1)
+
+
+class TestModelLevel:
+    def test_magnitude_pruning_applies(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_magnitude_pruning(model, MagnitudePruningSpec(target_sparsity=0.5))
+        assert report.records
+        assert report.mean_sparsity == pytest.approx(0.5, abs=0.05)
+
+    def test_column_pruning_applies_and_model_runs(self, rng):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_column_pruning(model, ColumnPruningSpec(target_sparsity=0.25))
+        assert report.records
+        out = model(Tensor(rng.standard_normal((1, 3, 12, 12))))
+        assert out.shape == (1, 5)
+
+    def test_column_pruning_reports_pruned_rows(self):
+        model = SimpleCNN(num_classes=5, widths=(8, 8, 8), seed=0)
+        report = apply_column_pruning(model, ColumnPruningSpec(target_sparsity=0.5))
+        for record in report.records:
+            assert record.pruned_rows > 0
+            assert record.pruned_rows % 9 == 0  # whole channels (kh*kw rows) pruned
+
+    def test_first_conv_skipped(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_magnitude_pruning(model, MagnitudePruningSpec(target_sparsity=0.3))
+        assert len(report.skipped) == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MagnitudePruningSpec(target_sparsity=1.0)
+        with pytest.raises(ValueError):
+            ColumnPruningSpec(target_sparsity=-0.5)
+
+    def test_describe(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_magnitude_pruning(model)
+        assert "pruned" in report.describe()

@@ -1,0 +1,80 @@
+"""Tests for model-wide QAT configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowrank.compress import CompressionSpec, compress_model
+from repro.nn.models import SimpleCNN
+from repro.nn.modules import Conv2d, Linear
+from repro.nn.tensor import Tensor
+from repro.quantization.config import QuantizationConfig, apply_qat, quantized_layers
+from repro.quantization.qat import QATConv2d, QATGroupLowRankConv2d, QATLinear
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        config = QuantizationConfig()
+        assert config.weight_bits == 4 and config.activation_bits == 4
+        assert config.scheme == "dorefa"
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            QuantizationConfig(weight_bits=0)
+        with pytest.raises(ValueError):
+            QuantizationConfig(activation_bits=0)
+        with pytest.raises(ValueError):
+            QuantizationConfig(scheme="float")
+
+    def test_label(self):
+        assert QuantizationConfig(weight_bits=2, activation_bits=3).label == "W2A3 (dorefa)"
+
+
+class TestApplyQAT:
+    def test_wraps_all_but_first_conv_and_last_linear(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_qat(model, QuantizationConfig())
+        convs = [name for name, m in model.named_modules() if isinstance(m, Conv2d)]
+        assert report.quantized
+        # The stem conv remains a bare Conv2d reachable directly (not via a QAT wrapper path).
+        wrappers = quantized_layers(model)
+        assert all(not name.endswith("features.0") for name in wrappers)
+        assert len(report.skipped) >= 1
+
+    def test_model_runs_after_qat(self, rng):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        apply_qat(model, QuantizationConfig(weight_bits=4, activation_bits=4))
+        out = model(Tensor(rng.standard_normal((2, 3, 12, 12))))
+        assert out.shape == (2, 5)
+
+    def test_quantization_changes_outputs(self, rng):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        model.eval()
+        x = Tensor(rng.standard_normal((2, 3, 12, 12)))
+        reference = model(x).data
+        apply_qat(model, QuantizationConfig(weight_bits=1, activation_bits=1))
+        model.eval()
+        assert not np.allclose(model(x).data, reference)
+
+    def test_qat_on_compressed_model(self, rng):
+        """QAT wraps the group low-rank layers of a compressed model (the paper's pipeline)."""
+        model = SimpleCNN(num_classes=5, widths=(8, 8, 16), seed=0)
+        compress_model(model, CompressionSpec(rank_divisor=4, groups=2))
+        report = apply_qat(model, QuantizationConfig())
+        wrappers = quantized_layers(model)
+        assert any(isinstance(w, QATGroupLowRankConv2d) for w in wrappers.values())
+        out = model(Tensor(rng.standard_normal((1, 3, 12, 12))))
+        assert out.shape == (1, 5)
+
+    def test_report_describe(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        report = apply_qat(model)
+        assert "quantized" in report.describe()
+
+    def test_quantized_layers_lookup(self):
+        model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
+        apply_qat(model)
+        wrappers = quantized_layers(model)
+        assert all(isinstance(w, (QATConv2d, QATLinear, QATGroupLowRankConv2d)) for w in wrappers.values())
+        assert len(wrappers) >= 2

@@ -1,0 +1,150 @@
+"""Tests for the QAT layer wrappers (fake quantization + straight-through gradients)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowrank.layers import GroupLowRankConv2d
+from repro.nn.modules import Conv2d, Linear
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+from repro.quantization.qat import (
+    QATConv2d,
+    QATGroupLowRankConv2d,
+    QATLinear,
+    fake_quantize,
+    make_activation_quantizer,
+    make_weight_quantizer,
+)
+from repro.quantization.quantizers import DoReFaWeightQuantizer, UniformQuantizer
+
+
+class TestFactories:
+    def test_weight_quantizer_schemes(self):
+        assert isinstance(make_weight_quantizer(4, "dorefa"), DoReFaWeightQuantizer)
+        assert isinstance(make_weight_quantizer(4, "uniform"), UniformQuantizer)
+        with pytest.raises(ValueError):
+            make_weight_quantizer(4, "unknown")
+
+    def test_activation_quantizer_schemes(self):
+        make_activation_quantizer(4, "dorefa")
+        make_activation_quantizer(4, "uniform")
+        with pytest.raises(ValueError):
+            make_activation_quantizer(4, "nope")
+
+
+class TestFakeQuantize:
+    def test_forward_is_quantized(self, rng):
+        tensor = Tensor(rng.standard_normal(100), requires_grad=True)
+        out = fake_quantize(tensor, UniformQuantizer(bits=2))
+        assert len(np.unique(out.data)) <= 4
+
+    def test_gradient_passes_through(self, rng):
+        tensor = Tensor(rng.standard_normal(10), requires_grad=True)
+        fake_quantize(tensor, UniformQuantizer(bits=2)).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones(10))
+
+
+class TestQATConv2d:
+    def test_forward_shape_unchanged(self, rng):
+        conv = Conv2d(3, 8, 3, padding=1, rng=rng)
+        qat = QATConv2d(conv, weight_bits=4, activation_bits=4)
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        assert qat(x).shape == conv(x).shape
+
+    def test_output_differs_from_float_at_low_bits(self, rng):
+        conv = Conv2d(3, 8, 3, padding=1, rng=rng)
+        qat = QATConv2d(conv, weight_bits=1, activation_bits=1)
+        x = Tensor(rng.standard_normal((1, 3, 6, 6)))
+        assert not np.allclose(qat(x).data, conv(x).data)
+
+    def test_high_bits_uniform_close_to_float(self, rng):
+        """The symmetric uniform quantizer at 8 bits barely perturbs the outputs.
+
+        (The DoReFa weight quantizer intentionally re-scales weights to [-1, 1],
+        so the closeness check only makes sense for the uniform scheme.)
+        """
+        conv = Conv2d(3, 4, 3, padding=1, bias=False, rng=rng)
+        qat = QATConv2d(conv, weight_bits=8, activation_bits=None, scheme="uniform")
+        x = Tensor(rng.standard_normal((1, 3, 6, 6)))
+        relative = np.linalg.norm(qat(x).data - conv(x).data) / np.linalg.norm(conv(x).data)
+        assert relative < 0.05
+
+    def test_quantized_weight_levels(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        qat = QATConv2d(conv, weight_bits=2)
+        assert len(np.unique(qat.quantized_weight())) <= 4
+
+    def test_gradients_reach_underlying_weights(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        qat = QATConv2d(conv, weight_bits=4, activation_bits=4)
+        qat(Tensor(rng.standard_normal((2, 3, 5, 5)))).sum().backward()
+        assert conv.weight.grad is not None
+        assert np.any(conv.weight.grad != 0)
+
+    def test_trainable_with_ste(self, rng):
+        """QAT layer trains: loss decreases despite the non-differentiable rounding."""
+        conv = Conv2d(2, 3, 3, padding=1, rng=rng)
+        qat = QATConv2d(conv, weight_bits=4, activation_bits=4)
+        x = Tensor(rng.standard_normal((4, 2, 6, 6)))
+        target = rng.standard_normal((4, 3, 6, 6))
+        optimizer = SGD(conv.parameters(), lr=0.05)
+        losses = []
+        for _ in range(25):
+            optimizer.zero_grad()
+            diff = qat(x) - Tensor(target)
+            loss = (diff * diff).mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_no_activation_quantization_when_none(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, bias=False, rng=rng)
+        qat = QATConv2d(conv, weight_bits=4, activation_bits=None)
+        assert qat.activation_quantizer is None
+
+
+class TestQATLinear:
+    def test_forward_shape(self, rng):
+        linear = Linear(10, 6, rng=rng)
+        qat = QATLinear(linear, weight_bits=4)
+        assert qat(Tensor(rng.standard_normal((3, 10)))).shape == (3, 6)
+
+    def test_quantized_weight(self, rng):
+        qat = QATLinear(Linear(10, 6, rng=rng), weight_bits=2)
+        assert len(np.unique(qat.quantized_weight())) <= 4
+
+    def test_gradient_flow(self, rng):
+        linear = Linear(8, 4, rng=rng)
+        qat = QATLinear(linear, weight_bits=4)
+        qat(Tensor(rng.standard_normal((2, 8)))).sum().backward()
+        assert linear.weight.grad is not None
+
+
+class TestQATGroupLowRankConv2d:
+    def test_forward_shape(self, rng):
+        layer = GroupLowRankConv2d(4, 6, 3, rank=2, groups=2, padding=1, rng=rng)
+        qat = QATGroupLowRankConv2d(layer, weight_bits=4, activation_bits=4)
+        x = Tensor(rng.standard_normal((2, 4, 6, 6)))
+        assert qat(x).shape == layer(x).shape
+
+    def test_matches_float_at_high_bits_uniform(self, rng):
+        layer = GroupLowRankConv2d(4, 6, 3, rank=4, groups=2, padding=1, rng=rng)
+        qat = QATGroupLowRankConv2d(layer, weight_bits=8, activation_bits=None, scheme="uniform")
+        x = Tensor(rng.standard_normal((1, 4, 6, 6)))
+        relative = np.linalg.norm(qat(x).data - layer(x).data) / np.linalg.norm(layer(x).data)
+        assert relative < 0.05
+
+    def test_gradients_reach_factors(self, rng):
+        layer = GroupLowRankConv2d(4, 6, 3, rank=2, groups=2, padding=1, rng=rng)
+        qat = QATGroupLowRankConv2d(layer, weight_bits=4, activation_bits=4)
+        qat(Tensor(rng.standard_normal((1, 4, 5, 5)))).sum().backward()
+        assert layer.left_weight.grad is not None
+        assert layer.right_weight.grad is not None
+
+    def test_repr_mentions_bits(self, rng):
+        layer = GroupLowRankConv2d(4, 6, 3, rank=2, groups=2, rng=rng)
+        qat = QATGroupLowRankConv2d(layer, weight_bits=4, activation_bits=4)
+        assert "weight_bits=4" in qat.extra_repr()

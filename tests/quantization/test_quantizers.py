@@ -1,0 +1,162 @@
+"""Tests for the uniform and DoReFa quantizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantization.quantizers import (
+    DoReFaActivationQuantizer,
+    DoReFaWeightQuantizer,
+    UniformQuantizer,
+    dequantize_uniform,
+    quantization_error,
+    quantization_levels,
+    quantize_uniform,
+)
+
+
+class TestPrimitives:
+    def test_levels(self):
+        assert quantization_levels(1) == 2
+        assert quantization_levels(4) == 16
+        with pytest.raises(ValueError):
+            quantization_levels(0)
+
+    def test_quantize_dequantize_roundtrip_on_grid(self):
+        values = np.linspace(-1, 1, 17)[:-1]
+        codes, scale = quantize_uniform(values, 4, -1.0, 1.0)
+        recovered = dequantize_uniform(codes, scale, -1.0)
+        np.testing.assert_allclose(recovered, values, atol=scale / 2 + 1e-12)
+
+    def test_quantize_clips_out_of_range(self):
+        codes, scale = quantize_uniform(np.array([5.0, -5.0]), 2, -1.0, 1.0)
+        assert codes.max() <= 3 and codes.min() >= 0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            quantize_uniform(np.zeros(3), 4, 1.0, 1.0)
+
+    def test_quantization_error_zero_for_identical(self, rng):
+        values = rng.standard_normal(10)
+        assert quantization_error(values, values.copy()) == 0.0
+
+    def test_quantization_error_zero_matrix(self):
+        assert quantization_error(np.zeros(5), np.zeros(5)) == 0.0
+
+
+class TestUniformQuantizer:
+    def test_output_levels_bounded(self, rng):
+        quantizer = UniformQuantizer(bits=3)
+        values = rng.standard_normal(1000)
+        quantized = quantizer(values)
+        assert len(np.unique(quantized)) <= 8
+
+    def test_preserves_extremes(self, rng):
+        quantizer = UniformQuantizer(bits=4)
+        values = rng.standard_normal(100)
+        quantized = quantizer(values)
+        assert quantized.max() <= np.abs(values).max() + 1e-12
+        assert np.abs(quantized).max() == pytest.approx(np.abs(values).max())
+
+    def test_error_decreases_with_bits(self, rng):
+        values = rng.standard_normal(500)
+        errors = [quantization_error(values, UniformQuantizer(bits=b)(values)) for b in (2, 4, 8)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_zero_input(self):
+        quantizer = UniformQuantizer(bits=4)
+        np.testing.assert_allclose(quantizer(np.zeros(5)), np.zeros(5))
+
+    def test_asymmetric_mode(self, rng):
+        quantizer = UniformQuantizer(bits=4, symmetric=False)
+        values = rng.random(100) + 3.0
+        quantized = quantizer(values)
+        assert quantized.min() >= values.min() - 1e-9
+        assert quantized.max() <= values.max() + 1e-9
+
+    def test_empty_input(self):
+        quantizer = UniformQuantizer(bits=4)
+        assert quantizer(np.array([])).size == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 40), elements=st.floats(-10, 10)),
+        st.integers(min_value=2, max_value=8),
+    )
+    def test_idempotent(self, values, bits):
+        """Quantizing an already-quantized tensor must not change it."""
+        quantizer = UniformQuantizer(bits=bits)
+        once = quantizer(values)
+        twice = quantizer(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+class TestDoReFaWeightQuantizer:
+    def test_output_in_unit_range(self, rng):
+        quantizer = DoReFaWeightQuantizer(bits=4)
+        quantized = quantizer(rng.standard_normal(500) * 3)
+        assert np.all(quantized <= 1.0 + 1e-12) and np.all(quantized >= -1.0 - 1e-12)
+
+    def test_level_count(self, rng):
+        quantizer = DoReFaWeightQuantizer(bits=2)
+        quantized = quantizer(rng.standard_normal(2000))
+        assert len(np.unique(quantized)) <= 4
+
+    def test_one_bit_is_sign_times_mean(self, rng):
+        values = rng.standard_normal(100)
+        quantized = DoReFaWeightQuantizer(bits=1)(values)
+        scale = np.mean(np.abs(values))
+        np.testing.assert_allclose(np.abs(quantized), np.full_like(values, scale))
+        np.testing.assert_allclose(np.sign(quantized[values != 0]), np.sign(values[values != 0]))
+
+    def test_monotone_in_input(self, rng):
+        quantizer = DoReFaWeightQuantizer(bits=4)
+        values = np.sort(rng.standard_normal(50))
+        quantized = quantizer(values)
+        assert np.all(np.diff(quantized) >= -1e-12)
+
+    def test_zero_input(self):
+        assert np.all(DoReFaWeightQuantizer(bits=4)(np.zeros(5)) == 0)
+        assert np.all(DoReFaWeightQuantizer(bits=1)(np.zeros(5)) == 0)
+
+    def test_error_against_continuous_transform_decreases_with_bits(self, rng):
+        """More bits approximate the continuous DoReFa transform better.
+
+        (DoReFa rescales weights to [-1, 1], so comparing against the *original*
+        float weights is not meaningful; the convergence target is the
+        un-quantized tanh-normalized transform, approximated here with 16 bits.)
+        """
+        values = rng.standard_normal(500)
+        continuous = DoReFaWeightQuantizer(bits=16)(values)
+        errors = [
+            quantization_error(continuous, DoReFaWeightQuantizer(bits=b)(values)) for b in (2, 4, 8)
+        ]
+        assert all(errors[i] >= errors[i + 1] - 1e-9 for i in range(len(errors) - 1))
+
+
+class TestDoReFaActivationQuantizer:
+    def test_clips_to_unit_interval(self, rng):
+        quantizer = DoReFaActivationQuantizer(bits=4)
+        quantized = quantizer(rng.standard_normal(500) * 3)
+        assert quantized.min() >= 0.0 and quantized.max() <= 1.0
+
+    def test_level_count(self, rng):
+        quantized = DoReFaActivationQuantizer(bits=2)(rng.random(1000))
+        assert len(np.unique(quantized)) <= 4
+
+    def test_custom_clip_max(self, rng):
+        quantizer = DoReFaActivationQuantizer(bits=4, clip_max=6.0)
+        quantized = quantizer(rng.random(100) * 10)
+        assert quantized.max() <= 6.0
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            DoReFaActivationQuantizer(bits=4, clip_max=0.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            DoReFaActivationQuantizer(bits=0)

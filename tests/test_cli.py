@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line interface.
+
+Only the fast subcommands are exercised (Table I restricted sweeps are still a
+second or two); the heavyweight ``report`` command is covered by the benchmark
+suite via the underlying ``run_all`` harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "fig6", "fig7", "fig8", "fig9", "report", "compare"):
+            args = parser.parse_args([command] if command != "compare" else ["compare"])
+            assert args.command == command
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.network == "resnet20" and args.array == 64
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--network", "vgg"])
+
+
+class TestExecution:
+    def test_compare_command_prints_table(self, capsys):
+        exit_code = main(["compare", "--network", "resnet20", "--array", "64"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "im2col" in captured and "ours" in captured and "speedup" in captured
+
+    def test_fig8_command(self, capsys):
+        exit_code = main(["fig8"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Fig. 8" in captured and "DoReFa" in captured
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "compare.txt"
+        exit_code = main(["--output", str(target), "compare"])
+        capsys.readouterr()
+        assert exit_code == 0
+        assert target.exists()
+        assert "speedup" in target.read_text()

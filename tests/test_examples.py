@@ -1,0 +1,66 @@
+"""Smoke tests keeping the example scripts runnable.
+
+The heavyweight examples (those that train models or sweep both networks) are
+exercised manually / by the benchmark harness; here the fast, analysis-only
+examples are executed end to end so API changes cannot silently break them.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    """Execute an example script as ``__main__`` with the given argv and return its stdout."""
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"example {name} is missing"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExampleScripts:
+    def test_compress_resnet20_example(self, capsys):
+        out = run_example("compress_resnet20.py", ["--groups", "2", "--rank-divisor", "8"], capsys)
+        assert "ResNet-20 compressed with g=2" in out
+        assert "network computing cycles" in out
+        assert "speedup vs im2col" in out
+
+    def test_pareto_sweep_example(self, capsys):
+        out = run_example("pareto_sweep.py", ["--network", "resnet20", "--array", "64"], capsys)
+        assert "Pareto-optimal" in out
+        assert "headline" in out
+        assert "PatDNN" in out
+
+    def test_rank_allocation_example(self, capsys):
+        out = run_example("rank_allocation.py", [], capsys)
+        assert "uniform rank rule vs. sensitivity-driven allocation" in out
+        assert "per-layer ranks under the cycle budget" in out
+        assert "deployment comparison" in out
+
+    def test_noise_robustness_example(self, capsys):
+        out = run_example("noise_robustness.py", [], capsys)
+        assert "relative output error" in out
+        assert "variation 10%" in out
+
+    def test_all_examples_present(self):
+        expected = {
+            "quickstart.py",
+            "compress_resnet20.py",
+            "pareto_sweep.py",
+            "imc_energy_report.py",
+            "noise_robustness.py",
+            "rank_allocation.py",
+        }
+        found = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert expected <= found

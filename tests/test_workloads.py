@@ -1,0 +1,85 @@
+"""Tests for the network layer-geometry catalogues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    NETWORKS,
+    compressible_geometries,
+    network_geometries,
+    resnet20_geometries,
+    wrn16_4_geometries,
+)
+
+
+class TestResNet20Catalogue:
+    def test_layer_count(self):
+        geometries = resnet20_geometries()
+        # 1 stem + 18 block convs + 2 projection shortcuts
+        assert len(geometries) == 21
+
+    def test_total_parameter_count_matches_architecture(self):
+        total = sum(g.weight_count for g in resnet20_geometries())
+        # Conv parameters of ResNet-20 (excluding BN/FC) ≈ 0.268M
+        assert 0.25e6 < total < 0.29e6
+
+    def test_spatial_sizes_halve_per_stage(self):
+        geometries = {g.name: g for g in resnet20_geometries()}
+        assert geometries["layer1.0.conv1"].input_h == 32
+        assert geometries["layer2.1.conv1"].input_h == 16
+        assert geometries["layer3.1.conv1"].input_h == 8
+
+    def test_channel_progression(self):
+        geometries = {g.name: g for g in resnet20_geometries()}
+        assert geometries["layer1.0.conv1"].out_channels == 16
+        assert geometries["layer2.0.conv1"].out_channels == 32
+        assert geometries["layer3.0.conv1"].out_channels == 64
+
+    def test_strides(self):
+        geometries = {g.name: g for g in resnet20_geometries()}
+        assert geometries["layer2.0.conv1"].stride == 2
+        assert geometries["layer2.0.conv2"].stride == 1
+        assert geometries["layer2.0.shortcut"].stride == 2
+
+
+class TestWRNCatalogue:
+    def test_layer_count(self):
+        geometries = wrn16_4_geometries()
+        # 1 stem + 12 block convs + 3 projection shortcuts (every stage widens)
+        assert len(geometries) == 16
+
+    def test_total_parameter_count(self):
+        total = sum(g.weight_count for g in wrn16_4_geometries())
+        # Conv parameters of WRN16-4 ≈ 2.75M
+        assert 2.5e6 < total < 3.0e6
+
+    def test_widths(self):
+        geometries = {g.name: g for g in wrn16_4_geometries()}
+        assert geometries["layer1.0.conv1"].out_channels == 64
+        assert geometries["layer2.0.conv1"].out_channels == 128
+        assert geometries["layer3.0.conv1"].out_channels == 256
+
+
+class TestHelpers:
+    def test_network_geometries_dispatch(self):
+        assert network_geometries("resnet20") == resnet20_geometries()
+        assert network_geometries("wrn16_4") == wrn16_4_geometries()
+        with pytest.raises(ValueError):
+            network_geometries("alexnet")
+
+    @pytest.mark.parametrize("network", NETWORKS)
+    def test_compressible_excludes_stem_pointwise(self, network):
+        compressible = compressible_geometries(network)
+        assert all(g.name != "conv1" for g in compressible)
+        assert all(not g.is_pointwise for g in compressible)
+        assert compressible  # non-empty
+
+    def test_compressible_counts(self):
+        assert len(compressible_geometries("resnet20")) == 18
+        assert len(compressible_geometries("wrn16_4")) == 12
+
+    def test_all_names_unique(self):
+        for network in NETWORKS:
+            names = [g.name for g in network_geometries(network)]
+            assert len(names) == len(set(names))

@@ -1,0 +1,88 @@
+"""Tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import make_tiny_dataset
+from repro.nn.models import TinyConvNet
+from repro.nn.modules import Linear, Module
+from repro.nn.tensor import Tensor
+from repro.training.evaluate import confusion_matrix, evaluate_accuracy, evaluate_topk, predict_logits
+
+
+class PerfectClassifier(Module):
+    """Predicts the label encoded in the first pixel of each image."""
+
+    def __init__(self, num_classes: int) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        labels = np.round(x.data[:, 0, 0, 0]).astype(int) % self.num_classes
+        logits = np.full((x.shape[0], self.num_classes), -10.0)
+        logits[np.arange(x.shape[0]), labels] = 10.0
+        return Tensor(logits)
+
+
+def make_labelled_loader(num_classes: int = 4, samples: int = 32) -> DataLoader:
+    dataset = make_tiny_dataset(num_samples=samples, num_classes=num_classes, image_size=4, seed=0)
+    dataset.images[:, 0, 0, 0] = dataset.labels  # encode label into the first pixel
+    return DataLoader(dataset, batch_size=8, shuffle=False)
+
+
+class TestEvaluateAccuracy:
+    def test_perfect_classifier_scores_one(self):
+        loader = make_labelled_loader()
+        assert evaluate_accuracy(PerfectClassifier(4), loader) == pytest.approx(1.0)
+
+    def test_random_model_near_chance(self):
+        dataset = make_tiny_dataset(num_samples=200, num_classes=4, image_size=8, seed=1)
+        loader = DataLoader(dataset, batch_size=50, shuffle=False)
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        accuracy = evaluate_accuracy(model, loader)
+        assert 0.0 <= accuracy <= 0.6
+
+    def test_predict_logits_eval_mode(self):
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        model.train()
+        logits = predict_logits(model, np.zeros((2, 3, 8, 8)))
+        assert logits.shape == (2, 4)
+        assert not model.training  # predict_logits switches to eval
+
+
+class TestTopK:
+    def test_topk_at_num_classes_is_one(self):
+        dataset = make_tiny_dataset(num_samples=40, num_classes=4, image_size=8, seed=0)
+        loader = DataLoader(dataset, batch_size=20, shuffle=False)
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        assert evaluate_topk(model, loader, k=4) == pytest.approx(1.0)
+
+    def test_topk_at_least_top1(self):
+        loader = make_labelled_loader()
+        model = PerfectClassifier(4)
+        top1 = evaluate_accuracy(model, loader)
+        top2 = evaluate_topk(model, loader, k=2)
+        assert top2 >= top1
+
+    def test_invalid_k(self):
+        loader = make_labelled_loader()
+        with pytest.raises(ValueError):
+            evaluate_topk(PerfectClassifier(4), loader, k=0)
+
+
+class TestConfusionMatrix:
+    def test_perfect_classifier_diagonal(self):
+        loader = make_labelled_loader(num_classes=4, samples=40)
+        matrix = confusion_matrix(PerfectClassifier(4), loader, num_classes=4)
+        assert matrix.sum() == 40
+        assert np.all(matrix == np.diag(np.diag(matrix)))
+
+    def test_row_sums_equal_class_counts(self):
+        dataset = make_tiny_dataset(num_samples=40, num_classes=4, image_size=8, seed=0)
+        loader = DataLoader(dataset, batch_size=10, shuffle=False)
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        matrix = confusion_matrix(model, loader, num_classes=4)
+        np.testing.assert_array_equal(matrix.sum(axis=1), np.bincount(dataset.labels, minlength=4))

@@ -1,0 +1,94 @@
+"""Tests for the training loop (including on compressed / quantized models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import make_tiny_dataset
+from repro.lowrank.compress import CompressionSpec, compress_model
+from repro.nn.models import SimpleCNN, TinyConvNet
+from repro.nn.optim import SGD, Adam, StepLR
+from repro.training.trainer import Trainer
+
+
+@pytest.fixture
+def tiny_loaders():
+    dataset = make_tiny_dataset(num_samples=120, num_classes=4, image_size=8, seed=0)
+    train, test = dataset.split(0.8, seed=0)
+    return (
+        DataLoader(train, batch_size=24, shuffle=True, seed=0),
+        DataLoader(test, batch_size=24, shuffle=False),
+    )
+
+
+class TestTrainer:
+    def test_single_step_returns_metrics(self, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        images, labels = next(iter(train_loader))
+        stats = trainer.train_step(images, labels)
+        assert "loss" in stats and "accuracy" in stats
+        assert stats["loss"] > 0
+        assert 0 <= stats["accuracy"] <= 1
+
+    def test_loss_decreases_over_training(self, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+        history = trainer.fit(train_loader, epochs=4)
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
+
+    def test_accuracy_above_chance_after_training(self, tiny_loaders):
+        train_loader, test_loader = tiny_loaders
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02))
+        trainer.fit(train_loader, epochs=6, eval_loader=test_loader)
+        assert trainer.history.best_eval_accuracy > 0.3  # chance is 0.25
+
+    def test_history_records_learning_rate_and_time(self, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        optimizer = SGD(model.parameters(), lr=0.1)
+        trainer = Trainer(model, optimizer, scheduler=StepLR(optimizer, step_size=1, gamma=0.5))
+        history = trainer.fit(train_loader, epochs=2)
+        assert history.epochs[0].learning_rate == pytest.approx(0.05)
+        assert history.epochs[1].learning_rate == pytest.approx(0.025)
+        assert all(e.seconds >= 0 for e in history.epochs)
+
+    def test_grad_clipping_bounds_update(self, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05), grad_clip=0.001)
+        images, labels = next(iter(train_loader))
+        trainer.train_step(images, labels)
+        total = sum(float(np.sum(p.grad ** 2)) for p in model.parameters() if p.grad is not None)
+        assert np.sqrt(total) <= 0.001 + 1e-9
+
+    def test_invalid_epochs(self, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        with pytest.raises(ValueError):
+            trainer.fit(train_loader, epochs=0)
+
+    def test_history_helpers(self, tiny_loaders):
+        train_loader, test_loader = tiny_loaders
+        model = TinyConvNet(num_classes=4, in_channels=3, seed=0)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        trainer.fit(train_loader, epochs=2, eval_loader=test_loader)
+        as_dict = trainer.history.as_dict()
+        assert len(as_dict["train_loss"]) == 2
+        assert trainer.history.final_train_accuracy >= 0
+        assert trainer.history.final_eval_accuracy is not None
+
+    def test_compressed_model_trains(self, tiny_loaders):
+        """A group low-rank compressed model goes through the same training loop."""
+        train_loader, _ = tiny_loaders
+        model = SimpleCNN(num_classes=4, widths=(8, 8, 16), seed=0)
+        compress_model(model, CompressionSpec(rank_divisor=2, groups=2))
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+        history = trainer.fit(train_loader, epochs=3)
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
