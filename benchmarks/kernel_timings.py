@@ -1,0 +1,164 @@
+"""Kernel-timing emitter: measure engine vs. legacy kernels, write BENCH_kernels.json.
+
+Run from the repository root (CI does this on every push)::
+
+    python benchmarks/kernel_timings.py --output BENCH_kernels.json
+
+Each entry times one computational kernel of the execution engine against its
+per-element reference, so perf regressions in the vectorized paths show up as
+a shrinking ``speedup`` field between runs.  Timings are best-of-``repeats``
+wall-clock seconds; results also list the engine/reference agreement so a
+"fast but wrong" regression cannot slip through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.engine.cache import DecompositionCache  # noqa: E402
+from repro.engine.kernels import (  # noqa: E402
+    BatchedTiledMatrix,
+    im2col_columns,
+    im2col_columns_loop,
+)
+from repro.imc.noise import NoiseModel  # noqa: E402
+from repro.imc.tiles import TiledMatrix  # noqa: E402
+from repro.lowrank.group import group_decompose  # noqa: E402
+from repro.mapping.cycles import _candidate_window_stats, select_lowrank_window  # noqa: E402
+from repro.mapping.geometry import ArrayDims, ConvGeometry  # noqa: E402
+
+
+def best_of(func: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_im2col(repeats: int) -> Dict[str, object]:
+    geometry = ConvGeometry(16, 32, 3, 3, 32, 32, stride=1, padding=1)
+    inputs = np.random.default_rng(0).standard_normal((8, 16, 32, 32))
+    engine = best_of(lambda: im2col_columns(inputs, geometry), repeats)
+    reference = best_of(lambda: im2col_columns_loop(inputs, geometry), repeats)
+    matches = bool(
+        np.array_equal(im2col_columns(inputs, geometry), im2col_columns_loop(inputs, geometry))
+    )
+    return {
+        "kernel": "im2col_columns",
+        "workload": "8x16x32x32 NCHW, 3x3 s1 p1",
+        "engine_seconds": engine,
+        "reference_seconds": reference,
+        "speedup": reference / engine if engine > 0 else None,
+        "matches_reference": matches,
+    }
+
+
+def bench_tiled_mvm(repeats: int) -> Dict[str, object]:
+    rng = np.random.default_rng(1)
+    matrix = rng.standard_normal((128, 288))
+    inputs = rng.standard_normal((1024, 288))
+    array = ArrayDims.square(64)
+    noise = NoiseModel.typical()
+    batched = BatchedTiledMatrix(matrix, array, noise=noise, seed=3)
+    legacy = TiledMatrix(matrix, array, noise=noise, seed=3)
+    engine = best_of(lambda: batched.mvm_batch(inputs), repeats)
+    reference = best_of(lambda: legacy.mvm_batch(inputs), repeats)
+    max_diff = float(np.abs(batched.mvm_batch(inputs) - legacy.mvm_batch(inputs)).max())
+    return {
+        "kernel": "tiled_mvm_batch",
+        "workload": "128x288 matrix on 64x64 tiles, 1024-vector batch, typical noise",
+        "engine_seconds": engine,
+        "reference_seconds": reference,
+        "speedup": reference / engine if engine > 0 else None,
+        "max_abs_difference": max_diff,
+    }
+
+
+def bench_decomposition_cache(repeats: int) -> Dict[str, object]:
+    rng = np.random.default_rng(2)
+    matrix = rng.standard_normal((256, 576))
+    ranks = (8, 16, 32, 64)
+
+    def cached() -> None:
+        cache = DecompositionCache()
+        for rank in ranks:
+            cache.group_decompose(matrix, rank, 4)
+
+    def direct() -> None:
+        for rank in ranks:
+            group_decompose(matrix, rank, 4)
+
+    engine = best_of(cached, repeats)
+    reference = best_of(direct, repeats)
+    return {
+        "kernel": "group_decompose_rank_sweep",
+        "workload": "256x576 matrix, groups=4, ranks 8/16/32/64",
+        "engine_seconds": engine,
+        "reference_seconds": reference,
+        "speedup": reference / engine if engine > 0 else None,
+    }
+
+
+def bench_window_search(repeats: int) -> Dict[str, object]:
+    geometry = ConvGeometry(64, 64, 3, 3, 16, 16, stride=1, padding=1, name="bench-conv")
+    array = ArrayDims.square(64)
+
+    def search() -> None:
+        select_lowrank_window.cache_clear()
+        _candidate_window_stats.cache_clear()
+        for groups in (1, 2, 4, 8):
+            for divisor in (2, 4, 8, 16):
+                select_lowrank_window(geometry, array, max(1, 64 // divisor), groups)
+
+    return {
+        "kernel": "select_lowrank_window",
+        "workload": "64x64 3x3 conv, 16 (groups, rank) configs, cold cache",
+        "engine_seconds": best_of(search, repeats),
+        "reference_seconds": None,
+        "speedup": None,
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_kernels.json")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+    results = [
+        bench_im2col(args.repeats),
+        bench_tiled_mvm(args.repeats),
+        bench_decomposition_cache(args.repeats),
+        bench_window_search(args.repeats),
+    ]
+    document = {
+        "schema": "BENCH_kernels/v1",
+        "repeats": args.repeats,
+        "results": results,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    for entry in results:
+        speedup = entry.get("speedup")
+        label = f"{speedup:.1f}x vs reference" if speedup else "no reference"
+        print(f"{entry['kernel']:32s} {entry['engine_seconds']*1e3:9.2f} ms  ({label})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

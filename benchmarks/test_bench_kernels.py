@@ -73,3 +73,37 @@ def test_bench_crossbar_mvm(benchmark):
     vector = rng.standard_normal(256)
     out = benchmark(tiled.mvm, vector)
     assert out.shape == (64,)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_batched_tiled_mvm(benchmark):
+    """The engine's stacked-tensor executor on a whole im2col batch."""
+    from repro.engine.kernels import BatchedTiledMatrix
+
+    rng = np.random.default_rng(0)
+    batched = BatchedTiledMatrix(rng.standard_normal((64, 256)), ARRAY)
+    inputs = rng.standard_normal((256, 256))
+    out = benchmark(batched.mvm_batch, inputs)
+    assert out.shape == (256, 64)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_vectorized_im2col(benchmark):
+    from repro.engine.kernels import im2col_columns
+
+    inputs = np.random.default_rng(0).standard_normal((8, 32, 16, 16))
+    columns = benchmark(im2col_columns, inputs, LAYER)
+    assert columns.shape == (8 * LAYER.num_windows, LAYER.n)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_lowrank_window_search(benchmark):
+    """Vectorized VW-SDK candidate scoring (cold cache every round)."""
+    from repro.mapping.cycles import _candidate_window_stats, select_lowrank_window
+
+    def search():
+        select_lowrank_window.cache_clear()
+        _candidate_window_stats.cache_clear()
+        return select_lowrank_window(LAYER, ARRAY, rank=8, groups=4)
+
+    benchmark(search)

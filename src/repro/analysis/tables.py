@@ -62,7 +62,7 @@ def format_table(
 
 
 def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
-    """GitHub-flavoured markdown table (used by EXPERIMENTS.md generation)."""
+    """GitHub-flavoured markdown table (for report documents and READMEs)."""
     lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
     for row in rows:
         lines.append("| " + " | ".join(_render_cell(cell) for cell in row) + " |")

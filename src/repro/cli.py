@@ -23,7 +23,7 @@ from .experiments.fig6 import format_fig6, run_fig6
 from .experiments.fig7 import format_fig7, run_fig7
 from .experiments.fig8 import format_fig8, run_fig8
 from .experiments.fig9 import format_fig9, run_fig9
-from .experiments.runner import format_report, run_all
+from .experiments.runner import format_report, run_all, suite_to_json
 from .experiments.table1 import format_table1, run_table1
 from .imc.reports import MethodSpec, compare_methods
 from .mapping.geometry import ArrayDims
@@ -74,6 +74,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser("report", help="reproduce every table and figure")
     report.add_argument("--plots", action="store_true")
+    report.add_argument(
+        "--arrays", type=int, nargs="+", default=None, metavar="SIZE",
+        help="restrict the Fig. 6 array-size sweep (e.g. --arrays 64 128)",
+    )
+    report.add_argument(
+        "--jobs", type=int, default=1,
+        help="run the experiment harnesses concurrently with this many workers",
+    )
+    report.add_argument(
+        "--json", type=str, default="", dest="json_path",
+        help="also write a machine-readable JSON report to this file",
+    )
 
     compare = subparsers.add_parser("compare", help="deployment-style method comparison")
     compare.add_argument("--network", choices=("resnet20", "wrn16_4"), default="resnet20")
@@ -99,7 +111,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "fig9":
         text = format_fig9(run_fig9(), include_plots=False)
     elif args.command == "report":
-        text = format_report(run_all(), include_plots=args.plots)
+        suite = run_all(
+            include_fig6_arrays=args.arrays,
+            parallel=args.jobs > 1,
+            max_workers=args.jobs if args.jobs > 1 else None,
+        )
+        text = format_report(suite, include_plots=args.plots)
+        if args.json_path:
+            import json
+
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(suite_to_json(suite), handle, indent=2)
+                handle.write("\n")
     elif args.command == "compare":
         text = _compare_text(args)
     else:  # pragma: no cover - argparse enforces the choices

@@ -1,0 +1,110 @@
+"""Memoized SVD / low-rank decompositions shared across sweeps.
+
+Every experiment sweep re-decomposes the same per-layer weight matrices for
+many (array size, noise level, rank, group) combinations, and the truncated
+SVD underlying :func:`repro.lowrank.decompose.decompose` is by far the most
+expensive step.  Two observations make memoization safe and very effective:
+
+* the full thin SVD of a (sub-)matrix does not depend on the requested rank —
+  every rank shares one factorization, truncated after the fact, and the
+  truncation of a cached SVD is bit-identical to a direct
+  :func:`~repro.lowrank.decompose.decompose` call;
+* column-block SVDs only depend on (matrix content, group count), so group
+  sweeps share the block factorizations too.
+
+The cache is keyed by a content hash of the matrix bytes plus the requested
+``(rank, groups)``, so logically identical matrices hit regardless of object
+identity.  A module-level default cache is shared by the execution contexts,
+the accuracy proxy and anything else that decomposes weights repeatedly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..lowrank.decompose import LowRankFactors
+from ..lowrank.group import GroupLowRankFactors, split_columns
+
+__all__ = [
+    "matrix_fingerprint",
+    "DecompositionCache",
+    "default_decomposition_cache",
+    "cached_decompose",
+    "cached_group_decompose",
+]
+
+
+def matrix_fingerprint(matrix: np.ndarray) -> Tuple[Tuple[int, ...], str, str]:
+    """Content-addressed key of a matrix: (shape, dtype, blake2b of the bytes)."""
+    data = np.ascontiguousarray(matrix)
+    digest = hashlib.blake2b(data.tobytes(), digest_size=16).hexdigest()
+    return (tuple(data.shape), str(data.dtype), digest)
+
+
+@dataclass
+class DecompositionCache:
+    """Memoizes thin SVDs and the (group) low-rank factorizations built on them."""
+
+    _svds: Dict[object, Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def svd(self, matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full thin SVD ``(U, S, Vt)`` of a matrix, cached by content."""
+        key = matrix_fingerprint(matrix)
+        cached = self._svds.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+        self._svds[key] = (u, s, vt)
+        return u, s, vt
+
+    def decompose(self, matrix: np.ndarray, rank: int) -> LowRankFactors:
+        """Memoized equivalent of :func:`repro.lowrank.decompose.decompose`.
+
+        Truncating the cached thin SVD reproduces the direct computation
+        exactly (``numpy.linalg.svd`` is deterministic for a given matrix), so
+        sweeping ranks over the same matrix costs one SVD total.
+        """
+        if rank <= 0:
+            raise ValueError(f"rank must be positive, got {rank}")
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        rank = min(rank, min(matrix.shape))
+        u, s, vt = self.svd(matrix)
+        left = u[:, :rank] * s[:rank]
+        right = vt[:rank, :]
+        return LowRankFactors(left=left, right=right)
+
+    def group_decompose(self, matrix: np.ndarray, rank: int, groups: int) -> GroupLowRankFactors:
+        """Memoized equivalent of :func:`repro.lowrank.group.group_decompose`."""
+        blocks = split_columns(matrix, groups)
+        return GroupLowRankFactors(tuple(self.decompose(block, rank) for block in blocks))
+
+    def clear(self) -> None:
+        self._svds.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._svds)
+
+
+#: Process-wide cache shared by execution contexts and the accuracy proxy.
+default_decomposition_cache = DecompositionCache()
+
+
+def cached_decompose(matrix: np.ndarray, rank: int) -> LowRankFactors:
+    """Module-level convenience wrapper over the shared cache."""
+    return default_decomposition_cache.decompose(matrix, rank)
+
+
+def cached_group_decompose(matrix: np.ndarray, rank: int, groups: int) -> GroupLowRankFactors:
+    """Module-level convenience wrapper over the shared cache."""
+    return default_decomposition_cache.group_decompose(matrix, rank, groups)

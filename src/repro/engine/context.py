@@ -1,0 +1,195 @@
+"""Pipeline layer: fuse decompose → map → simulate → energy per layer.
+
+An :class:`ExecutionContext` captures the hardware configuration (array
+dimensions, peripherals, noise model, DAC/ADC bit widths, seed) and the
+execution backend ("batched" stacked-tensor kernels by default, the per-tile
+"legacy" path as the cross-check oracle).  From a context, a
+:class:`LayerPlan` is built **once** per mapped layer: low-rank factors come
+from the shared :class:`repro.engine.cache.DecompositionCache` (so sweeps over
+array sizes and noise levels never re-decompose identical weights), the stage
+matrices are programmed onto (batched) tiles once, and every subsequent input
+batch reuses the programmed tiles — the plan fuses what the seed code base
+re-wired by hand in every harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..imc.noise import NoiseModel
+from ..imc.peripherals import PeripheralSuite, default_peripherals
+from ..imc.tiles import TiledMatrix
+from ..mapping.geometry import ArrayDims, ConvGeometry
+from .cache import DecompositionCache, default_decomposition_cache
+from .kernels import BatchedTiledMatrix, im2col_columns
+
+__all__ = ["SimulationResult", "LayerPlan", "ExecutionContext"]
+
+#: Either tiled-matrix implementation; both expose the same executor surface.
+TiledBackend = Union[TiledMatrix, BatchedTiledMatrix]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one mapped layer on crossbar tiles."""
+
+    method: str
+    outputs: np.ndarray
+    exact: np.ndarray
+    allocated_tiles: int
+    activations: int
+    energy_pj: float
+
+    @property
+    def absolute_error(self) -> float:
+        return float(np.max(np.abs(self.outputs - self.exact)))
+
+    @property
+    def relative_error(self) -> float:
+        denom = float(np.linalg.norm(self.exact))
+        if denom == 0.0:
+            return 0.0
+        return float(np.linalg.norm(self.outputs - self.exact)) / denom
+
+
+@dataclass
+class LayerPlan:
+    """One mapped layer, programmed onto tiles and ready to execute batches.
+
+    ``stages`` are executed in order (dense mapping has one stage, the
+    two-stage low-rank computation has two); ``exact_matrix`` is the dense
+    reference ``W`` used to report the combined approximation + hardware
+    error; ``geometry`` (when present) lets the plan consume NCHW feature maps
+    directly via the vectorized im2col kernel.
+    """
+
+    method: str
+    stages: List[TiledBackend]
+    exact_matrix: np.ndarray
+    geometry: Optional[ConvGeometry] = None
+
+    @property
+    def allocated_tiles(self) -> int:
+        return sum(stage.num_allocated_tiles for stage in self.stages)
+
+    @property
+    def activations(self) -> int:
+        return sum(stage.total_activations for stage in self.stages)
+
+    def activation_energy_pj(self) -> float:
+        """Energy of pushing one input vector through every stage."""
+        return sum(stage.activation_energy_pj() for stage in self.stages)
+
+    def columns(self, inputs: np.ndarray) -> np.ndarray:
+        """Convert inputs to the (batch, n) column layout the tiles consume."""
+        if inputs.ndim == 4:
+            if self.geometry is None:
+                raise ValueError("this plan has no ConvGeometry; pass 2-D column inputs")
+            return im2col_columns(inputs, self.geometry)
+        if inputs.ndim != 2:
+            raise ValueError(f"expected a 2-D column batch or NCHW inputs, got shape {inputs.shape}")
+        return inputs
+
+    def run(self, inputs: np.ndarray) -> SimulationResult:
+        """Execute the plan on a batch and report outputs, error and energy."""
+        columns = self.columns(inputs)
+        outputs = columns
+        for stage in self.stages:
+            outputs = stage.mvm_batch(outputs)
+        exact = columns @ self.exact_matrix.T
+        energy = self.activation_energy_pj() * columns.shape[0]
+        return SimulationResult(
+            method=self.method,
+            outputs=outputs,
+            exact=exact,
+            allocated_tiles=self.allocated_tiles,
+            activations=sum(stage.total_activations for stage in self.stages),
+            energy_pj=energy,
+        )
+
+
+@dataclass
+class ExecutionContext:
+    """Hardware configuration + backend choice + shared decomposition cache."""
+
+    array: ArrayDims
+    peripherals: PeripheralSuite = field(default_factory=default_peripherals)
+    noise: NoiseModel = field(default_factory=NoiseModel.ideal)
+    input_bits: Optional[int] = None
+    output_bits: Optional[int] = None
+    seed: int = 0
+    engine: str = "batched"
+    decompositions: DecompositionCache = field(
+        default_factory=lambda: default_decomposition_cache
+    )
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("batched", "legacy"):
+            raise ValueError(f"unknown engine {self.engine!r}; expected 'batched' or 'legacy'")
+
+    # ------------------------------------------------------------------
+    # Tile construction
+    # ------------------------------------------------------------------
+    def tiled(self, matrix: np.ndarray, seed_offset: int = 0) -> TiledBackend:
+        """Program a mapped matrix onto tiles using the configured backend."""
+        backend = BatchedTiledMatrix if self.engine == "batched" else TiledMatrix
+        return backend(
+            matrix=matrix,
+            array=self.array,
+            peripherals=self.peripherals,
+            noise=self.noise,
+            input_bits=self.input_bits,
+            output_bits=self.output_bits,
+            seed=self.seed + seed_offset,
+        )
+
+    # ------------------------------------------------------------------
+    # Plans
+    # ------------------------------------------------------------------
+    def dense_plan(
+        self, weight_matrix: np.ndarray, geometry: Optional[ConvGeometry] = None
+    ) -> LayerPlan:
+        """Plan the dense (im2col) mapping of ``y = W x``."""
+        return LayerPlan(
+            method="dense",
+            stages=[self.tiled(weight_matrix)],
+            exact_matrix=weight_matrix,
+            geometry=geometry,
+        )
+
+    def lowrank_plan(
+        self,
+        weight_matrix: np.ndarray,
+        rank: int,
+        groups: int = 1,
+        geometry: Optional[ConvGeometry] = None,
+    ) -> LayerPlan:
+        """Plan the grouped two-stage computation ``y = [L_1…L_g] diag(R_i) x``.
+
+        The group decomposition is memoized in the shared cache, so building
+        the same plan for another array size or noise level reuses the SVDs.
+        """
+        factors = self.decompositions.group_decompose(weight_matrix, rank, groups)
+        stage1 = self.tiled(factors.block_diagonal_right(), seed_offset=0)
+        stage2 = self.tiled(factors.stacked_left(), seed_offset=1)
+        return LayerPlan(
+            method=f"lowrank(g={groups},k={rank})",
+            stages=[stage1, stage2],
+            exact_matrix=weight_matrix,
+            geometry=geometry,
+        )
+
+    def conv_dense_plan(self, weight: np.ndarray, geometry: ConvGeometry) -> LayerPlan:
+        """Dense plan of a convolution given its (out, in, kh, kw) kernel."""
+        return self.dense_plan(weight.reshape(geometry.m, geometry.n), geometry=geometry)
+
+    def conv_lowrank_plan(
+        self, weight: np.ndarray, geometry: ConvGeometry, rank: int, groups: int = 1
+    ) -> LayerPlan:
+        """Low-rank plan of a convolution given its (out, in, kh, kw) kernel."""
+        return self.lowrank_plan(
+            weight.reshape(geometry.m, geometry.n), rank=rank, groups=groups, geometry=geometry
+        )

@@ -1,0 +1,293 @@
+"""Vectorized execution kernels: batched im2col and batched crossbar tiles.
+
+This module is the kernel layer of :mod:`repro.engine`.  It replaces the two
+interpreter-bound hot loops of the reproduction with numpy-native kernels:
+
+* :func:`im2col_columns` — a ``numpy.lib.stride_tricks.sliding_window_view``
+  unfolding of NCHW inputs into im2col column vectors (the triple Python loop
+  it replaces is kept as :func:`im2col_columns_loop`, the cross-check oracle).
+* :class:`BatchedTiledMatrix` — all allocated tiles of a mapped matrix stored
+  as one stacked 3-D conductance tensor and executed with a single batched
+  matmul per MVM batch; cell quantization, programming noise and DAC/ADC
+  quantization are applied vectorized across tiles.
+
+Both kernels are drop-in equivalents of their per-element counterparts
+(:func:`repro.imc.simulator.im2col_columns`'s original loop and
+:class:`repro.imc.tiles.TiledMatrix`): same tile layout, same seeded noise
+streams, same quantization arithmetic.  The equivalence is enforced by
+``tests/engine/test_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..imc.crossbar import weights_to_conductances
+from ..imc.noise import NoiseModel
+from ..imc.peripherals import PeripheralSuite, default_peripherals
+from ..imc.tiles import TileBlock, iter_tile_blocks
+from ..mapping.geometry import ArrayDims, ConvGeometry, ceil_div
+
+__all__ = ["im2col_columns", "im2col_columns_loop", "BatchedTiledMatrix"]
+
+
+def _check_im2col_inputs(inputs: np.ndarray, geometry: ConvGeometry) -> None:
+    if inputs.ndim != 4:
+        raise ValueError(f"expected NCHW inputs, got shape {inputs.shape}")
+    n, c, h, w = inputs.shape
+    if c != geometry.in_channels or h != geometry.input_h or w != geometry.input_w:
+        raise ValueError(
+            f"input shape {inputs.shape[1:]} does not match geometry "
+            f"({geometry.in_channels}, {geometry.input_h}, {geometry.input_w})"
+        )
+
+
+def im2col_columns(inputs: np.ndarray, geometry: ConvGeometry) -> np.ndarray:
+    """Unfold a batch of (N, C, H, W) inputs into im2col column vectors.
+
+    Returns an array of shape ``(N · out_h · out_w, n)`` where each row is the
+    flattened receptive field of one sliding-window position, ordered batch
+    first then row-major over output positions — the input vectors the IMC
+    array consumes one per computing cycle under im2col mapping.
+
+    Implemented with :func:`numpy.lib.stride_tricks.sliding_window_view`, so
+    the unfolding is a strided view plus one copy instead of a Python loop
+    over every window position.
+    """
+    _check_im2col_inputs(inputs, geometry)
+    n = inputs.shape[0]
+    pad = geometry.padding
+    padded = np.pad(inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    stride = geometry.stride
+    # (N, C, H', W', kh, kw) view of every window position, then subsample by
+    # the stride and reorder to (N, out_h, out_w, C, kh, kw) so each flattened
+    # row matches the channel-major patch layout of the loop reference.
+    windows = sliding_window_view(padded, (geometry.kernel_h, geometry.kernel_w), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    windows = windows[:, :, : geometry.output_h, : geometry.output_w]
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * geometry.num_windows, geometry.n)
+    return np.ascontiguousarray(columns)
+
+
+def im2col_columns_loop(inputs: np.ndarray, geometry: ConvGeometry) -> np.ndarray:
+    """Reference implementation of :func:`im2col_columns` (per-window Python loop).
+
+    Kept as the cross-check oracle for the vectorized kernel; the equivalence
+    tests assert both produce identical arrays.
+    """
+    _check_im2col_inputs(inputs, geometry)
+    n = inputs.shape[0]
+    pad = geometry.padding
+    padded = np.pad(inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    kh, kw = geometry.kernel_h, geometry.kernel_w
+    stride = geometry.stride
+    out_h, out_w = geometry.output_h, geometry.output_w
+    columns = np.empty((n * out_h * out_w, geometry.n))
+    index = 0
+    for sample in range(n):
+        for i in range(out_h):
+            for j in range(out_w):
+                top, left = i * stride, j * stride
+                patch = padded[sample, :, top : top + kh, left : left + kw]
+                columns[index] = patch.reshape(-1)
+                index += 1
+    return columns
+
+
+@dataclass
+class BatchedTiledMatrix:
+    """A logical ``rows × cols`` matrix on crossbar tiles, executed batched.
+
+    Functionally equivalent to :class:`repro.imc.tiles.TiledMatrix` — same
+    tile layout (via :func:`repro.imc.tiles.iter_tile_blocks`), same per-tile
+    programming (differential conductance pairs, cell quantization, seeded
+    noise with seed ``seed + allocation index``), same DAC/ADC quantization
+    arithmetic — but the allocated tiles live in one stacked ``(T, rows,
+    cols)`` tensor and an MVM batch is executed with a single batched matmul
+    over all tiles and input vectors instead of a Python loop per (tile,
+    vector) pair.
+
+    Everything deterministic (programmed conductances, tile counts,
+    activations, energy) is bit-for-bit identical to the per-tile oracle.
+    Analog outputs are identical only up to floating-point associativity:
+    BLAS reduces the batched matmul in a batch-shape-dependent order, so with
+    ``output_bits``/``input_bits`` set a value landing exactly on an ADC/DAC
+    rounding tie may differ from the oracle (and between batch sizes) by one
+    quantization step.  See ENGINE.md, "Equivalence contract".
+    """
+
+    matrix: np.ndarray
+    array: ArrayDims
+    peripherals: PeripheralSuite = field(default_factory=default_peripherals)
+    noise: NoiseModel = field(default_factory=NoiseModel.ideal)
+    input_bits: Optional[int] = None
+    output_bits: Optional[int] = None
+    skip_zero_tiles: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {self.matrix.shape}")
+        out_dim, in_dim = self.matrix.shape
+        rows, cols = self.array.rows, self.array.logical_cols
+        self._row_tiles = ceil_div(in_dim, rows)
+        self._col_tiles = ceil_div(out_dim, cols)
+        self._blocks: List[TileBlock] = iter_tile_blocks(
+            self.matrix, self.array, self.skip_zero_tiles
+        )
+        num = len(self._blocks)
+        cell = self.peripherals.cell
+        # Stacked differential conductances of every allocated tile, programmed
+        # exactly like CrossbarArray.program does it per tile.  Only their
+        # difference is kept after construction (execution and read-back use
+        # nothing else), so a programmed layer holds one (T, rows, cols)
+        # tensor rather than three.
+        g_pos = np.full((num, rows, cols), cell.g_min)
+        g_neg = np.full((num, rows, cols), cell.g_min)
+        self._scales = np.ones(num)
+        self._tile_rows = np.zeros(num, dtype=np.intp)
+        self._in_starts = np.zeros(num, dtype=np.intp)
+        self._out_starts = np.zeros(num, dtype=np.intp)
+        self._out_lens = np.zeros(num, dtype=np.intp)
+        self._programmed = np.zeros((num, 2), dtype=np.intp)
+        for t, tile in enumerate(self._blocks):
+            physical = tile.block.T  # inputs on rows, outputs on columns
+            tile_pos, tile_neg, scale = weights_to_conductances(physical, cell)
+            r, c = physical.shape
+            g_pos[t, :r, :c] = tile_pos
+            g_neg[t, :r, :c] = tile_neg
+            if not self.noise.is_ideal:
+                rng = np.random.default_rng(self.seed + tile.index)
+                g_pos[t] = self.noise.apply(g_pos[t], cell.g_min, cell.g_max, rng)
+                g_neg[t] = self.noise.apply(g_neg[t], cell.g_min, cell.g_max, rng)
+            self._scales[t] = scale
+            self._tile_rows[t] = tile.tile_row
+            self._in_starts[t] = tile.in_start
+            self._out_starts[t] = tile.out_start
+            self._out_lens[t] = c
+            self._programmed[t] = (r, c)
+        # The execution operand: differential conductance difference per tile.
+        self._diff = g_pos - g_neg
+        self.total_activations = 0
+
+    # ------------------------------------------------------------------
+    # Properties (mirror TiledMatrix)
+    # ------------------------------------------------------------------
+    @property
+    def logical_shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        return self._row_tiles, self._col_tiles
+
+    @property
+    def num_allocated_tiles(self) -> int:
+        return len(self._blocks)
+
+    def stored_matrix(self) -> np.ndarray:
+        """The matrix as read back from the (quantized, possibly noisy) tiles."""
+        cell = self.peripherals.cell
+        span = cell.g_max - cell.g_min
+        out = np.zeros_like(self.matrix)
+        for t, tile in enumerate(self._blocks):
+            r, c = self._programmed[t]
+            block = (self._diff[t, :r, :c] / span * self._scales[t]).T
+            out[
+                tile.out_start : tile.out_start + block.shape[0],
+                tile.in_start : tile.in_start + block.shape[1],
+            ] = block
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _quantize(self, values: np.ndarray, bits: int) -> np.ndarray:
+        """Per-(tile, vector) symmetric quantization along the last axis.
+
+        Elementwise identical to ``CrossbarArray._quantize_input`` /
+        ``_quantize_output`` applied per tile: each last-axis slice is scaled
+        by its own max-abs.  Slices whose max-abs is zero pass through.
+        """
+        max_abs = np.max(np.abs(values), axis=-1, keepdims=True)
+        levels = 2 ** bits - 1
+        safe = np.where(max_abs > 0.0, max_abs, 1.0)
+        quantized = np.round(values / safe * levels) / levels * safe
+        return np.where(max_abs > 0.0, quantized, values)
+
+    def mvm_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Compute ``Y = X M^T`` for a ``(num_vectors, in_dim)`` batch.
+
+        One call performs, for every allocated tile at once: DAC input
+        quantization, the analog differential-pair MVM, current-to-weight
+        rescaling and ADC output quantization, then scatter-adds the per-tile
+        partial sums into the logical output — the same computation
+        ``TiledMatrix.mvm_batch`` performs tile by tile and vector by vector,
+        up to the floating-point associativity caveat in the class docstring.
+        """
+        if vectors.ndim != 2:
+            raise ValueError(f"expected a 2-D batch, got shape {vectors.shape}")
+        out_dim, in_dim = self.matrix.shape
+        if vectors.shape[1] != in_dim:
+            raise ValueError(
+                f"expected inputs of shape (batch, {in_dim}), got {vectors.shape}"
+            )
+        batch = vectors.shape[0]
+        result = np.zeros((batch, out_dim))
+        if not self._blocks:
+            return result
+        rows = self.array.rows
+        # Slice the batch into per-tile-row segments, zero-padded to the array
+        # row count: X has shape (row_tiles, batch, rows).
+        padded_in = self._row_tiles * rows
+        x = np.zeros((batch, padded_in))
+        x[:, :in_dim] = vectors
+        x = x.reshape(batch, self._row_tiles, rows).transpose(1, 0, 2)
+        if self.input_bits is not None:
+            x = self._quantize(x, self.input_bits)
+        # Gather each tile's input segment and execute every (tile, vector)
+        # MVM in one batched matmul: (T, batch, rows) @ (T, rows, cols).
+        currents = np.matmul(x[self._tile_rows], self._diff)
+        cell = self.peripherals.cell
+        span = cell.g_max - cell.g_min
+        outputs = currents / span * self._scales[:, None, None]
+        # Columns beyond a tile's programmed width carry only noise on the
+        # unprogrammed differential pairs; the per-tile ADC never sees them, so
+        # zero them before quantization to keep the per-tile max-abs identical.
+        valid = np.arange(self.array.logical_cols)[None, :] < self._out_lens[:, None]
+        outputs = np.where(valid[:, None, :], outputs, 0.0)
+        if self.output_bits is not None:
+            outputs = self._quantize(outputs, self.output_bits)
+        # Scatter-add per-tile partial sums in allocation order (the same
+        # accumulation order as the per-tile executor).
+        for t in range(len(self._blocks)):
+            start = self._out_starts[t]
+            length = self._out_lens[t]
+            result[:, start : start + length] += outputs[t, :, :length]
+        self.total_activations += batch * len(self._blocks)
+        return result
+
+    def mvm(self, vector: np.ndarray) -> np.ndarray:
+        """Compute ``y = M x`` for a single input vector."""
+        out_dim, in_dim = self.matrix.shape
+        if vector.shape != (in_dim,):
+            raise ValueError(f"expected an input of shape ({in_dim},), got {vector.shape}")
+        return self.mvm_batch(vector[None, :])[0]
+
+    # ------------------------------------------------------------------
+    # Energy accounting (identical to the per-tile path)
+    # ------------------------------------------------------------------
+    def activation_energy_pj(self) -> float:
+        """Energy of activating every allocated tile once (one MVM of the matrix)."""
+        p = self.peripherals
+        total = 0.0
+        for r, c in self._programmed:
+            dac = int(r) * p.dac.energy_per_conversion_pj
+            cells = int(r) * int(c) * p.cell.read_energy_pj * 2  # differential pair
+            adc = int(c) * p.adc.energy_per_conversion_pj
+            total += dac + cells + adc
+        return total

@@ -1,0 +1,155 @@
+"""Experiment layer: sweep registry, parallel sweep mapping, JSON emission.
+
+Instead of five harnesses each re-wiring mapping + decomposition + simulation
+by hand, every paper artefact (Table I, Figs. 6–9) registers an
+:class:`ExperimentSpec` describing how to run, format and serialize itself.
+The registry-based runner (:func:`run_experiments`) executes the registered
+sweeps through the shared engine — optionally in parallel via
+:mod:`concurrent.futures` — and :func:`to_jsonable` turns any result
+dataclass tree into machine-readable JSON for the report emitter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ExperimentSpec",
+    "register_experiment",
+    "experiment_registry",
+    "map_sweep",
+    "run_experiments",
+    "to_jsonable",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered paper artefact: how to run, format and serialize it.
+
+    ``runner`` accepts the sweep keyword arguments of the harness (each
+    harness keeps its historical signature); ``formatter`` renders a result to
+    the plain-text report block (``formatter(result, include_plots=False)``);
+    ``serializer`` converts a result to a JSON-able structure (defaults to
+    :func:`to_jsonable`).
+    """
+
+    name: str
+    title: str
+    runner: Callable[..., Any]
+    formatter: Callable[..., str]
+    serializer: Callable[[Any], Any] = None  # type: ignore[assignment]
+
+    def run(self, **overrides: Any) -> Any:
+        return self.runner(**overrides)
+
+    def format(self, result: Any, include_plots: bool = False) -> str:
+        return self.formatter(result, include_plots=include_plots)
+
+    def serialize(self, result: Any) -> Any:
+        serializer = self.serializer if self.serializer is not None else to_jsonable
+        return serializer(result)
+
+
+#: Registration order doubles as report order.
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add (or replace) an experiment in the registry; returns the spec."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def experiment_registry() -> Dict[str, ExperimentSpec]:
+    """The registered experiments, in registration (= report) order.
+
+    Importing :mod:`repro.experiments` populates the registry; callers that
+    want the standard paper artefacts should import that package first (the
+    experiment modules self-register at import time).
+    """
+    return dict(_REGISTRY)
+
+
+def map_sweep(
+    fn: Callable[..., Any],
+    points: Sequence[Any],
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Apply ``fn`` to every sweep point, optionally via a thread pool.
+
+    Sweep points are tuples of positional arguments (bare values are treated
+    as 1-tuples).  Results keep the order of ``points``.  Threads are the
+    right pool here: the work is numpy/BLAS-bound, which releases the GIL, and
+    the engine's module-level memoization caches stay shared.
+    """
+    args_list: List[Tuple[Any, ...]] = [
+        point if isinstance(point, tuple) else (point,) for point in points
+    ]
+    if not parallel or len(args_list) <= 1:
+        return [fn(*args) for args in args_list]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(lambda args: fn(*args), args_list))
+
+
+def run_experiments(
+    names: Optional[Sequence[str]] = None,
+    overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Execute registered experiments and return ``{name: result}``.
+
+    ``overrides`` maps experiment names to keyword arguments forwarded to the
+    harness (e.g. ``{"fig6": {"array_sizes": (64, 128)}}``).  With
+    ``parallel=True`` the experiments run concurrently in a thread pool; the
+    shared workload / decomposition caches make this safe and keep the work
+    deduplicated.
+    """
+    registry = experiment_registry()
+    if names is None:
+        selected = list(registry)
+    else:
+        unknown = [name for name in names if name not in registry]
+        if unknown:
+            raise KeyError(f"unknown experiments {unknown}; registered: {sorted(registry)}")
+        selected = list(names)
+    overrides = overrides or {}
+
+    def run_one(name: str) -> Any:
+        return registry[name].run(**dict(overrides.get(name, {})))
+
+    results = map_sweep(run_one, selected, parallel=parallel, max_workers=max_workers)
+    return dict(zip(selected, results))
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses / numpy values to JSON-able structures.
+
+    Dict keys become strings (JSON objects require it — Table I keys its cycle
+    maps by integer array size), numpy scalars become Python scalars and
+    numpy arrays become nested lists.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(item) for item in value]
+    return value

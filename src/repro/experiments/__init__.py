@@ -17,6 +17,7 @@ from .common import (
     RANK_DIVISORS,
     MethodPoint,
     NetworkWorkload,
+    get_workload,
     baseline_cycles,
     baseline_energy,
     lowrank_network_cycles,
@@ -30,7 +31,7 @@ from .fig6 import Fig6Panel, Fig6Result, format_fig6, headline_metrics, run_fig6
 from .fig7 import Fig7Bar, Fig7Result, format_fig7, run_fig7
 from .fig8 import Fig8Panel, Fig8Result, format_fig8, quantization_speedup, run_fig8
 from .fig9 import Fig9Panel, Fig9Result, format_fig9, iso_accuracy_speedup, run_fig9
-from .runner import ExperimentSuite, format_report, run_all
+from .runner import ExperimentSuite, format_report, run_all, suite_to_json
 from .table1 import Table1Result, Table1Row, format_table1, run_table1
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "QUANTIZATION_BITS",
     "MethodPoint",
     "NetworkWorkload",
+    "get_workload",
     "baseline_cycles",
     "baseline_energy",
     "lowrank_network_cycles",
@@ -75,4 +77,5 @@ __all__ = [
     "ExperimentSuite",
     "run_all",
     "format_report",
+    "suite_to_json",
 ]

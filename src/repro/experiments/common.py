@@ -16,6 +16,7 @@ cost so every method is compared on the same full-network workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..imc.energy import EnergyModel, NetworkEnergy
@@ -40,6 +41,7 @@ __all__ = [
     "QUANTIZATION_BITS",
     "MethodPoint",
     "NetworkWorkload",
+    "get_workload",
     "baseline_cycles",
     "lowrank_network_cycles",
     "pattern_network_cycles",
@@ -99,6 +101,17 @@ class NetworkWorkload:
     @property
     def baseline_accuracy(self) -> float:
         return self.proxy.baseline_accuracy
+
+
+@lru_cache(maxsize=None)
+def get_workload(network: str, input_size: int = 32) -> NetworkWorkload:
+    """Process-wide workload cache shared by every experiment harness.
+
+    Table I and Figs. 6–9 all evaluate the same two networks; sharing the
+    workload (geometry split + calibrated accuracy proxy) means the proxy
+    calibration SVDs run once per network instead of once per harness.
+    """
+    return NetworkWorkload(network, input_size)
 
 
 def _fixed_layer_cycles(workload: NetworkWorkload, array: ArrayDims) -> int:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
+from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
 from ..mapping.geometry import ArrayDims
 from .common import (
     ARRAY_SIZES,
@@ -30,6 +31,7 @@ from .common import (
     MethodPoint,
     NetworkWorkload,
     baseline_cycles,
+    get_workload,
     lowrank_network_cycles,
     pairs_network_cycles,
     pattern_network_cycles,
@@ -95,54 +97,66 @@ def _ours_points(
     return points
 
 
+def _fig6_panel(
+    network: str,
+    size: int,
+    group_counts: Sequence[int],
+    rank_divisors: Sequence[int],
+    pruning_entries: Sequence[int],
+) -> Fig6Panel:
+    """One sweep point: the full method comparison of a (network, array) panel."""
+    workload = get_workload(network)
+    array = ArrayDims.square(size)
+    baseline = MethodPoint(
+        method="baseline im2col",
+        accuracy=workload.baseline_accuracy,
+        cycles=baseline_cycles(workload, array),
+    )
+    ours = _ours_points(workload, array, group_counts, rank_divisors)
+    patdnn = [
+        MethodPoint(
+            method="PatDNN",
+            accuracy=workload.proxy.pattern_pruning_accuracy(entries),
+            cycles=pattern_network_cycles(workload, array, entries),
+            detail=f"entries={entries}",
+        )
+        for entries in pruning_entries
+    ]
+    pairs = [
+        MethodPoint(
+            method="PAIRS",
+            accuracy=workload.proxy.pairs_accuracy(entries),
+            cycles=pairs_network_cycles(workload, array, entries),
+            detail=f"entries={entries}",
+        )
+        for entries in pruning_entries
+    ]
+    return Fig6Panel(
+        network=network,
+        array_size=size,
+        baseline=baseline,
+        ours=ours,
+        ours_pareto=pareto_front(ours),
+        patdnn=patdnn,
+        pairs=pairs,
+    )
+
+
 def run_fig6(
     networks: Sequence[str] = ("resnet20", "wrn16_4"),
     array_sizes: Sequence[int] = ARRAY_SIZES,
     group_counts: Sequence[int] = GROUP_COUNTS,
     rank_divisors: Sequence[int] = RANK_DIVISORS,
     pruning_entries: Sequence[int] = PRUNING_ENTRIES,
+    parallel: bool = False,
 ) -> Fig6Result:
     """Compute every Fig. 6 panel."""
-    result = Fig6Result()
-    for network in networks:
-        workload = NetworkWorkload(network)
-        for size in array_sizes:
-            array = ArrayDims.square(size)
-            baseline = MethodPoint(
-                method="baseline im2col",
-                accuracy=workload.baseline_accuracy,
-                cycles=baseline_cycles(workload, array),
-            )
-            ours = _ours_points(workload, array, group_counts, rank_divisors)
-            patdnn = [
-                MethodPoint(
-                    method="PatDNN",
-                    accuracy=workload.proxy.pattern_pruning_accuracy(entries),
-                    cycles=pattern_network_cycles(workload, array, entries),
-                    detail=f"entries={entries}",
-                )
-                for entries in pruning_entries
-            ]
-            pairs = [
-                MethodPoint(
-                    method="PAIRS",
-                    accuracy=workload.proxy.pairs_accuracy(entries),
-                    cycles=pairs_network_cycles(workload, array, entries),
-                    detail=f"entries={entries}",
-                )
-                for entries in pruning_entries
-            ]
-            panel = Fig6Panel(
-                network=network,
-                array_size=size,
-                baseline=baseline,
-                ours=ours,
-                ours_pareto=pareto_front(ours),
-                patdnn=patdnn,
-                pairs=pairs,
-            )
-            result.panels.append(panel)
-    return result
+    points = [
+        (network, size, tuple(group_counts), tuple(rank_divisors), tuple(pruning_entries))
+        for network in networks
+        for size in array_sizes
+    ]
+    return Fig6Result(panels=map_sweep(_fig6_panel, points, parallel=parallel))
 
 
 def headline_metrics(panel: Fig6Panel) -> Dict[str, float]:
@@ -196,3 +210,13 @@ def format_fig6(result: Fig6Result, include_plots: bool = True) -> str:
                 )
             )
     return "\n\n".join(blocks)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="fig6",
+        title="Fig. 6 — accuracy vs. computing cycles vs. pattern pruning",
+        runner=run_fig6,
+        formatter=format_fig6,
+    )
+)

@@ -15,12 +15,14 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.plots import ascii_bars
 from ..analysis.tables import format_table
+from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
 from ..imc.energy import EnergyModel
 from ..mapping.geometry import ArrayDims
 from .common import (
     ARRAY_SIZES,
     NetworkWorkload,
     baseline_energy,
+    get_workload,
     lowrank_network_energy,
     pattern_network_energy,
 )
@@ -82,6 +84,28 @@ class Fig7Result:
         return max(bar.saving_vs_im2col for bar in self.bars) if self.bars else 0.0
 
 
+def _fig7_bar(
+    network: str,
+    size: int,
+    groups: int,
+    rank_divisor: int,
+    pattern_entries: int,
+    model: EnergyModel,
+) -> Fig7Bar:
+    """One sweep point: the three-method energy bar of a (network, array) pair."""
+    workload = get_workload(network)
+    array = ArrayDims.square(size)
+    return Fig7Bar(
+        network=network,
+        array_size=size,
+        im2col_energy_pj=baseline_energy(workload, array, model),
+        pattern_energy_pj=pattern_network_energy(workload, array, pattern_entries, model),
+        ours_energy_pj=lowrank_network_energy(
+            workload, array, rank_divisor, groups, use_sdk=True, model=model
+        ),
+    )
+
+
 def run_fig7(
     networks: Sequence[str] = ("resnet20", "wrn16_4"),
     array_sizes: Sequence[int] = ARRAY_SIZES,
@@ -89,26 +113,16 @@ def run_fig7(
     rank_divisor: int = OURS_RANK_DIVISOR,
     pattern_entries: int = PATTERN_ENTRIES,
     model: Optional[EnergyModel] = None,
+    parallel: bool = False,
 ) -> Fig7Result:
     """Compute the Fig. 7 energy comparison."""
     model = model if model is not None else EnergyModel()
-    result = Fig7Result()
-    for network in networks:
-        workload = NetworkWorkload(network)
-        for size in array_sizes:
-            array = ArrayDims.square(size)
-            result.bars.append(
-                Fig7Bar(
-                    network=network,
-                    array_size=size,
-                    im2col_energy_pj=baseline_energy(workload, array, model),
-                    pattern_energy_pj=pattern_network_energy(workload, array, pattern_entries, model),
-                    ours_energy_pj=lowrank_network_energy(
-                        workload, array, rank_divisor, groups, use_sdk=True, model=model
-                    ),
-                )
-            )
-    return result
+    points = [
+        (network, size, groups, rank_divisor, pattern_entries, model)
+        for network in networks
+        for size in array_sizes
+    ]
+    return Fig7Result(bars=map_sweep(_fig7_bar, points, parallel=parallel))
 
 
 def format_fig7(result: Fig7Result, include_plots: bool = True) -> str:
@@ -139,3 +153,13 @@ def format_fig7(result: Fig7Result, include_plots: bool = True) -> str:
         if include_plots:
             blocks.append(ascii_bars(chart, title=f"{network}: normalized energy (lower is better)"))
     return "\n\n".join(blocks)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="fig7",
+        title="Fig. 7 — normalized energy vs. im2col and pattern pruning",
+        runner=run_fig7,
+        formatter=format_fig7,
+    )
+)

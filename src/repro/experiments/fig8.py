@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
+from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
 from ..mapping.geometry import ArrayDims
 from .common import (
     GROUP_COUNTS,
@@ -24,6 +25,7 @@ from .common import (
     MethodPoint,
     NetworkWorkload,
     baseline_cycles,
+    get_workload,
     lowrank_network_cycles,
     quantized_network_cycles,
 )
@@ -73,52 +75,62 @@ def quantization_speedup(panel: Fig8Panel) -> float:
     return best
 
 
+def _fig8_panel(
+    network: str,
+    size: int,
+    bits: Sequence[int],
+    group_counts: Sequence[int],
+    rank_divisors: Sequence[int],
+) -> Fig8Panel:
+    """One sweep point: the proposed method vs. the quantization sweep."""
+    workload = get_workload(network)
+    array = ArrayDims.square(size)
+    ours = [
+        MethodPoint(
+            method="ours",
+            accuracy=workload.proxy.lowrank_accuracy(divisor, groups),
+            cycles=lowrank_network_cycles(workload, array, divisor, groups, use_sdk=True),
+            detail=f"g={groups}, k=m/{divisor}",
+        )
+        for groups in group_counts
+        for divisor in rank_divisors
+    ]
+    quantized = [
+        MethodPoint(
+            method="quantization",
+            accuracy=workload.proxy.quantization_accuracy(bit),
+            cycles=quantized_network_cycles(workload, array, bit),
+            detail=f"{bit}-bit DoReFa",
+        )
+        for bit in bits
+    ]
+    return Fig8Panel(
+        network=network,
+        array_size=size,
+        baseline=MethodPoint(
+            method="baseline im2col",
+            accuracy=workload.baseline_accuracy,
+            cycles=baseline_cycles(workload, array),
+        ),
+        ours_pareto=pareto_front(ours),
+        quantized=quantized,
+    )
+
+
 def run_fig8(
     network: str = "resnet20",
     array_sizes: Sequence[int] = FIG8_ARRAY_SIZES,
     bits: Sequence[int] = QUANTIZATION_BITS,
     group_counts: Sequence[int] = GROUP_COUNTS,
     rank_divisors: Sequence[int] = RANK_DIVISORS,
+    parallel: bool = False,
 ) -> Fig8Result:
     """Compute the Fig. 8 comparison for one network (ResNet-20 in the paper)."""
-    workload = NetworkWorkload(network)
-    result = Fig8Result()
-    for size in array_sizes:
-        array = ArrayDims.square(size)
-        ours = []
-        for groups in group_counts:
-            for divisor in rank_divisors:
-                ours.append(
-                    MethodPoint(
-                        method="ours",
-                        accuracy=workload.proxy.lowrank_accuracy(divisor, groups),
-                        cycles=lowrank_network_cycles(workload, array, divisor, groups, use_sdk=True),
-                        detail=f"g={groups}, k=m/{divisor}",
-                    )
-                )
-        quantized = [
-            MethodPoint(
-                method="quantization",
-                accuracy=workload.proxy.quantization_accuracy(bit),
-                cycles=quantized_network_cycles(workload, array, bit),
-                detail=f"{bit}-bit DoReFa",
-            )
-            for bit in bits
-        ]
-        result.panels.append(
-            Fig8Panel(
-                network=network,
-                array_size=size,
-                baseline=MethodPoint(
-                    method="baseline im2col",
-                    accuracy=workload.baseline_accuracy,
-                    cycles=baseline_cycles(workload, array),
-                ),
-                ours_pareto=pareto_front(ours),
-                quantized=quantized,
-            )
-        )
-    return result
+    points = [
+        (network, size, tuple(bits), tuple(group_counts), tuple(rank_divisors))
+        for size in array_sizes
+    ]
+    return Fig8Result(panels=map_sweep(_fig8_panel, points, parallel=parallel))
 
 
 def format_fig8(result: Fig8Result, include_plots: bool = True) -> str:
@@ -153,3 +165,13 @@ def format_fig8(result: Fig8Result, include_plots: bool = True) -> str:
                 )
             )
     return "\n\n".join(blocks)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="fig8",
+        title="Fig. 8 — accuracy vs. cycles vs. dedicated quantized models",
+        runner=run_fig8,
+        formatter=format_fig8,
+    )
+)

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
+from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
 from ..mapping.geometry import ArrayDims
 from .common import (
     GROUP_COUNTS,
@@ -23,6 +24,7 @@ from .common import (
     MethodPoint,
     NetworkWorkload,
     baseline_cycles,
+    get_workload,
     lowrank_network_cycles,
 )
 
@@ -88,50 +90,59 @@ def iso_accuracy_speedup(panel: Fig9Panel, accuracy_drop: float = ACCURACY_DROP_
     return {"ours": ours_best, "traditional": traditional_best, "speedup": speedup}
 
 
+def _fig9_panel(
+    network: str,
+    size: int,
+    group_counts: Sequence[int],
+    rank_divisors: Sequence[int],
+) -> Fig9Panel:
+    """One sweep point: the proposed vs. traditional low-rank comparison."""
+    workload = get_workload(network)
+    array = ArrayDims.square(size)
+    ours = [
+        MethodPoint(
+            method="ours",
+            accuracy=workload.proxy.lowrank_accuracy(divisor, groups),
+            cycles=lowrank_network_cycles(workload, array, divisor, groups, use_sdk=True),
+            detail=f"g={groups}, k=m/{divisor}",
+        )
+        for groups in group_counts
+        for divisor in rank_divisors
+    ]
+    traditional = [
+        MethodPoint(
+            method="traditional low-rank",
+            accuracy=workload.proxy.lowrank_accuracy(divisor, 1),
+            cycles=lowrank_network_cycles(workload, array, divisor, 1, use_sdk=False),
+            detail=f"g=1, k=m/{divisor}, im2col factors",
+        )
+        for divisor in rank_divisors
+    ]
+    return Fig9Panel(
+        network=network,
+        array_size=size,
+        baseline=MethodPoint(
+            method="baseline im2col",
+            accuracy=workload.baseline_accuracy,
+            cycles=baseline_cycles(workload, array),
+        ),
+        ours=ours,
+        traditional=traditional,
+    )
+
+
 def run_fig9(
     panels: Sequence[Tuple[str, int]] = FIG9_PANELS,
     group_counts: Sequence[int] = GROUP_COUNTS,
     rank_divisors: Sequence[int] = RANK_DIVISORS,
+    parallel: bool = False,
 ) -> Fig9Result:
     """Compute the Fig. 9 comparison."""
-    result = Fig9Result()
-    workloads: Dict[str, NetworkWorkload] = {}
-    for network, size in panels:
-        workload = workloads.setdefault(network, NetworkWorkload(network))
-        array = ArrayDims.square(size)
-        ours = [
-            MethodPoint(
-                method="ours",
-                accuracy=workload.proxy.lowrank_accuracy(divisor, groups),
-                cycles=lowrank_network_cycles(workload, array, divisor, groups, use_sdk=True),
-                detail=f"g={groups}, k=m/{divisor}",
-            )
-            for groups in group_counts
-            for divisor in rank_divisors
-        ]
-        traditional = [
-            MethodPoint(
-                method="traditional low-rank",
-                accuracy=workload.proxy.lowrank_accuracy(divisor, 1),
-                cycles=lowrank_network_cycles(workload, array, divisor, 1, use_sdk=False),
-                detail=f"g=1, k=m/{divisor}, im2col factors",
-            )
-            for divisor in rank_divisors
-        ]
-        result.panels.append(
-            Fig9Panel(
-                network=network,
-                array_size=size,
-                baseline=MethodPoint(
-                    method="baseline im2col",
-                    accuracy=workload.baseline_accuracy,
-                    cycles=baseline_cycles(workload, array),
-                ),
-                ours=ours,
-                traditional=traditional,
-            )
-        )
-    return result
+    points = [
+        (network, size, tuple(group_counts), tuple(rank_divisors))
+        for network, size in panels
+    ]
+    return Fig9Result(panels=map_sweep(_fig9_panel, points, parallel=parallel))
 
 
 def format_fig9(result: Fig9Result, include_plots: bool = True) -> str:
@@ -169,3 +180,13 @@ def format_fig9(result: Fig9Result, include_plots: bool = True) -> str:
                 )
             )
     return "\n\n".join(blocks)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="fig9",
+        title="Fig. 9 — the proposed method vs. traditional low-rank compression",
+        runner=run_fig9,
+        formatter=format_fig9,
+    )
+)

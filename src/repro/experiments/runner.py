@@ -1,23 +1,31 @@
-"""Run every experiment harness and emit a combined report.
+"""Run every registered experiment and emit a combined report.
 
 ``python -m repro.experiments.runner`` reproduces all of Table I and
-Figs. 6–9 in one pass and prints the formatted tables; the same entry point is
-used to populate EXPERIMENTS.md's "measured" columns.
+Figs. 6–9 in one pass through the engine's sweep registry
+(:mod:`repro.engine.sweep`) and prints the formatted tables.  Alongside the
+plain-text report it can emit a machine-readable JSON document
+(``--json FILE``) with every reproduced number, restrict the Fig. 6 array
+sweep (``--arrays 64 128``) and run the harnesses concurrently
+(``--jobs N``); the shared workload and decomposition caches keep the
+concurrent sweeps deduplicated.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
 
+from ..engine.sweep import experiment_registry, run_experiments, to_jsonable
+from .common import get_workload
 from .fig6 import Fig6Result, format_fig6, headline_metrics, run_fig6
 from .fig7 import Fig7Result, format_fig7, run_fig7
 from .fig8 import Fig8Result, format_fig8, quantization_speedup, run_fig8
 from .fig9 import Fig9Result, format_fig9, iso_accuracy_speedup, run_fig9
 from .table1 import Table1Result, format_table1, run_table1
 
-__all__ = ["ExperimentSuite", "run_all", "format_report", "main"]
+__all__ = ["ExperimentSuite", "run_all", "format_report", "suite_to_json", "main"]
 
 
 @dataclass
@@ -32,7 +40,10 @@ class ExperimentSuite:
 
     def headline_summary(self) -> str:
         """One-paragraph summary mirroring the paper's abstract-level claims."""
-        wrn_panel = self.fig6.panel("wrn16_4", 32)
+        # The paper quotes its headline numbers on the WRN16-4 / 32x32 panel;
+        # fall back gracefully when --arrays restricts the sweep.
+        candidates = [p for p in self.fig6.panels if p.network == "wrn16_4"] or self.fig6.panels
+        wrn_panel = min(candidates, key=lambda p: p.array_size)
         metrics = headline_metrics(wrn_panel)
         fig8_speedup = max(quantization_speedup(p) for p in self.fig8.panels)
         fig9_lines = []
@@ -49,19 +60,32 @@ class ExperimentSuite:
             f"iso-accuracy speedup over traditional low-rank: {', '.join(fig9_lines)}"
         )
 
+def run_all(
+    include_fig6_arrays: Optional[Sequence[int]] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> ExperimentSuite:
+    """Execute every registered harness with the paper's default sweeps.
 
-def run_all(include_fig6_arrays: Optional[Sequence[int]] = None) -> ExperimentSuite:
-    """Execute every harness with the paper's default sweeps."""
-    kwargs = {}
+    ``include_fig6_arrays`` restricts the Fig. 6 array-size sweep (the CLI's
+    ``--arrays``); ``parallel`` runs the five harnesses concurrently through
+    the registry runner.
+    """
+    overrides: Dict[str, Dict[str, Any]] = {}
     if include_fig6_arrays is not None:
-        kwargs["array_sizes"] = tuple(include_fig6_arrays)
-    return ExperimentSuite(
-        table1=run_table1(),
-        fig6=run_fig6(**kwargs),
-        fig7=run_fig7(),
-        fig8=run_fig8(),
-        fig9=run_fig9(),
+        overrides["fig6"] = {"array_sizes": tuple(include_fig6_arrays)}
+    # Warm the shared workload cache (and its proxy calibration SVDs) serially
+    # so concurrent harnesses read the caches instead of racing to fill them.
+    if parallel:
+        for network in ("resnet20", "wrn16_4"):
+            get_workload(network).proxy._calibration_curve()
+    results = run_experiments(
+        names=("table1", "fig6", "fig7", "fig8", "fig9"),
+        overrides=overrides,
+        parallel=parallel,
+        max_workers=max_workers,
     )
+    return ExperimentSuite(**results)
 
 
 def format_report(suite: ExperimentSuite, include_plots: bool = False) -> str:
@@ -85,16 +109,58 @@ def format_report(suite: ExperimentSuite, include_plots: bool = False) -> str:
     return "\n".join(sections)
 
 
+def suite_to_json(suite: ExperimentSuite) -> Dict[str, Any]:
+    """Machine-readable document with every reproduced number."""
+    registry = experiment_registry()
+    document: Dict[str, Any] = {
+        "report": "conf_date_JeonRK25",
+        "headline": suite.headline_summary(),
+        "experiments": {},
+    }
+    for name in ("table1", "fig6", "fig7", "fig8", "fig9"):
+        spec = registry[name]
+        document["experiments"][name] = {
+            "title": spec.title,
+            "result": spec.serialize(getattr(suite, name)),
+        }
+    return document
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI shim
     parser = argparse.ArgumentParser(description="Reproduce every table/figure of the paper")
     parser.add_argument("--plots", action="store_true", help="include ASCII scatter/bar plots")
     parser.add_argument("--output", type=str, default="", help="write the report to a file")
+    parser.add_argument(
+        "--json", type=str, default="", help="also write a machine-readable JSON report"
+    )
+    parser.add_argument(
+        "--arrays",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SIZE",
+        help="restrict the Fig. 6 array-size sweep (e.g. --arrays 64 128)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run the experiment harnesses concurrently with this many workers",
+    )
     args = parser.parse_args(argv)
-    suite = run_all()
+    suite = run_all(
+        include_fig6_arrays=args.arrays,
+        parallel=args.jobs > 1,
+        max_workers=args.jobs if args.jobs > 1 else None,
+    )
     report = format_report(suite, include_plots=args.plots)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(suite_to_json(suite), handle, indent=2)
+            handle.write("\n")
     print(report)
     return 0
 

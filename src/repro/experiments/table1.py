@@ -11,8 +11,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_cycles, format_table
+from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
 from ..mapping.geometry import ArrayDims
-from .common import GROUP_COUNTS, RANK_DIVISORS, NetworkWorkload, lowrank_network_cycles
+from .common import GROUP_COUNTS, RANK_DIVISORS, get_workload, lowrank_network_cycles
 
 __all__ = ["Table1Row", "Table1Result", "run_table1", "format_table1"]
 
@@ -59,43 +60,51 @@ class Table1Result:
         return max(self.for_network(network), key=lambda row: row.accuracy)
 
 
+def _table1_row(network: str, groups: int, divisor: int, array_sizes: Sequence[int]) -> Table1Row:
+    """One sweep point: a (network, groups, rank divisor) row of Table I."""
+    workload = get_workload(network)
+    arrays = {size: ArrayDims.square(size) for size in array_sizes}
+    return Table1Row(
+        network=network,
+        groups=groups,
+        rank_divisor=divisor,
+        accuracy=workload.proxy.lowrank_accuracy(divisor, groups),
+        cycles_with_sdk={
+            size: lowrank_network_cycles(workload, arrays[size], divisor, groups, use_sdk=True)
+            for size in array_sizes
+        },
+        cycles_without_sdk={
+            size: lowrank_network_cycles(workload, arrays[size], divisor, groups, use_sdk=False)
+            for size in array_sizes
+        },
+    )
+
+
 def run_table1(
     networks: Sequence[str] = ("resnet20", "wrn16_4"),
     array_sizes: Sequence[int] = TABLE1_ARRAY_SIZES,
     group_counts: Sequence[int] = GROUP_COUNTS,
     rank_divisors: Sequence[int] = RANK_DIVISORS,
+    parallel: bool = False,
 ) -> Table1Result:
     """Reproduce Table I: sweep groups × rank divisors for both networks."""
-    result = Table1Result()
-    arrays = {size: ArrayDims.square(size) for size in array_sizes}
-    for network in networks:
-        workload = NetworkWorkload(network)
-        for groups in group_counts:
-            for divisor in rank_divisors:
-                accuracy = workload.proxy.lowrank_accuracy(divisor, groups)
-                with_sdk = {
-                    size: lowrank_network_cycles(workload, arrays[size], divisor, groups, use_sdk=True)
-                    for size in array_sizes
-                }
-                without_sdk = {
-                    size: lowrank_network_cycles(workload, arrays[size], divisor, groups, use_sdk=False)
-                    for size in array_sizes
-                }
-                result.rows.append(
-                    Table1Row(
-                        network=network,
-                        groups=groups,
-                        rank_divisor=divisor,
-                        accuracy=accuracy,
-                        cycles_with_sdk=with_sdk,
-                        cycles_without_sdk=without_sdk,
-                    )
-                )
-    return result
+    points = [
+        (network, groups, divisor, tuple(array_sizes))
+        for network in networks
+        for groups in group_counts
+        for divisor in rank_divisors
+    ]
+    return Table1Result(rows=map_sweep(_table1_row, points, parallel=parallel))
 
 
-def format_table1(result: Table1Result, array_sizes: Sequence[int] = TABLE1_ARRAY_SIZES) -> str:
-    """Render the reproduced Table I as text, one block per network."""
+def format_table1(result: Table1Result, array_sizes: Optional[Sequence[int]] = None) -> str:
+    """Render the reproduced Table I as text, one block per network.
+
+    ``array_sizes`` defaults to the sizes actually present in the result, so
+    restricted sweeps format without re-stating their configuration.
+    """
+    if array_sizes is None:
+        array_sizes = sorted(result.rows[0].cycles_with_sdk) if result.rows else TABLE1_ARRAY_SIZES
     blocks: List[str] = []
     networks = sorted({row.network for row in result.rows})
     for network in networks:
@@ -111,3 +120,13 @@ def format_table1(result: Table1Result, array_sizes: Sequence[int] = TABLE1_ARRA
             rows.append(cells)
         blocks.append(format_table(headers, rows, title=f"Table I — {network}"))
     return "\n\n".join(blocks)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="table1",
+        title="Table I — accuracy and computing cycles of the proposed compression",
+        runner=run_table1,
+        formatter=lambda result, include_plots=False: format_table1(result),
+    )
+)

@@ -39,8 +39,20 @@ from .reports import (
     compare_methods,
 )
 from .scheduler import ChipConfig, LayerSchedule, NetworkSchedule, schedule_network
-from .simulator import IMCSimulator, SimulationResult, im2col_columns
 from .tiles import TiledMatrix
+
+#: Lazily resolved to avoid a circular import: the simulator is a façade over
+#: :mod:`repro.engine`, whose kernels in turn build on this package's
+#: crossbar/tile primitives.
+_SIMULATOR_EXPORTS = ("IMCSimulator", "SimulationResult", "im2col_columns")
+
+
+def __getattr__(name: str):
+    if name in _SIMULATOR_EXPORTS:
+        from . import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CrossbarArray",

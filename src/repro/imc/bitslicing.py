@@ -110,17 +110,31 @@ class BitSlicedMatrix:
     peripherals: PeripheralSuite = field(default_factory=default_peripherals)
     noise: NoiseModel = field(default_factory=NoiseModel.ideal)
     seed: int = 0
+    #: "batched" executes each slice with one stacked-tensor matmul
+    #: (:class:`repro.engine.kernels.BatchedTiledMatrix`); "pertile" keeps the
+    #: per-tile :class:`TiledMatrix` oracle path.
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
         if self.matrix.ndim != 2:
             raise ValueError(f"expected a 2-D matrix, got shape {self.matrix.shape}")
+        if self.backend not in ("batched", "pertile"):
+            raise ValueError(f"unknown backend {self.backend!r}; expected 'batched' or 'pertile'")
         codes, self._scale = quantize_to_codes(self.matrix, self.array.weight_bits)
         self._slices = slice_weights(codes, self.array.weight_bits, self.array.cell_bits)
         max_slice_code = 2 ** self.array.cell_bits - 1
-        self._tiles: List[TiledMatrix] = []
+        if self.backend == "batched":
+            # Imported here: the engine kernels build on this package's
+            # crossbar/tile primitives, so a module-level import would cycle.
+            from ..engine.kernels import BatchedTiledMatrix
+
+            tile_type = BatchedTiledMatrix
+        else:
+            tile_type = TiledMatrix
+        self._tiles = []
         for index, slice_codes in enumerate(self._slices):
             self._tiles.append(
-                TiledMatrix(
+                tile_type(
                     matrix=slice_codes.astype(np.float64),
                     array=self.array,
                     peripherals=self.peripherals,
@@ -158,9 +172,11 @@ class BitSlicedMatrix:
         return combine_slices(partials, self.array.cell_bits) * self._scale
 
     def mvm_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Batched ``Y = X M^T``: every slice executes its whole batch at once."""
         if vectors.ndim != 2:
             raise ValueError(f"expected a 2-D batch, got shape {vectors.shape}")
-        return np.stack([self.mvm(vec) for vec in vectors])
+        partials = [tile.mvm_batch(vectors) for tile in self._tiles]
+        return combine_slices(partials, self.array.cell_bits) * self._scale
 
     def activation_energy_pj(self) -> float:
         """Energy of one full MVM (every slice's tiles activate once)."""

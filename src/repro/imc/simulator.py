@@ -1,12 +1,20 @@
 """Functional crossbar simulation of mapped layers (with and without compression).
 
-The simulator executes mapped weight matrices on :class:`repro.imc.tiles.TiledMatrix`
-crossbar tiles, so accuracy under hardware non-idealities (cell quantization,
-conductance variation, stuck-at faults, IR drop) can be measured for:
+The simulator is a thin façade over the execution engine
+(:mod:`repro.engine`): each ``run_*`` call builds a fused
+:class:`repro.engine.context.LayerPlan` (decompose → map → simulate → energy)
+through an :class:`repro.engine.context.ExecutionContext` and executes it, so
+accuracy under hardware non-idealities (cell quantization, conductance
+variation, stuck-at faults, IR drop) can be measured for:
 
 * the dense im2col mapping,
 * the traditional low-rank two-stage mapping,
 * the proposed group low-rank (optionally SDK-mapped) two-stage mapping.
+
+By default layers execute on the batched stacked-tensor kernels
+(``engine="batched"``); ``engine="legacy"`` selects the per-tile
+:class:`repro.imc.tiles.TiledMatrix` path, kept as the cross-check oracle the
+equivalence tests compare against.
 
 It also cross-checks the analytic AR/AC cycle model: the number of allocated
 tiles of a simulated mapping must match the analytic ``tiles_for_matrix`` /
@@ -16,73 +24,17 @@ tiles of a simulated mapping must match the analytic ``tiles_for_matrix`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 
-from ..lowrank.group import GroupLowRankFactors, group_decompose
+from ..engine.context import ExecutionContext, SimulationResult
+from ..engine.kernels import im2col_columns
 from ..mapping.geometry import ArrayDims, ConvGeometry
 from .noise import NoiseModel
 from .peripherals import PeripheralSuite, default_peripherals
-from .tiles import TiledMatrix
 
 __all__ = ["SimulationResult", "IMCSimulator", "im2col_columns"]
-
-
-def im2col_columns(inputs: np.ndarray, geometry: ConvGeometry) -> np.ndarray:
-    """Unfold a batch of (N, C, H, W) inputs into im2col column vectors.
-
-    Returns an array of shape ``(N · out_h · out_w, n)`` where each row is the
-    flattened receptive field of one sliding-window position, ordered batch
-    first then row-major over output positions — the input vectors the IMC
-    array consumes one per computing cycle under im2col mapping.
-    """
-    if inputs.ndim != 4:
-        raise ValueError(f"expected NCHW inputs, got shape {inputs.shape}")
-    n, c, h, w = inputs.shape
-    if c != geometry.in_channels or h != geometry.input_h or w != geometry.input_w:
-        raise ValueError(
-            f"input shape {inputs.shape[1:]} does not match geometry "
-            f"({geometry.in_channels}, {geometry.input_h}, {geometry.input_w})"
-        )
-    pad = geometry.padding
-    padded = np.pad(inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    kh, kw = geometry.kernel_h, geometry.kernel_w
-    stride = geometry.stride
-    out_h, out_w = geometry.output_h, geometry.output_w
-    columns = np.empty((n * out_h * out_w, geometry.n))
-    index = 0
-    for sample in range(n):
-        for i in range(out_h):
-            for j in range(out_w):
-                top, left = i * stride, j * stride
-                patch = padded[sample, :, top : top + kh, left : left + kw]
-                columns[index] = patch.reshape(-1)
-                index += 1
-    return columns
-
-
-@dataclass(frozen=True)
-class SimulationResult:
-    """Outcome of simulating one mapped layer on crossbar tiles."""
-
-    method: str
-    outputs: np.ndarray
-    exact: np.ndarray
-    allocated_tiles: int
-    activations: int
-    energy_pj: float
-
-    @property
-    def absolute_error(self) -> float:
-        return float(np.max(np.abs(self.outputs - self.exact)))
-
-    @property
-    def relative_error(self) -> float:
-        denom = float(np.linalg.norm(self.exact))
-        if denom == 0.0:
-            return 0.0
-        return float(np.linalg.norm(self.outputs - self.exact)) / denom
 
 
 @dataclass
@@ -95,32 +47,26 @@ class IMCSimulator:
     input_bits: Optional[int] = None
     output_bits: Optional[int] = None
     seed: int = 0
+    engine: str = "batched"
 
-    # ------------------------------------------------------------------
-    # Dense mapping
-    # ------------------------------------------------------------------
-    def run_dense(self, weight_matrix: np.ndarray, inputs: np.ndarray) -> SimulationResult:
-        """Simulate ``y = W x`` for every input row of ``inputs`` (shape (batch, n))."""
-        tiled = TiledMatrix(
-            matrix=weight_matrix,
+    def context(self) -> ExecutionContext:
+        """The engine execution context this simulator drives."""
+        return ExecutionContext(
             array=self.array,
             peripherals=self.peripherals,
             noise=self.noise,
             input_bits=self.input_bits,
             output_bits=self.output_bits,
             seed=self.seed,
+            engine=self.engine,
         )
-        outputs = tiled.mvm_batch(inputs)
-        exact = inputs @ weight_matrix.T
-        energy = tiled.activation_energy_pj() * inputs.shape[0]
-        return SimulationResult(
-            method="dense",
-            outputs=outputs,
-            exact=exact,
-            allocated_tiles=tiled.num_allocated_tiles,
-            activations=tiled.total_activations,
-            energy_pj=energy,
-        )
+
+    # ------------------------------------------------------------------
+    # Dense mapping
+    # ------------------------------------------------------------------
+    def run_dense(self, weight_matrix: np.ndarray, inputs: np.ndarray) -> SimulationResult:
+        """Simulate ``y = W x`` for every input row of ``inputs`` (shape (batch, n))."""
+        return self.context().dense_plan(weight_matrix).run(inputs)
 
     # ------------------------------------------------------------------
     # Low-rank two-stage mapping
@@ -139,40 +85,7 @@ class IMCSimulator:
         with the hardware-induced error — the quantity that matters for
         deployment decisions.
         """
-        factors = group_decompose(weight_matrix, rank, groups)
-        stage1_matrix = factors.block_diagonal_right()  # (g·k, n)
-        stage2_matrix = factors.stacked_left()  # (m, g·k)
-
-        stage1 = TiledMatrix(
-            matrix=stage1_matrix,
-            array=self.array,
-            peripherals=self.peripherals,
-            noise=self.noise,
-            input_bits=self.input_bits,
-            output_bits=self.output_bits,
-            seed=self.seed,
-        )
-        stage2 = TiledMatrix(
-            matrix=stage2_matrix,
-            array=self.array,
-            peripherals=self.peripherals,
-            noise=self.noise,
-            input_bits=self.input_bits,
-            output_bits=self.output_bits,
-            seed=self.seed + 1,
-        )
-        hidden = stage1.mvm_batch(inputs)
-        outputs = stage2.mvm_batch(hidden)
-        exact = inputs @ weight_matrix.T
-        energy = (stage1.activation_energy_pj() + stage2.activation_energy_pj()) * inputs.shape[0]
-        return SimulationResult(
-            method=f"lowrank(g={groups},k={rank})",
-            outputs=outputs,
-            exact=exact,
-            allocated_tiles=stage1.num_allocated_tiles + stage2.num_allocated_tiles,
-            activations=stage1.total_activations + stage2.total_activations,
-            energy_pj=energy,
-        )
+        return self.context().lowrank_plan(weight_matrix, rank=rank, groups=groups).run(inputs)
 
     # ------------------------------------------------------------------
     # Convolution-level convenience wrappers
@@ -180,10 +93,8 @@ class IMCSimulator:
     def run_conv_im2col(
         self, weight: np.ndarray, inputs: np.ndarray, geometry: ConvGeometry
     ) -> SimulationResult:
-        """Simulate a full convolution by iterating im2col input columns."""
-        matrix = weight.reshape(geometry.m, geometry.n)
-        columns = im2col_columns(inputs, geometry)
-        return self.run_dense(matrix, columns)
+        """Simulate a full convolution on its im2col input columns."""
+        return self.context().conv_dense_plan(weight, geometry).run(inputs)
 
     def run_conv_lowrank(
         self,
@@ -194,6 +105,4 @@ class IMCSimulator:
         groups: int = 1,
     ) -> SimulationResult:
         """Simulate a convolution compressed with (group) low-rank factors."""
-        matrix = weight.reshape(geometry.m, geometry.n)
-        columns = im2col_columns(inputs, geometry)
-        return self.run_lowrank(matrix, columns, rank=rank, groups=groups)
+        return self.context().conv_lowrank_plan(weight, geometry, rank=rank, groups=groups).run(inputs)

@@ -20,7 +20,66 @@ from .crossbar import CrossbarArray
 from .noise import NoiseModel
 from .peripherals import PeripheralSuite, default_peripherals
 
-__all__ = ["TiledMatrix"]
+__all__ = ["TileBlock", "iter_tile_blocks", "TiledMatrix"]
+
+
+@dataclass(frozen=True)
+class TileBlock:
+    """One allocated tile of a tiled matrix, in mapping orientation.
+
+    ``index`` is the allocation order (row-major over the tile grid, skipping
+    unallocated tiles), which is also the per-tile seed offset — both the
+    per-tile and the batched executors derive their RNG streams from it, so
+    the two produce identical noise draws.
+    """
+
+    index: int
+    tile_row: int
+    tile_col: int
+    in_start: int
+    out_start: int
+    block: np.ndarray  # (out_len, in_len) slice of the logical matrix
+
+
+def iter_tile_blocks(
+    matrix: np.ndarray, array: ArrayDims, skip_zero_tiles: bool = True
+) -> List[TileBlock]:
+    """Partition a logical matrix into its allocated crossbar tile blocks.
+
+    This is the single source of truth for tile layout: allocation order,
+    zero-tile skipping and the block slices are shared by the legacy per-tile
+    :class:`TiledMatrix` and the batched executor in
+    :mod:`repro.engine.kernels`, which is what makes their seeded noise
+    streams (and therefore their outputs) match exactly.
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    out_dim, in_dim = matrix.shape
+    rows_per_tile = array.rows
+    cols_per_tile = array.logical_cols
+    blocks: List[TileBlock] = []
+    index = 0
+    for tile_row in range(ceil_div(in_dim, rows_per_tile)):
+        for tile_col in range(ceil_div(out_dim, cols_per_tile)):
+            in_start = tile_row * rows_per_tile
+            in_end = min(in_start + rows_per_tile, in_dim)
+            out_start = tile_col * cols_per_tile
+            out_end = min(out_start + cols_per_tile, out_dim)
+            block = matrix[out_start:out_end, in_start:in_end]
+            if skip_zero_tiles and not np.any(block):
+                continue
+            blocks.append(
+                TileBlock(
+                    index=index,
+                    tile_row=tile_row,
+                    tile_col=tile_col,
+                    in_start=in_start,
+                    out_start=out_start,
+                    block=block,
+                )
+            )
+            index += 1
+    return blocks
 
 
 @dataclass
@@ -54,33 +113,21 @@ class TiledMatrix:
     # ------------------------------------------------------------------
     def _build_tiles(self) -> None:
         out_dim, in_dim = self.matrix.shape
-        rows_per_tile = self.array.rows  # input positions per tile
-        cols_per_tile = self.array.logical_cols  # output neurons per tile
-        self._row_tiles = ceil_div(in_dim, rows_per_tile)
-        self._col_tiles = ceil_div(out_dim, cols_per_tile)
-        tile_seed = self.seed
-        for tile_row in range(self._row_tiles):
-            for tile_col in range(self._col_tiles):
-                in_start = tile_row * rows_per_tile
-                in_end = min(in_start + rows_per_tile, in_dim)
-                out_start = tile_col * cols_per_tile
-                out_end = min(out_start + cols_per_tile, out_dim)
-                block = self.matrix[out_start:out_end, in_start:in_end]
-                if self.skip_zero_tiles and not np.any(block):
-                    continue
-                crossbar = CrossbarArray(
-                    rows=rows_per_tile,
-                    cols=cols_per_tile,
-                    peripherals=self.peripherals,
-                    noise=self.noise,
-                    input_bits=self.input_bits,
-                    output_bits=self.output_bits,
-                    seed=tile_seed,
-                )
-                tile_seed += 1
-                # Physical layout: inputs on rows, outputs on columns.
-                crossbar.program(block.T)
-                self._tiles[(tile_row, tile_col)] = crossbar
+        self._row_tiles = ceil_div(in_dim, self.array.rows)
+        self._col_tiles = ceil_div(out_dim, self.array.logical_cols)
+        for tile in iter_tile_blocks(self.matrix, self.array, self.skip_zero_tiles):
+            crossbar = CrossbarArray(
+                rows=self.array.rows,
+                cols=self.array.logical_cols,
+                peripherals=self.peripherals,
+                noise=self.noise,
+                input_bits=self.input_bits,
+                output_bits=self.output_bits,
+                seed=self.seed + tile.index,
+            )
+            # Physical layout: inputs on rows, outputs on columns.
+            crossbar.program(tile.block.T)
+            self._tiles[(tile.tile_row, tile.tile_col)] = crossbar
 
     # ------------------------------------------------------------------
     # Properties

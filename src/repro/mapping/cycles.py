@@ -23,14 +23,17 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .geometry import ArrayDims, ConvGeometry, ceil_div
 from .im2col import Im2colMapping
 from .sdk import ParallelWindow, SDKMapping
-from .vw_sdk import search_parallel_window
+from .vw_sdk import candidate_windows, search_parallel_window
 
 __all__ = [
     "tiles_for_matrix",
     "tiles_for_block_diagonal",
+    "tiles_for_block_diagonal_reference",
     "LayerCycles",
     "NetworkCycles",
     "im2col_cycles",
@@ -64,7 +67,24 @@ def tiles_for_block_diagonal(
     ``block_rows × block_cols`` blocks.  Tiles that intersect no block hold
     only structural zeros and never need to be allocated or activated, which
     is how the proposed method exploits idle rows/columns (Fig. 5b).
+
+    Computed in closed form per tile row (the VW-SDK window search evaluates
+    this for every candidate window, so it is on the hot path of every
+    experiment sweep); :func:`tiles_for_block_diagonal_reference` is the
+    original enumerate-the-tiles implementation kept as the oracle.
     """
+    if num_blocks <= 0 or block_rows <= 0 or block_cols <= 0:
+        return 0
+    counts = _block_diagonal_tiles_vec(
+        np.asarray([num_blocks]), block_rows, block_cols, array
+    )
+    return int(counts[0])
+
+
+def tiles_for_block_diagonal_reference(
+    num_blocks: int, block_rows: int, block_cols: int, array: ArrayDims
+) -> int:
+    """Reference implementation of :func:`tiles_for_block_diagonal` (tile enumeration)."""
     if num_blocks <= 0 or block_rows <= 0 or block_cols <= 0:
         return 0
     occupied: set = set()
@@ -79,6 +99,33 @@ def tiles_for_block_diagonal(
             for tc in tile_cols:
                 occupied.add((tr, tc))
     return len(occupied)
+
+
+def _block_diagonal_tiles_vec(
+    num_blocks: np.ndarray, block_rows: int, block_cols: int, array: ArrayDims
+) -> np.ndarray:
+    """Vectorized block-diagonal tile counts for several block counts at once.
+
+    For every tile row ``tr`` the blocks intersecting it form a contiguous
+    index range ``[i_lo, i_hi]``, and because consecutive blocks occupy
+    contiguous-or-overlapping tile-column ranges, the occupied tile columns of
+    that row are exactly ``[tc(i_lo), tc_end(i_hi)]`` — so the count per tile
+    row is a closed-form expression, summed with one ``bincount`` per call.
+    """
+    rows, cols = array.rows, array.logical_cols
+    blocks = np.asarray(num_blocks, dtype=np.int64)
+    tile_row_counts = -(-(blocks * block_rows) // rows)
+    if tile_row_counts.sum() == 0:
+        return np.zeros(len(blocks), dtype=np.int64)
+    entry = np.repeat(np.arange(len(blocks)), tile_row_counts)
+    offsets = np.cumsum(tile_row_counts) - tile_row_counts
+    tr = np.arange(tile_row_counts.sum(), dtype=np.int64) - np.repeat(offsets, tile_row_counts)
+    i_lo = np.maximum(0, -(-(tr * rows + 1) // block_rows) - 1)
+    i_hi = np.minimum(blocks[entry] - 1, -(-((tr + 1) * rows) // block_rows) - 1)
+    tc_lo = (i_lo * block_cols) // cols
+    tc_hi = ((i_hi + 1) * block_cols - 1) // cols
+    per_row = tc_hi - tc_lo + 1
+    return np.bincount(entry, weights=per_row, minlength=len(blocks)).astype(np.int64)
 
 
 # ----------------------------------------------------------------------
@@ -165,6 +212,28 @@ def select_sdk_window(
 
 
 @lru_cache(maxsize=None)
+def _candidate_window_stats(
+    geometry: ConvGeometry, max_extra: int = 8
+) -> Tuple[Tuple[ParallelWindow, ...], np.ndarray, np.ndarray, np.ndarray]:
+    """(windows, parallel outputs, flattened PW sizes, PW positions) per candidate.
+
+    These quantities depend only on the layer geometry (``candidate_windows``
+    documents this array-independence), so every (array, rank, groups)
+    scoring pass over the same layer reuses them.
+    """
+    windows = tuple(candidate_windows(geometry, max_extra=max_extra))
+    kh, kw = geometry.kernel_h, geometry.kernel_w
+    nh = np.array([w.height - kh + 1 for w in windows], dtype=np.int64)
+    nw = np.array([w.width - kw + 1 for w in windows], dtype=np.int64)
+    n_par = nh * nw
+    flattened = np.array(
+        [geometry.in_channels * w.height * w.width for w in windows], dtype=np.int64
+    )
+    positions = (-(-geometry.output_h // nh)) * (-(-geometry.output_w // nw))
+    return windows, n_par, flattened, positions
+
+
+@lru_cache(maxsize=None)
 def select_lowrank_window(
     geometry: ConvGeometry,
     array: ArrayDims,
@@ -178,18 +247,33 @@ def select_lowrank_window(
     stage-2 block-diagonal tiles), which is the cost the proposed method actually
     pays — using the uncompressed SDK cost here would pick windows that are good
     for the dense mapping but wasteful for the factors.
+
+    Every candidate window is scored vectorized (the closed-form tile counts
+    of ``_block_diagonal_tiles_vec``), replacing the per-window Python loop —
+    this search runs once per (layer, array, rank, groups) of every sweep and
+    dominated the seed implementation's runtime.
     """
     if geometry.stride != 1:
         return None
-
-    def cost(mapping: SDKMapping, arr: ArrayDims) -> int:
-        return _lowrank_sdk_cycles(geometry, arr, rank, groups, mapping.window)[0]
-
-    result = search_parallel_window(geometry, array, max_extra=max_extra, cycle_fn=cost)
-    im2col_cost = _lowrank_im2col_cycles(geometry, array, rank, groups)[0]
-    if not result.used_sdk or result.window is None or im2col_cost <= result.cycles:
+    windows, n_par, flattened, positions = _candidate_window_stats(geometry, max_extra)
+    if not windows:
         return None
-    return result.window
+    inner = groups * rank
+    stage1 = (-(-flattened // array.rows)) * (-(-(n_par * inner) // array.logical_cols))
+    stage2 = _block_diagonal_tiles_vec(n_par, inner, geometry.m, array)
+    cycles = (stage1 + stage2) * positions
+    # Same selection rule as the sequential VW-SDK search: candidates must
+    # strictly beat the dense im2col cycle count (ties keep the earlier,
+    # smaller window), and the im2col-mapped factors win on a final tie.
+    dense_im2col = Im2colMapping(geometry).computing_cycles(array)
+    best_index = int(np.argmin(cycles))
+    best_cycles = int(cycles[best_index])
+    if best_cycles >= dense_im2col:
+        return None
+    im2col_cost = _lowrank_im2col_cycles(geometry, array, rank, groups)[0]
+    if im2col_cost <= best_cycles:
+        return None
+    return windows[best_index]
 
 
 # ----------------------------------------------------------------------

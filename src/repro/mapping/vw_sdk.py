@@ -37,15 +37,19 @@ class WindowSearchResult:
 
 def candidate_windows(
     geometry: ConvGeometry,
-    array: ArrayDims,
+    array: Optional[ArrayDims] = None,
     max_extra: int = 8,
 ) -> List[ParallelWindow]:
     """Enumerate PW candidates for a layer.
 
     Candidates range from the kernel itself (``N = 1``, equivalent to im2col)
-    up to windows ``max_extra`` pixels larger per side, bounded so the
-    flattened PW still fits the row budget of a handful of arrays and never
-    exceeds the input feature map.
+    up to windows ``max_extra`` pixels larger per side, never exceeding the
+    (padded) input feature map.  The enumeration depends only on the layer
+    geometry — ``array`` is accepted for signature stability and may be
+    ``None``; callers that cache candidates per geometry (e.g.
+    ``repro.mapping.cycles._candidate_window_stats``) rely on this
+    array-independence, so any future array-dependent bound must also move
+    the array into their cache keys.
     """
     kh, kw = geometry.kernel_h, geometry.kernel_w
     max_h = min(geometry.input_h + 2 * geometry.padding, kh + max_extra)

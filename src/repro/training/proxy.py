@@ -20,8 +20,10 @@ How the proxy works
 3. Pattern pruning, PAIRS and quantization accuracies come from calibrated
    anchor tables matching the bands visible in Figs. 6 and 8.
 
-EXPERIMENTS.md records the paper-reported anchors next to every reproduced
-value; the proxy preserves orderings and approximate gaps, not exact numbers.
+The anchor tables below record the paper-reported values next to every
+reproduced one; the proxy preserves orderings and approximate gaps, not exact
+numbers.  ``python -m repro.experiments.runner --json report.json`` emits the
+reproduced values machine-readably for side-by-side comparison.
 """
 
 from __future__ import annotations
@@ -31,7 +33,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..lowrank.group import group_decompose, group_relative_error
+from ..engine.cache import cached_group_decompose
+from ..lowrank.group import group_relative_error
 from ..mapping.geometry import ConvGeometry
 from ..workloads import compressible_geometries
 
@@ -134,7 +137,9 @@ class AccuracyProxy:
         for geometry, matrix in zip(self._geometries, self._matrices):
             rank = max(1, geometry.m // rank_divisor)
             effective_groups = self._effective_groups(geometry, groups)
-            factors = group_decompose(matrix, rank, effective_groups)
+            # Memoized through the engine cache: every rank divisor of a
+            # (layer, group count) pair shares one set of block SVDs.
+            factors = cached_group_decompose(matrix, rank, effective_groups)
             errors.append(group_relative_error(matrix, factors))
         value = float(np.mean(errors))
         _ERROR_CACHE[key] = value
