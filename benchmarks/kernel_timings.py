@@ -29,7 +29,9 @@ import numpy as np  # noqa: E402
 
 from repro.engine.cache import DecompositionCache  # noqa: E402
 from repro.engine.kernels import (  # noqa: E402
+    TRIAL_SEED_STRIDE,
     BatchedTiledMatrix,
+    MonteCarloTiledMatrix,
     im2col_columns,
     im2col_columns_loop,
 )
@@ -88,6 +90,63 @@ def bench_tiled_mvm(repeats: int) -> Dict[str, object]:
     }
 
 
+def bench_monte_carlo(repeats: int) -> Dict[str, object]:
+    """Batched Monte-Carlo robustness trials vs. the sequential per-trial loop.
+
+    The reference is the status-quo way of measuring robustness before the
+    scenario subsystem existed: a Python loop that, per trial, re-programs
+    the layer through the per-tile oracle simulator path
+    (:class:`repro.imc.tiles.TiledMatrix`) and executes the input batch.  A
+    second comparison against a per-trial loop over the *batched* single-trial
+    kernel is reported as ``sequential_batched_seconds`` — the per-trial noise
+    sampling streams are serial by the bit-identity contract, so that loop
+    bounds the achievable speedup from batching alone.
+    """
+    rng = np.random.default_rng(5)
+    matrix = rng.standard_normal((128, 288))
+    inputs = rng.standard_normal((256, 288))
+    array = ArrayDims.square(64)
+    noise = NoiseModel.typical()
+    trials, seed = 16, 11
+
+    def run_batched_mc() -> np.ndarray:
+        mc = MonteCarloTiledMatrix(matrix, array, trials=trials, noise=noise, seed=seed)
+        return mc.mvm_batch(inputs)
+
+    def run_sequential(backend) -> np.ndarray:
+        outputs = []
+        for trial in range(trials):
+            tiled = backend(matrix, array, noise=noise, seed=seed + trial * TRIAL_SEED_STRIDE)
+            outputs.append(tiled.mvm_batch(inputs))
+        return np.stack(outputs)
+
+    engine = best_of(run_batched_mc, repeats)
+    reference = best_of(lambda: run_sequential(TiledMatrix), repeats)
+    sequential_batched = best_of(lambda: run_sequential(BatchedTiledMatrix), repeats)
+    mc = MonteCarloTiledMatrix(matrix, array, trials=trials, noise=noise, seed=seed)
+    bit_identical = all(
+        np.array_equal(
+            mc.stored_matrix(trial),
+            TiledMatrix(
+                matrix, array, noise=noise, seed=seed + trial * TRIAL_SEED_STRIDE
+            ).stored_matrix(),
+        )
+        for trial in range(trials)
+    )
+    max_diff = float(np.abs(run_batched_mc() - run_sequential(BatchedTiledMatrix)).max())
+    return {
+        "kernel": "monte_carlo_trials",
+        "workload": "128x288 matrix on 64x64 tiles, 16 trials, 256-vector batch, typical noise",
+        "engine_seconds": engine,
+        "reference_seconds": reference,
+        "speedup": reference / engine if engine > 0 else None,
+        "sequential_batched_seconds": sequential_batched,
+        "speedup_vs_sequential_batched": sequential_batched / engine if engine > 0 else None,
+        "trials_bit_identical_to_oracle": bit_identical,
+        "max_abs_difference": max_diff,
+    }
+
+
 def bench_decomposition_cache(repeats: int) -> Dict[str, object]:
     rng = np.random.default_rng(2)
     matrix = rng.standard_normal((256, 576))
@@ -141,6 +200,7 @@ def main(argv: Optional[list] = None) -> int:
     results = [
         bench_im2col(args.repeats),
         bench_tiled_mvm(args.repeats),
+        bench_monte_carlo(args.repeats),
         bench_decomposition_cache(args.repeats),
         bench_window_search(args.repeats),
     ]

@@ -1,0 +1,78 @@
+"""Benchmarks of the Monte-Carlo robustness subsystem.
+
+Times the batched Monte-Carlo kernel against the sequential per-trial loop it
+replaces, and the registered ``robustness`` experiment end to end.  The
+companion emitter ``benchmarks/kernel_timings.py`` records the headline
+speedup (and the per-trial bit-identity flag) in ``BENCH_kernels.json`` on
+every CI run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.kernels import TRIAL_SEED_STRIDE, MonteCarloTiledMatrix
+from repro.experiments.robustness import run_robustness
+from repro.imc.noise import NoiseModel
+from repro.imc.tiles import TiledMatrix
+from repro.mapping.geometry import ArrayDims
+
+from .conftest import run_once
+
+ARRAY = ArrayDims.square(64)
+NOISE = NoiseModel.typical()
+TRIALS = 8
+
+
+def _workload():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((128, 288)), rng.standard_normal((64, 288))
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_bench_monte_carlo_batched(benchmark):
+    matrix, inputs = _workload()
+
+    def batched():
+        mc = MonteCarloTiledMatrix(matrix, ARRAY, trials=TRIALS, noise=NOISE, seed=11)
+        return mc.mvm_batch(inputs)
+
+    outputs = benchmark(batched)
+    assert outputs.shape == (TRIALS, 64, 128)
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_bench_monte_carlo_sequential_loop(benchmark):
+    """The per-trial loop around the per-tile oracle the batched kernel replaces."""
+    matrix, inputs = _workload()
+
+    def sequential():
+        return np.stack(
+            [
+                TiledMatrix(
+                    matrix, ARRAY, noise=NOISE, seed=11 + trial * TRIAL_SEED_STRIDE
+                ).mvm_batch(inputs)
+                for trial in range(TRIALS)
+            ]
+        )
+
+    outputs = run_once(benchmark, sequential)
+    assert outputs.shape == (TRIALS, 64, 128)
+    # The batched kernel's trials are bit-identical to this loop's programmings.
+    mc = MonteCarloTiledMatrix(matrix, ARRAY, trials=TRIALS, noise=NOISE, seed=11)
+    legacy = TiledMatrix(matrix, ARRAY, noise=NOISE, seed=11)
+    np.testing.assert_array_equal(mc.stored_matrix(0), legacy.stored_matrix())
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_bench_robustness_experiment(benchmark):
+    """The registered scenario sweep end to end (one network, small trials)."""
+    result = run_once(
+        benchmark,
+        run_robustness,
+        networks=("resnet20",),
+        trials=4,
+        batch=16,
+    )
+    assert len(result.points) == len(result.scenarios) * len(result.mappings)

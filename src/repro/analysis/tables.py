@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_kv", "format_cycles", "format_percent", "markdown_table"]
+__all__ = [
+    "format_table",
+    "format_kv",
+    "format_cycles",
+    "format_energy_pj",
+    "format_percent",
+    "markdown_table",
+]
 
 Cell = Union[str, int, float, None]
 
@@ -23,6 +30,16 @@ def format_cycles(cycles: Union[int, float]) -> str:
     if cycles >= 1e3:
         return f"{cycles / 1e3:.0f}k"
     return f"{cycles:.0f}"
+
+
+def format_energy_pj(energy_pj: float) -> str:
+    """Human-readable energy from a picojoule value, e.g. ``1.38nJ`` / ``230pJ``."""
+    energy_pj = float(energy_pj)
+    if energy_pj >= 1e6:
+        return f"{energy_pj / 1e6:.2f}uJ"
+    if energy_pj >= 1e3:
+        return f"{energy_pj / 1e3:.2f}nJ"
+    return f"{energy_pj:.0f}pJ"
 
 
 def format_percent(value: float, decimals: int = 1) -> str:

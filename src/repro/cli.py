@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro fig8                        # vs. quantization
     python -m repro fig9                        # vs. traditional low-rank
     python -m repro report                      # everything (Table I + Figs. 6-9)
+    python -m repro robustness --trials 16      # Monte-Carlo hardware-scenario sweep
     python -m repro compare --network resnet20 --array 64
                                                 # deployment-style method comparison
 
@@ -23,10 +24,13 @@ from .experiments.fig6 import format_fig6, run_fig6
 from .experiments.fig7 import format_fig7, run_fig7
 from .experiments.fig8 import format_fig8, run_fig8
 from .experiments.fig9 import format_fig9, run_fig9
+from .engine.sweep import to_jsonable
+from .experiments.robustness import format_robustness, run_robustness
 from .experiments.runner import format_report, run_all, suite_to_json
 from .experiments.table1 import format_table1, run_table1
 from .imc.reports import MethodSpec, compare_methods
 from .mapping.geometry import ArrayDims
+from .scenarios import scenario_names
 from .workloads import compressible_geometries
 
 __all__ = ["build_parser", "main"]
@@ -86,6 +90,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default="", dest="json_path",
         help="also write a machine-readable JSON report to this file",
     )
+    report.add_argument(
+        "--trials", type=int, default=8,
+        help="Monte-Carlo trial count of the robustness scenario sweep",
+    )
+
+    robustness = subparsers.add_parser(
+        "robustness",
+        help="Monte-Carlo robustness sweep across hardware scenarios",
+    )
+    robustness.add_argument(
+        "--scenarios", nargs="+", choices=scenario_names(), default=None, metavar="NAME",
+        help=f"restrict the scenario sweep (default: all of {', '.join(scenario_names())})",
+    )
+    robustness.add_argument(
+        "--networks", nargs="+", choices=("resnet20", "wrn16_4"),
+        default=("resnet20", "wrn16_4"),
+        help="evaluation networks to sweep",
+    )
+    robustness.add_argument(
+        "--trials", type=int, default=8, help="independent noisy programmings per point"
+    )
+    robustness.add_argument(
+        "--array", type=int, choices=(32, 64, 128), default=64, help="crossbar array size"
+    )
+    robustness.add_argument(
+        "--jobs", type=int, default=1,
+        help="run the (network, scenario) sweep cells concurrently with this many workers",
+    )
+    robustness.add_argument(
+        "--json", type=str, default="", dest="json_path",
+        help="also write the machine-readable robustness result to this file",
+    )
 
     compare = subparsers.add_parser("compare", help="deployment-style method comparison")
     compare.add_argument("--network", choices=("resnet20", "wrn16_4"), default="resnet20")
@@ -115,6 +151,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             include_fig6_arrays=args.arrays,
             parallel=args.jobs > 1,
             max_workers=args.jobs if args.jobs > 1 else None,
+            robustness_trials=args.trials,
         )
         text = format_report(suite, include_plots=args.plots)
         if args.json_path:
@@ -122,6 +159,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             with open(args.json_path, "w", encoding="utf-8") as handle:
                 json.dump(suite_to_json(suite), handle, indent=2)
+                handle.write("\n")
+    elif args.command == "robustness":
+        result = run_robustness(
+            networks=tuple(args.networks),
+            scenarios=tuple(args.scenarios) if args.scenarios else None,
+            trials=args.trials,
+            array_size=args.array,
+            parallel=args.jobs > 1,
+            max_workers=args.jobs if args.jobs > 1 else None,
+        )
+        text = format_robustness(result)
+        if args.json_path:
+            import json
+
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(to_jsonable(result), handle, indent=2)
                 handle.write("\n")
     elif args.command == "compare":
         text = _compare_text(args)

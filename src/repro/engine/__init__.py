@@ -19,8 +19,20 @@ from .cache import (
     default_decomposition_cache,
     matrix_fingerprint,
 )
-from .context import ExecutionContext, LayerPlan, SimulationResult
-from .kernels import BatchedTiledMatrix, im2col_columns, im2col_columns_loop
+from .context import (
+    ExecutionContext,
+    LayerPlan,
+    MonteCarloPlan,
+    MonteCarloResult,
+    SimulationResult,
+)
+from .kernels import (
+    TRIAL_SEED_STRIDE,
+    BatchedTiledMatrix,
+    MonteCarloTiledMatrix,
+    im2col_columns,
+    im2col_columns_loop,
+)
 from .sweep import (
     ExperimentSpec,
     experiment_registry,
@@ -38,8 +50,12 @@ __all__ = [
     "matrix_fingerprint",
     "ExecutionContext",
     "LayerPlan",
+    "MonteCarloPlan",
+    "MonteCarloResult",
     "SimulationResult",
     "BatchedTiledMatrix",
+    "MonteCarloTiledMatrix",
+    "TRIAL_SEED_STRIDE",
     "im2col_columns",
     "im2col_columns_loop",
     "ExperimentSpec",

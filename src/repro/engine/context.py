@@ -14,7 +14,7 @@ re-wired by hand in every harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Union
 
 import numpy as np
@@ -24,9 +24,21 @@ from ..imc.peripherals import PeripheralSuite, default_peripherals
 from ..imc.tiles import TiledMatrix
 from ..mapping.geometry import ArrayDims, ConvGeometry
 from .cache import DecompositionCache, default_decomposition_cache
-from .kernels import BatchedTiledMatrix, im2col_columns
+from .kernels import (
+    STAGE_SEED_STRIDE,
+    TRIAL_SEED_STRIDE,
+    BatchedTiledMatrix,
+    MonteCarloTiledMatrix,
+    im2col_columns,
+)
 
-__all__ = ["SimulationResult", "LayerPlan", "ExecutionContext"]
+__all__ = [
+    "SimulationResult",
+    "LayerPlan",
+    "MonteCarloResult",
+    "MonteCarloPlan",
+    "ExecutionContext",
+]
 
 #: Either tiled-matrix implementation; both expose the same executor surface.
 TiledBackend = Union[TiledMatrix, BatchedTiledMatrix]
@@ -111,6 +123,95 @@ class LayerPlan:
         )
 
 
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of ``trials`` independently-noisy simulations of one layer.
+
+    ``outputs`` stacks the per-trial analog results; ``exact`` is the shared
+    noise-free software reference, so :attr:`relative_errors` measures the
+    combined approximation + hardware error of every trial and the
+    mean/std/worst statistics summarize the Monte-Carlo spread.
+    ``energy_pj`` is the per-trial energy of executing the input batch (every
+    trial programs the same tile allocation, so energy is trial-invariant).
+    """
+
+    method: str
+    outputs: np.ndarray  # (trials, batch, out_dim)
+    exact: np.ndarray  # (batch, out_dim)
+    trials: int
+    allocated_tiles: int
+    activations: int
+    energy_pj: float
+
+    @property
+    def relative_errors(self) -> np.ndarray:
+        """Per-trial relative output error vs. the exact software result."""
+        denom = float(np.linalg.norm(self.exact))
+        if denom == 0.0:
+            return np.zeros(self.trials)
+        diffs = self.outputs - self.exact[None]
+        return np.linalg.norm(diffs.reshape(self.trials, -1), axis=1) / denom
+
+    @property
+    def mean_relative_error(self) -> float:
+        return float(np.mean(self.relative_errors))
+
+    @property
+    def std_relative_error(self) -> float:
+        return float(np.std(self.relative_errors))
+
+    @property
+    def worst_relative_error(self) -> float:
+        return float(np.max(self.relative_errors))
+
+
+@dataclass
+class MonteCarloPlan:
+    """One mapped layer programmed ``trials`` times, ready to execute batches.
+
+    The Monte-Carlo analogue of :class:`LayerPlan`: stages are
+    :class:`MonteCarloTiledMatrix` kernels sharing the trial axis, so a
+    two-stage low-rank plan chains per-trial intermediates — trial ``t`` of
+    stage 2 consumes trial ``t`` of stage 1, exactly as a sequential per-trial
+    run would.
+    """
+
+    method: str
+    stages: List[MonteCarloTiledMatrix]
+    exact_matrix: np.ndarray
+    trials: int
+    geometry: Optional[ConvGeometry] = None
+
+    @property
+    def allocated_tiles(self) -> int:
+        """Tiles of ONE trial (all trials share the allocation layout)."""
+        return sum(stage.num_allocated_tiles for stage in self.stages)
+
+    def activation_energy_pj(self) -> float:
+        """Energy of pushing one input vector through every stage, per trial."""
+        return sum(stage.activation_energy_pj() for stage in self.stages)
+
+    columns = LayerPlan.columns
+
+    def run(self, inputs: np.ndarray) -> MonteCarloResult:
+        """Execute every trial on a batch and report the output spread."""
+        columns = self.columns(inputs)
+        outputs = columns  # 2-D shared batch; becomes (trials, batch, ·) after stage 1
+        for stage in self.stages:
+            outputs = stage.mvm_batch(outputs)
+        exact = columns @ self.exact_matrix.T
+        energy = self.activation_energy_pj() * columns.shape[0]
+        return MonteCarloResult(
+            method=self.method,
+            outputs=outputs,
+            exact=exact,
+            trials=self.trials,
+            allocated_tiles=self.allocated_tiles,
+            activations=sum(stage.total_activations for stage in self.stages),
+            energy_pj=energy,
+        )
+
+
 @dataclass
 class ExecutionContext:
     """Hardware configuration + backend choice + shared decomposition cache."""
@@ -173,8 +274,11 @@ class ExecutionContext:
         the same plan for another array size or noise level reuses the SVDs.
         """
         factors = self.decompositions.group_decompose(weight_matrix, rank, groups)
+        # Stages are spaced by STAGE_SEED_STRIDE (not consecutive integers):
+        # per-tile streams are seeded seed + allocation_index, so an offset of
+        # 1 would alias stage 2's tile 0 with stage 1's tile 1.
         stage1 = self.tiled(factors.block_diagonal_right(), seed_offset=0)
-        stage2 = self.tiled(factors.stacked_left(), seed_offset=1)
+        stage2 = self.tiled(factors.stacked_left(), seed_offset=STAGE_SEED_STRIDE)
         return LayerPlan(
             method=f"lowrank(g={groups},k={rank})",
             stages=[stage1, stage2],
@@ -185,6 +289,87 @@ class ExecutionContext:
     def conv_dense_plan(self, weight: np.ndarray, geometry: ConvGeometry) -> LayerPlan:
         """Dense plan of a convolution given its (out, in, kh, kw) kernel."""
         return self.dense_plan(weight.reshape(geometry.m, geometry.n), geometry=geometry)
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo plans (batched robustness trials)
+    # ------------------------------------------------------------------
+    def trial_context(self, trial: int, trial_stride: int = TRIAL_SEED_STRIDE) -> "ExecutionContext":
+        """The context a sequential run of Monte-Carlo trial ``trial`` uses.
+
+        ``ctx.trial_context(t).lowrank_plan(...)`` programs exactly the
+        conductances of trial ``t`` of ``ctx.lowrank_monte_carlo_plan(...)``
+        — the sequential oracle of the batched Monte-Carlo kernel.
+        """
+        return replace(self, seed=self.seed + trial * trial_stride)
+
+    def monte_carlo_tiled(
+        self,
+        matrix: np.ndarray,
+        trials: int,
+        seed_offset: int = 0,
+        trial_stride: int = TRIAL_SEED_STRIDE,
+    ) -> MonteCarloTiledMatrix:
+        """Program a mapped matrix onto tiles ``trials`` times, stacked."""
+        return MonteCarloTiledMatrix(
+            matrix=matrix,
+            array=self.array,
+            trials=trials,
+            peripherals=self.peripherals,
+            noise=self.noise,
+            input_bits=self.input_bits,
+            output_bits=self.output_bits,
+            seed=self.seed + seed_offset,
+            trial_stride=trial_stride,
+        )
+
+    def dense_monte_carlo_plan(
+        self,
+        weight_matrix: np.ndarray,
+        trials: int,
+        geometry: Optional[ConvGeometry] = None,
+        trial_stride: int = TRIAL_SEED_STRIDE,
+    ) -> MonteCarloPlan:
+        """Monte-Carlo plan of the dense (im2col) mapping of ``y = W x``."""
+        return MonteCarloPlan(
+            method="dense",
+            stages=[self.monte_carlo_tiled(weight_matrix, trials, trial_stride=trial_stride)],
+            exact_matrix=weight_matrix,
+            trials=trials,
+            geometry=geometry,
+        )
+
+    def lowrank_monte_carlo_plan(
+        self,
+        weight_matrix: np.ndarray,
+        rank: int,
+        trials: int,
+        groups: int = 1,
+        geometry: Optional[ConvGeometry] = None,
+        trial_stride: int = TRIAL_SEED_STRIDE,
+    ) -> MonteCarloPlan:
+        """Monte-Carlo plan of the grouped two-stage low-rank computation.
+
+        Stage seed offsets match :meth:`lowrank_plan` (0 and
+        ``STAGE_SEED_STRIDE``), so trial ``t`` is bit-identical to
+        ``trial_context(t).lowrank_plan(...)``.
+        """
+        factors = self.decompositions.group_decompose(weight_matrix, rank, groups)
+        stage1 = self.monte_carlo_tiled(
+            factors.block_diagonal_right(), trials, seed_offset=0, trial_stride=trial_stride
+        )
+        stage2 = self.monte_carlo_tiled(
+            factors.stacked_left(),
+            trials,
+            seed_offset=STAGE_SEED_STRIDE,
+            trial_stride=trial_stride,
+        )
+        return MonteCarloPlan(
+            method=f"lowrank(g={groups},k={rank})",
+            stages=[stage1, stage2],
+            exact_matrix=weight_matrix,
+            trials=trials,
+            geometry=geometry,
+        )
 
     def conv_lowrank_plan(
         self, weight: np.ndarray, geometry: ConvGeometry, rank: int, groups: int = 1

@@ -10,12 +10,19 @@ interpreter-bound hot loops of the reproduction with numpy-native kernels:
   as one stacked 3-D conductance tensor and executed with a single batched
   matmul per MVM batch; cell quantization, programming noise and DAC/ADC
   quantization are applied vectorized across tiles.
+* :class:`MonteCarloTiledMatrix` — ``R`` independently-noisy programmings
+  (Monte-Carlo robustness trials) of one mapped matrix stacked into a single
+  ``(R·T, rows, cols)`` conductance tensor, so every trial of a layer executes
+  in one batched matmul.  The noise stream of trial ``t``, tile ``i`` is
+  seeded ``seed + t · trial_stride + i``, making each trial's programmed
+  conductances bit-identical to a sequential per-trial
+  :class:`BatchedTiledMatrix` built with seed ``seed + t · trial_stride``.
 
-Both kernels are drop-in equivalents of their per-element counterparts
+The kernels are drop-in equivalents of their per-element counterparts
 (:func:`repro.imc.simulator.im2col_columns`'s original loop and
 :class:`repro.imc.tiles.TiledMatrix`): same tile layout, same seeded noise
 streams, same quantization arithmetic.  The equivalence is enforced by
-``tests/engine/test_kernels.py``.
+``tests/engine/test_kernels.py`` and ``tests/engine/test_montecarlo.py``.
 """
 
 from __future__ import annotations
@@ -32,7 +39,28 @@ from ..imc.peripherals import PeripheralSuite, default_peripherals
 from ..imc.tiles import TileBlock, iter_tile_blocks
 from ..mapping.geometry import ArrayDims, ConvGeometry, ceil_div
 
-__all__ = ["im2col_columns", "im2col_columns_loop", "BatchedTiledMatrix"]
+__all__ = [
+    "im2col_columns",
+    "im2col_columns_loop",
+    "BatchedTiledMatrix",
+    "MonteCarloTiledMatrix",
+    "STAGE_SEED_STRIDE",
+    "TRIAL_SEED_STRIDE",
+]
+
+#: Seed spacing between the stages of a multi-stage plan (and between the
+#: bit-slices of :class:`repro.imc.bitslicing.BitSlicedMatrix`).  Per-tile
+#: noise generators are seeded ``seed + allocation_index``, so consecutive
+#: integer stage offsets would alias stage ``s+1``'s tile 0 with stage ``s``'s
+#: tile 1 and correlate their noise draws; spacing stages by more than any
+#: realistic tile count keeps every stream distinct.
+STAGE_SEED_STRIDE = 1 << 16
+
+#: Default seed spacing between Monte-Carlo trials.  It exceeds the per-plan
+#: seed span (stage offsets of :class:`repro.engine.context.ExecutionContext`
+#: times :data:`STAGE_SEED_STRIDE`, plus tile allocation indices), so trial
+#: streams never overlap within or across stages.
+TRIAL_SEED_STRIDE = 1 << 20
 
 
 def _check_im2col_inputs(inputs: np.ndarray, geometry: ConvGeometry) -> None:
@@ -99,6 +127,72 @@ def im2col_columns_loop(inputs: np.ndarray, geometry: ConvGeometry) -> np.ndarra
 
 
 @dataclass
+class _ProgrammedTiles:
+    """Clean (noise-free) stacked programming of a tiled matrix.
+
+    The single source of truth for what the batched executors program before
+    non-idealities are applied: stacked differential conductances in
+    allocation order plus the per-tile layout metadata, all derived from
+    :func:`repro.imc.tiles.iter_tile_blocks` with exactly the arithmetic of
+    ``CrossbarArray.program``.
+    """
+
+    blocks: List[TileBlock]
+    g_pos: np.ndarray  # (T, rows, cols)
+    g_neg: np.ndarray  # (T, rows, cols)
+    scales: np.ndarray
+    tile_rows: np.ndarray
+    in_starts: np.ndarray
+    out_starts: np.ndarray
+    out_lens: np.ndarray
+    programmed: np.ndarray  # (T, 2) programmed (rows, cols) per tile
+
+
+def _program_tiles(
+    matrix: np.ndarray,
+    array: ArrayDims,
+    peripherals: PeripheralSuite,
+    skip_zero_tiles: bool,
+) -> _ProgrammedTiles:
+    """Program every allocated tile of ``matrix`` without noise, stacked."""
+    rows, cols = array.rows, array.logical_cols
+    blocks = iter_tile_blocks(matrix, array, skip_zero_tiles)
+    num = len(blocks)
+    cell = peripherals.cell
+    g_pos = np.full((num, rows, cols), cell.g_min)
+    g_neg = np.full((num, rows, cols), cell.g_min)
+    scales = np.ones(num)
+    tile_rows = np.zeros(num, dtype=np.intp)
+    in_starts = np.zeros(num, dtype=np.intp)
+    out_starts = np.zeros(num, dtype=np.intp)
+    out_lens = np.zeros(num, dtype=np.intp)
+    programmed = np.zeros((num, 2), dtype=np.intp)
+    for t, tile in enumerate(blocks):
+        physical = tile.block.T  # inputs on rows, outputs on columns
+        tile_pos, tile_neg, scale = weights_to_conductances(physical, cell)
+        r, c = physical.shape
+        g_pos[t, :r, :c] = tile_pos
+        g_neg[t, :r, :c] = tile_neg
+        scales[t] = scale
+        tile_rows[t] = tile.tile_row
+        in_starts[t] = tile.in_start
+        out_starts[t] = tile.out_start
+        out_lens[t] = c
+        programmed[t] = (r, c)
+    return _ProgrammedTiles(
+        blocks=blocks,
+        g_pos=g_pos,
+        g_neg=g_neg,
+        scales=scales,
+        tile_rows=tile_rows,
+        in_starts=in_starts,
+        out_starts=out_starts,
+        out_lens=out_lens,
+        programmed=programmed,
+    )
+
+
+@dataclass
 class BatchedTiledMatrix:
     """A logical ``rows × cols`` matrix on crossbar tiles, executed batched.
 
@@ -136,40 +230,26 @@ class BatchedTiledMatrix:
         rows, cols = self.array.rows, self.array.logical_cols
         self._row_tiles = ceil_div(in_dim, rows)
         self._col_tiles = ceil_div(out_dim, cols)
-        self._blocks: List[TileBlock] = iter_tile_blocks(
-            self.matrix, self.array, self.skip_zero_tiles
-        )
-        num = len(self._blocks)
-        cell = self.peripherals.cell
         # Stacked differential conductances of every allocated tile, programmed
         # exactly like CrossbarArray.program does it per tile.  Only their
         # difference is kept after construction (execution and read-back use
         # nothing else), so a programmed layer holds one (T, rows, cols)
         # tensor rather than three.
-        g_pos = np.full((num, rows, cols), cell.g_min)
-        g_neg = np.full((num, rows, cols), cell.g_min)
-        self._scales = np.ones(num)
-        self._tile_rows = np.zeros(num, dtype=np.intp)
-        self._in_starts = np.zeros(num, dtype=np.intp)
-        self._out_starts = np.zeros(num, dtype=np.intp)
-        self._out_lens = np.zeros(num, dtype=np.intp)
-        self._programmed = np.zeros((num, 2), dtype=np.intp)
-        for t, tile in enumerate(self._blocks):
-            physical = tile.block.T  # inputs on rows, outputs on columns
-            tile_pos, tile_neg, scale = weights_to_conductances(physical, cell)
-            r, c = physical.shape
-            g_pos[t, :r, :c] = tile_pos
-            g_neg[t, :r, :c] = tile_neg
-            if not self.noise.is_ideal:
+        clean = _program_tiles(self.matrix, self.array, self.peripherals, self.skip_zero_tiles)
+        self._blocks = clean.blocks
+        self._scales = clean.scales
+        self._tile_rows = clean.tile_rows
+        self._in_starts = clean.in_starts
+        self._out_starts = clean.out_starts
+        self._out_lens = clean.out_lens
+        self._programmed = clean.programmed
+        g_pos, g_neg = clean.g_pos, clean.g_neg
+        if not self.noise.is_ideal:
+            cell = self.peripherals.cell
+            for t, tile in enumerate(self._blocks):
                 rng = np.random.default_rng(self.seed + tile.index)
                 g_pos[t] = self.noise.apply(g_pos[t], cell.g_min, cell.g_max, rng)
                 g_neg[t] = self.noise.apply(g_neg[t], cell.g_min, cell.g_max, rng)
-            self._scales[t] = scale
-            self._tile_rows[t] = tile.tile_row
-            self._in_starts[t] = tile.in_start
-            self._out_starts[t] = tile.out_start
-            self._out_lens[t] = c
-            self._programmed[t] = (r, c)
         # The execution operand: differential conductance difference per tile.
         self._diff = g_pos - g_neg
         self.total_activations = 0
@@ -251,16 +331,21 @@ class BatchedTiledMatrix:
             x = self._quantize(x, self.input_bits)
         # Gather each tile's input segment and execute every (tile, vector)
         # MVM in one batched matmul: (T, batch, rows) @ (T, rows, cols).
-        currents = np.matmul(x[self._tile_rows], self._diff)
+        outputs = np.matmul(x[self._tile_rows], self._diff)
         cell = self.peripherals.cell
         span = cell.g_max - cell.g_min
-        outputs = currents / span * self._scales[:, None, None]
-        # Columns beyond a tile's programmed width carry only noise on the
-        # unprogrammed differential pairs; the per-tile ADC never sees them, so
-        # zero them before quantization to keep the per-tile max-abs identical.
-        valid = np.arange(self.array.logical_cols)[None, :] < self._out_lens[:, None]
-        outputs = np.where(valid[:, None, :], outputs, 0.0)
+        # In-place div-then-mul keeps the rounding order of the per-tile path
+        # (currents / span * scale) without allocating two temporaries.
+        outputs /= span
+        outputs *= self._scales[:, None, None]
         if self.output_bits is not None:
+            # Columns beyond a tile's programmed width carry only noise on the
+            # unprogrammed differential pairs; the per-tile ADC never sees
+            # them, so zero them before quantization to keep the per-tile
+            # max-abs identical.  (Without ADC quantization the scatter below
+            # never reads them, so the mask is skipped.)
+            valid = np.arange(self.array.logical_cols)[None, :] < self._out_lens[:, None]
+            outputs = np.where(valid[:, None, :], outputs, 0.0)
             outputs = self._quantize(outputs, self.output_bits)
         # Scatter-add per-tile partial sums in allocation order (the same
         # accumulation order as the per-tile executor).
@@ -291,3 +376,193 @@ class BatchedTiledMatrix:
             adc = int(c) * p.adc.energy_per_conversion_pj
             total += dac + cells + adc
         return total
+
+
+@dataclass
+class MonteCarloTiledMatrix:
+    """``trials`` independently-noisy programmings of one matrix, executed batched.
+
+    Monte-Carlo robustness studies re-program the same logical matrix ``R``
+    times with fresh noise draws and measure the output spread.  Instead of a
+    Python loop constructing ``R`` :class:`BatchedTiledMatrix` instances, this
+    kernel programs the clean tiles **once**, perturbs them per trial, and
+    stacks everything into a single ``(R·T, rows, cols)`` differential
+    conductance tensor so that all trials of an MVM batch execute in one
+    batched matmul.
+
+    Equivalence contract (see ENGINE.md): the noise generator of trial ``t``,
+    tile ``i`` is seeded ``seed + t · trial_stride + i`` — exactly the stream
+    a sequential per-trial run uses when it builds ``BatchedTiledMatrix(...,
+    seed=seed + t · trial_stride)`` (or the legacy per-tile
+    :class:`repro.imc.tiles.TiledMatrix` with the same seed).  Every trial's
+    programmed conductances are therefore bit-identical to the sequential
+    oracle; analog outputs agree up to floating-point associativity like the
+    rest of the engine.
+    """
+
+    matrix: np.ndarray
+    array: ArrayDims
+    trials: int = 1
+    peripherals: PeripheralSuite = field(default_factory=default_peripherals)
+    noise: NoiseModel = field(default_factory=NoiseModel.ideal)
+    input_bits: Optional[int] = None
+    output_bits: Optional[int] = None
+    skip_zero_tiles: bool = True
+    seed: int = 0
+    trial_stride: int = TRIAL_SEED_STRIDE
+
+    def __post_init__(self) -> None:
+        if self.matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {self.matrix.shape}")
+        if self.trials < 1:
+            raise ValueError(f"trials must be positive, got {self.trials}")
+        if self.trial_stride < 1:
+            raise ValueError(f"trial_stride must be positive, got {self.trial_stride}")
+        out_dim, in_dim = self.matrix.shape
+        rows, cols = self.array.rows, self.array.logical_cols
+        self._row_tiles = ceil_div(in_dim, rows)
+        self._col_tiles = ceil_div(out_dim, cols)
+        clean = _program_tiles(self.matrix, self.array, self.peripherals, self.skip_zero_tiles)
+        self._blocks = clean.blocks
+        self._scales = clean.scales
+        self._tile_rows = clean.tile_rows
+        self._in_starts = clean.in_starts
+        self._out_starts = clean.out_starts
+        self._out_lens = clean.out_lens
+        self._programmed = clean.programmed
+        num = len(self._blocks)
+        if self.noise.is_ideal:
+            # Every trial programs identical conductances; materialize the
+            # replicated stack so execution stays one batched matmul.
+            diff = np.broadcast_to(
+                clean.g_pos - clean.g_neg, (self.trials, num, rows, cols)
+            ).copy()
+        else:
+            cell = self.peripherals.cell
+            diff = np.empty((self.trials, num, rows, cols))
+            for trial in range(self.trials):
+                base = self.seed + trial * self.trial_stride
+                for t, tile in enumerate(self._blocks):
+                    # One generator per (trial, tile), consumed g_pos-then-g_neg
+                    # — the exact stream of the sequential per-trial oracle.
+                    rng = np.random.default_rng(base + tile.index)
+                    g_pos = self.noise.apply(clean.g_pos[t], cell.g_min, cell.g_max, rng)
+                    g_neg = self.noise.apply(clean.g_neg[t], cell.g_min, cell.g_max, rng)
+                    diff[trial, t] = g_pos - g_neg
+        self._diff = diff
+        self.total_activations = 0
+
+    # ------------------------------------------------------------------
+    # Properties (mirror BatchedTiledMatrix, plus the trial axis)
+    # ------------------------------------------------------------------
+    @property
+    def logical_shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        return self._row_tiles, self._col_tiles
+
+    @property
+    def num_allocated_tiles(self) -> int:
+        """Allocated tiles of ONE trial (the hardware is programmed R times, not R× larger)."""
+        return len(self._blocks)
+
+    def trial_seed(self, trial: int) -> int:
+        """The base seed a sequential run of ``trial`` uses."""
+        if not 0 <= trial < self.trials:
+            raise IndexError(f"trial {trial} out of range [0, {self.trials})")
+        return self.seed + trial * self.trial_stride
+
+    def stored_matrix(self, trial: int = 0) -> np.ndarray:
+        """The matrix as read back from one trial's (noisy, quantized) tiles."""
+        if not 0 <= trial < self.trials:
+            raise IndexError(f"trial {trial} out of range [0, {self.trials})")
+        cell = self.peripherals.cell
+        span = cell.g_max - cell.g_min
+        out = np.zeros_like(self.matrix)
+        for t, tile in enumerate(self._blocks):
+            r, c = self._programmed[t]
+            block = (self._diff[trial, t, :r, :c] / span * self._scales[t]).T
+            out[
+                tile.out_start : tile.out_start + block.shape[0],
+                tile.in_start : tile.in_start + block.shape[1],
+            ] = block
+        return out
+
+    def stored_matrices(self) -> np.ndarray:
+        """Read-back of every trial, shape ``(trials, out_dim, in_dim)``."""
+        return np.stack([self.stored_matrix(trial) for trial in range(self.trials)])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    _quantize = BatchedTiledMatrix._quantize
+
+    def mvm_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Per-trial ``Y_r = X_r M_r^T``, one batched matmul over all trials.
+
+        ``vectors`` is either a shared ``(batch, in_dim)`` batch — every trial
+        consumes the same inputs, the common Monte-Carlo setup — or a per-trial
+        ``(trials, batch, in_dim)`` stack (what a downstream low-rank stage
+        receives from an upstream one).  Returns ``(trials, batch, out_dim)``.
+        """
+        if vectors.ndim == 2:
+            shared = True
+        elif vectors.ndim == 3 and vectors.shape[0] == self.trials:
+            shared = False
+        else:
+            raise ValueError(
+                f"expected a (batch, in) batch or a ({self.trials}, batch, in) "
+                f"per-trial stack, got shape {vectors.shape}"
+            )
+        out_dim, in_dim = self.matrix.shape
+        if vectors.shape[-1] != in_dim:
+            raise ValueError(
+                f"expected inputs with last dimension {in_dim}, got {vectors.shape}"
+            )
+        batch = vectors.shape[-2]
+        result = np.zeros((self.trials, batch, out_dim))
+        if not self._blocks:
+            return result
+        rows = self.array.rows
+        padded_in = self._row_tiles * rows
+        if shared:
+            # Input preparation (padding, slicing, DAC quantization) is shared
+            # by every trial — done once, broadcast into the trial matmul.
+            x = np.zeros((batch, padded_in))
+            x[:, :in_dim] = vectors
+            x = x.reshape(batch, self._row_tiles, rows).transpose(1, 0, 2)
+            if self.input_bits is not None:
+                x = self._quantize(x, self.input_bits)
+            x = x[self._tile_rows][None]  # (1, T, batch, rows), broadcast over trials
+        else:
+            x = np.zeros((self.trials, batch, padded_in))
+            x[:, :, :in_dim] = vectors
+            x = x.reshape(self.trials, batch, self._row_tiles, rows).transpose(0, 2, 1, 3)
+            if self.input_bits is not None:
+                x = self._quantize(x, self.input_bits)
+            x = x[:, self._tile_rows]  # (trials, T, batch, rows)
+        # Every (trial, tile, vector) MVM in one batched matmul:
+        # (trials, T, batch, rows) @ (trials, T, rows, cols).
+        outputs = np.matmul(x, self._diff)
+        cell = self.peripherals.cell
+        span = cell.g_max - cell.g_min
+        # Same in-place div-then-mul rounding order as the sequential path.
+        outputs /= span
+        outputs *= self._scales[None, :, None, None]
+        if self.output_bits is not None:
+            valid = np.arange(self.array.logical_cols)[None, :] < self._out_lens[:, None]
+            outputs = np.where(valid[None, :, None, :], outputs, 0.0)
+            outputs = self._quantize(outputs, self.output_bits)
+        for t in range(len(self._blocks)):
+            start = self._out_starts[t]
+            length = self._out_lens[t]
+            result[:, :, start : start + length] += outputs[:, t, :, :length]
+        self.total_activations += self.trials * batch * len(self._blocks)
+        return result
+
+    # ------------------------------------------------------------------
+    # Energy accounting
+    # ------------------------------------------------------------------
+    activation_energy_pj = BatchedTiledMatrix.activation_energy_pj

@@ -23,6 +23,7 @@ from .fig6 import Fig6Result, format_fig6, headline_metrics, run_fig6
 from .fig7 import Fig7Result, format_fig7, run_fig7
 from .fig8 import Fig8Result, format_fig8, quantization_speedup, run_fig8
 from .fig9 import Fig9Result, format_fig9, iso_accuracy_speedup, run_fig9
+from .robustness import RobustnessResult, format_robustness, run_robustness
 from .table1 import Table1Result, format_table1, run_table1
 
 __all__ = ["ExperimentSuite", "run_all", "format_report", "suite_to_json", "main"]
@@ -30,13 +31,14 @@ __all__ = ["ExperimentSuite", "run_all", "format_report", "suite_to_json", "main
 
 @dataclass
 class ExperimentSuite:
-    """Results of every reproduced table and figure."""
+    """Results of every reproduced table and figure, plus the robustness sweep."""
 
     table1: Table1Result
     fig6: Fig6Result
     fig7: Fig7Result
     fig8: Fig8Result
     fig9: Fig9Result
+    robustness: Optional[RobustnessResult] = None
 
     def headline_summary(self) -> str:
         """One-paragraph summary mirroring the paper's abstract-level claims."""
@@ -64,14 +66,18 @@ def run_all(
     include_fig6_arrays: Optional[Sequence[int]] = None,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    robustness_trials: int = 8,
 ) -> ExperimentSuite:
     """Execute every registered harness with the paper's default sweeps.
 
     ``include_fig6_arrays`` restricts the Fig. 6 array-size sweep (the CLI's
-    ``--arrays``); ``parallel`` runs the five harnesses concurrently through
-    the registry runner.
+    ``--arrays``); ``parallel`` runs the harnesses concurrently through the
+    registry runner; ``robustness_trials`` sets the Monte-Carlo trial count of
+    the scenario robustness sweep.
     """
-    overrides: Dict[str, Dict[str, Any]] = {}
+    overrides: Dict[str, Dict[str, Any]] = {
+        "robustness": {"trials": robustness_trials},
+    }
     if include_fig6_arrays is not None:
         overrides["fig6"] = {"array_sizes": tuple(include_fig6_arrays)}
     # Warm the shared workload cache (and its proxy calibration SVDs) serially
@@ -80,7 +86,7 @@ def run_all(
         for network in ("resnet20", "wrn16_4"):
             get_workload(network).proxy._calibration_curve()
     results = run_experiments(
-        names=("table1", "fig6", "fig7", "fig8", "fig9"),
+        names=("table1", "fig6", "fig7", "fig8", "fig9", "robustness"),
         overrides=overrides,
         parallel=parallel,
         max_workers=max_workers,
@@ -106,6 +112,8 @@ def format_report(suite: ExperimentSuite, include_plots: bool = False) -> str:
         "",
         format_fig9(suite.fig9, include_plots=include_plots),
     ]
+    if suite.robustness is not None:
+        sections += ["", format_robustness(suite.robustness, include_plots=include_plots)]
     return "\n".join(sections)
 
 
@@ -117,11 +125,14 @@ def suite_to_json(suite: ExperimentSuite) -> Dict[str, Any]:
         "headline": suite.headline_summary(),
         "experiments": {},
     }
-    for name in ("table1", "fig6", "fig7", "fig8", "fig9"):
+    for name in ("table1", "fig6", "fig7", "fig8", "fig9", "robustness"):
+        result = getattr(suite, name)
+        if result is None:  # robustness is optional on hand-built suites
+            continue
         spec = registry[name]
         document["experiments"][name] = {
             "title": spec.title,
-            "result": spec.serialize(getattr(suite, name)),
+            "result": spec.serialize(result),
         }
     return document
 
@@ -147,11 +158,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         default=1,
         help="run the experiment harnesses concurrently with this many workers",
     )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=8,
+        help="Monte-Carlo trial count of the robustness scenario sweep",
+    )
     args = parser.parse_args(argv)
     suite = run_all(
         include_fig6_arrays=args.arrays,
         parallel=args.jobs > 1,
         max_workers=args.jobs if args.jobs > 1 else None,
+        robustness_trials=args.trials,
     )
     report = format_report(suite, include_plots=args.plots)
     if args.output:

@@ -131,6 +131,8 @@ class BitSlicedMatrix:
             tile_type = BatchedTiledMatrix
         else:
             tile_type = TiledMatrix
+        from ..engine.kernels import STAGE_SEED_STRIDE
+
         self._tiles = []
         for index, slice_codes in enumerate(self._slices):
             self._tiles.append(
@@ -139,7 +141,11 @@ class BitSlicedMatrix:
                     array=self.array,
                     peripherals=self.peripherals,
                     noise=self.noise,
-                    seed=self.seed + index,
+                    # Slices are spaced like plan stages: per-tile streams are
+                    # seeded seed + allocation_index, so consecutive integer
+                    # offsets would correlate slice s+1's tile 0 with slice
+                    # s's tile 1.
+                    seed=self.seed + index * STAGE_SEED_STRIDE,
                 )
             )
         self._max_slice_code = max_slice_code

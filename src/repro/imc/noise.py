@@ -10,7 +10,7 @@ noise sim" code path of the reproduction plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
@@ -49,6 +49,10 @@ def apply_stuck_at_faults(
     """
     if not 0.0 <= rate <= 1.0:
         raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    if not 0.0 <= stuck_on_fraction <= 1.0:
+        raise ValueError(f"stuck_on_fraction must be in [0, 1], got {stuck_on_fraction}")
+    if g_min > g_max:
+        raise ValueError(f"g_min must not exceed g_max, got {g_min} > {g_max}")
     if rate == 0.0:
         return conductances.copy()
     out = conductances.copy()
@@ -129,6 +133,16 @@ class NoiseModel:
         out = apply_stuck_at_faults(out, self.stuck_at_rate, g_min, g_max, gen)
         out = apply_ir_drop(out, self.ir_drop_severity)
         return np.clip(out, 0.0, None)
+
+    def with_seed(self, seed: int) -> "NoiseModel":
+        """The same non-ideality parameters with a different RNG seed.
+
+        Monte-Carlo sweeps derive per-trial models from one corner this way;
+        note the executors in :mod:`repro.engine.kernels` pass explicit
+        per-tile generators, so this seed only matters for direct
+        :meth:`apply` calls.
+        """
+        return replace(self, seed=seed)
 
     @staticmethod
     def ideal() -> "NoiseModel":

@@ -28,13 +28,13 @@ from typing import Optional
 
 import numpy as np
 
-from ..engine.context import ExecutionContext, SimulationResult
-from ..engine.kernels import im2col_columns
+from ..engine.context import ExecutionContext, MonteCarloResult, SimulationResult
+from ..engine.kernels import TRIAL_SEED_STRIDE, im2col_columns
 from ..mapping.geometry import ArrayDims, ConvGeometry
 from .noise import NoiseModel
 from .peripherals import PeripheralSuite, default_peripherals
 
-__all__ = ["SimulationResult", "IMCSimulator", "im2col_columns"]
+__all__ = ["SimulationResult", "MonteCarloResult", "IMCSimulator", "im2col_columns"]
 
 
 @dataclass
@@ -86,6 +86,41 @@ class IMCSimulator:
         deployment decisions.
         """
         return self.context().lowrank_plan(weight_matrix, rank=rank, groups=groups).run(inputs)
+
+    # ------------------------------------------------------------------
+    # Batched Monte-Carlo robustness trials
+    # ------------------------------------------------------------------
+    def run_dense_trials(
+        self,
+        weight_matrix: np.ndarray,
+        inputs: np.ndarray,
+        trials: int,
+        trial_stride: int = TRIAL_SEED_STRIDE,
+    ) -> MonteCarloResult:
+        """Simulate ``trials`` independently-noisy programmings of ``y = W x``.
+
+        All trials execute in one batched matmul
+        (:class:`repro.engine.MonteCarloTiledMatrix`); trial ``t`` is
+        bit-identical in its programmed conductances to a sequential
+        ``run_dense`` with seed ``seed + t · trial_stride``.
+        """
+        return self.context().dense_monte_carlo_plan(
+            weight_matrix, trials=trials, trial_stride=trial_stride
+        ).run(inputs)
+
+    def run_lowrank_trials(
+        self,
+        weight_matrix: np.ndarray,
+        inputs: np.ndarray,
+        trials: int,
+        rank: int,
+        groups: int = 1,
+        trial_stride: int = TRIAL_SEED_STRIDE,
+    ) -> MonteCarloResult:
+        """Monte-Carlo trials of the grouped two-stage low-rank computation."""
+        return self.context().lowrank_monte_carlo_plan(
+            weight_matrix, rank=rank, trials=trials, groups=groups, trial_stride=trial_stride
+        ).run(inputs)
 
     # ------------------------------------------------------------------
     # Convolution-level convenience wrappers

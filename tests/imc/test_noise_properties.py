@@ -1,0 +1,226 @@
+"""Seeded-fuzz property tests for the crossbar noise-model invariants.
+
+Hypothesis drives randomized (but derandomized-seeded, hence reproducible)
+sweeps over shapes, parameters and RNG seeds, checking the invariants the
+simulator and the Monte-Carlo robustness subsystem rely on:
+
+* zero-strength parameters (``sigma=0``, ``rate=0``, ``severity=0``) return
+  *identity copies* — equal values, fresh storage;
+* stuck-at faults only ever move cells to ``g_min`` / ``g_max`` and leave the
+  rest untouched, with the realized fault rate inside statistical bounds;
+* IR drop attenuates monotonically down the rows and never amplifies;
+* composite :meth:`NoiseModel.apply` output is non-negative and deterministic
+  for a given seed;
+* invalid parameters raise ``ValueError`` instead of silently misbehaving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imc.noise import (
+    NoiseModel,
+    apply_conductance_variation,
+    apply_ir_drop,
+    apply_stuck_at_faults,
+)
+
+#: Deterministic, CI-friendly fuzzing profile: every example is derived from
+#: the (fixed) hypothesis database seed, so failures reproduce exactly.
+FUZZ = settings(max_examples=40, deadline=None, derandomize=True)
+
+shapes = st.tuples(st.integers(1, 16), st.integers(1, 16))
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _conductances(shape, seed: int, g_min: float = 1e-6, g_max: float = 1e-4) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return g_min + rng.random(shape) * (g_max - g_min)
+
+
+class TestIdentityPaths:
+    @FUZZ
+    @given(shape=shapes, seed=seeds)
+    def test_zero_sigma_is_identity_copy(self, shape, seed):
+        g = _conductances(shape, seed)
+        out = apply_conductance_variation(g, 0.0, np.random.default_rng(seed))
+        np.testing.assert_array_equal(out, g)
+        assert out is not g and not np.shares_memory(out, g)
+
+    @FUZZ
+    @given(shape=shapes, seed=seeds)
+    def test_zero_rate_is_identity_copy(self, shape, seed):
+        g = _conductances(shape, seed)
+        out = apply_stuck_at_faults(g, 0.0, 1e-6, 1e-4, np.random.default_rng(seed))
+        np.testing.assert_array_equal(out, g)
+        assert out is not g and not np.shares_memory(out, g)
+
+    @FUZZ
+    @given(shape=shapes, seed=seeds)
+    def test_zero_severity_is_identity_copy(self, shape, seed):
+        g = _conductances(shape, seed)
+        out = apply_ir_drop(g, 0.0)
+        np.testing.assert_array_equal(out, g)
+        assert out is not g and not np.shares_memory(out, g)
+
+    @FUZZ
+    @given(shape=shapes, seed=seeds)
+    def test_ideal_model_apply_is_identity_copy(self, shape, seed):
+        g = _conductances(shape, seed)
+        out = NoiseModel.ideal().apply(g, 1e-6, 1e-4)
+        np.testing.assert_array_equal(out, g)
+        assert out is not g and not np.shares_memory(out, g)
+
+
+class TestConductanceVariation:
+    @FUZZ
+    @given(shape=shapes, seed=seeds, sigma=st.floats(0.01, 0.5))
+    def test_positive_and_multiplicative(self, shape, seed, sigma):
+        g = _conductances(shape, seed)
+        out = apply_conductance_variation(g, sigma, np.random.default_rng(seed))
+        assert out.shape == g.shape
+        assert np.all(out > 0)  # log-normal factors never flip the sign
+        # Multiplicative: zero conductance stays exactly zero.
+        zeros = np.zeros(shape)
+        np.testing.assert_array_equal(
+            apply_conductance_variation(zeros, sigma, np.random.default_rng(seed)), zeros
+        )
+
+    @FUZZ
+    @given(seed=seeds, sigma=st.floats(0.01, 0.3))
+    def test_deterministic_per_seed(self, seed, sigma):
+        g = _conductances((8, 8), seed)
+        first = apply_conductance_variation(g, sigma, np.random.default_rng(seed))
+        second = apply_conductance_variation(g, sigma, np.random.default_rng(seed))
+        np.testing.assert_array_equal(first, second)
+
+
+class TestStuckAtFaults:
+    @FUZZ
+    @given(shape=shapes, seed=seeds, rate=st.floats(0.0, 1.0), fraction=st.floats(0.0, 1.0))
+    def test_outputs_stay_within_conductance_range(self, shape, seed, rate, fraction):
+        g_min, g_max = 1e-6, 1e-4
+        g = _conductances(shape, seed, g_min, g_max)
+        out = apply_stuck_at_faults(
+            g, rate, g_min, g_max, np.random.default_rng(seed), stuck_on_fraction=fraction
+        )
+        assert np.all(out >= g_min) and np.all(out <= g_max)
+        # Every cell is either untouched or stuck at an extreme.
+        changed = out != g
+        assert np.all(np.isin(out[changed], [g_min, g_max]))
+
+    @FUZZ
+    @given(seed=seeds, rate=st.floats(0.02, 0.5))
+    def test_realized_rate_within_statistical_bounds(self, seed, rate):
+        """The Bernoulli fault mask hits its rate to within five sigmas."""
+        n = 200 * 200
+        g = np.full((200, 200), 5e-5)
+        out = apply_stuck_at_faults(g, rate, 1e-6, 1e-4, np.random.default_rng(seed))
+        # Cells already at an extreme cannot be detected as changed, but the
+        # fill value is strictly interior so every fault is visible.
+        realized = float(np.mean(out != g))
+        tolerance = 5.0 * np.sqrt(rate * (1.0 - rate) / n) + 1.0 / n
+        assert abs(realized - rate) <= tolerance
+
+    @FUZZ
+    @given(seed=seeds)
+    def test_stuck_on_fraction_extremes(self, seed):
+        g = np.full((64, 64), 5e-5)
+        rng_on = np.random.default_rng(seed)
+        all_on = apply_stuck_at_faults(g, 0.5, 1e-6, 1e-4, rng_on, stuck_on_fraction=1.0)
+        assert set(np.unique(all_on)) <= {5e-5, 1e-4}
+        rng_off = np.random.default_rng(seed)
+        all_off = apply_stuck_at_faults(g, 0.5, 1e-6, 1e-4, rng_off, stuck_on_fraction=0.0)
+        assert set(np.unique(all_off)) <= {5e-5, 1e-6}
+
+
+class TestIRDrop:
+    @FUZZ
+    @given(shape=shapes, seed=seeds, severity=st.floats(0.001, 0.999))
+    def test_attenuation_bounded_and_monotone(self, shape, seed, severity):
+        g = _conductances(shape, seed)
+        out = apply_ir_drop(g, severity)
+        assert np.all(out <= g + 1e-30)  # never amplifies
+        assert np.all(out >= g * (1.0 - severity) - 1e-30)
+        np.testing.assert_array_equal(out[0], g[0])  # driver-adjacent row exact
+        if shape[0] > 1:
+            ratios = out / g
+            assert np.all(np.diff(ratios, axis=0) <= 1e-12)  # monotone down the rows
+
+
+class TestCompositeModel:
+    @FUZZ
+    @given(
+        seed=seeds,
+        sigma=st.floats(0.0, 0.3),
+        rate=st.floats(0.0, 0.1),
+        severity=st.floats(0.0, 0.2),
+    )
+    def test_apply_nonnegative_and_deterministic(self, seed, sigma, rate, severity):
+        model = NoiseModel(
+            conductance_sigma=sigma,
+            stuck_at_rate=rate,
+            ir_drop_severity=severity,
+            seed=seed,
+        )
+        g = _conductances((12, 9), seed)
+        first = model.apply(g, 1e-6, 1e-4)
+        second = model.apply(g, 1e-6, 1e-4)
+        assert np.all(first >= 0)
+        np.testing.assert_array_equal(first, second)
+
+    @FUZZ
+    @given(seed=seeds, other=seeds)
+    def test_with_seed_changes_only_the_stream(self, seed, other):
+        model = NoiseModel.typical().with_seed(seed)
+        assert model.seed == seed
+        assert model.conductance_sigma == NoiseModel.typical().conductance_sigma
+        reseeded = model.with_seed(other)
+        g = _conductances((8, 8), 0)
+        if seed != other:
+            assert not np.array_equal(
+                model.apply(g, 1e-6, 1e-4), reseeded.apply(g, 1e-6, 1e-4)
+            )
+
+
+class TestInvalidParameters:
+    @FUZZ
+    @given(sigma=st.floats(max_value=-1e-9, allow_nan=False))
+    def test_negative_sigma_rejected(self, sigma):
+        with pytest.raises(ValueError):
+            apply_conductance_variation(np.ones((2, 2)), sigma, np.random.default_rng(0))
+
+    @FUZZ
+    @given(rate=st.one_of(st.floats(max_value=-1e-9), st.floats(min_value=1.0 + 1e-9, allow_infinity=False)))
+    def test_out_of_range_rate_rejected(self, rate):
+        with pytest.raises(ValueError):
+            apply_stuck_at_faults(np.ones((2, 2)), rate, 0.0, 1.0, np.random.default_rng(0))
+
+    @FUZZ
+    @given(fraction=st.one_of(st.floats(max_value=-1e-9), st.floats(min_value=1.0 + 1e-9, allow_infinity=False)))
+    def test_out_of_range_stuck_on_fraction_rejected(self, fraction):
+        with pytest.raises(ValueError):
+            apply_stuck_at_faults(
+                np.ones((2, 2)), 0.1, 0.0, 1.0, np.random.default_rng(0), stuck_on_fraction=fraction
+            )
+
+    def test_inverted_conductance_range_rejected(self):
+        with pytest.raises(ValueError):
+            apply_stuck_at_faults(np.ones((2, 2)), 0.1, 1.0, 0.0, np.random.default_rng(0))
+
+    @FUZZ
+    @given(severity=st.one_of(st.floats(max_value=-1e-9), st.floats(min_value=1.0, allow_infinity=False)))
+    def test_out_of_range_severity_rejected(self, severity):
+        with pytest.raises(ValueError):
+            apply_ir_drop(np.ones((2, 2)), severity)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(conductance_sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(stuck_at_rate=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(ir_drop_severity=1.0)

@@ -1,11 +1,14 @@
 """Tests for the ``python -m repro`` command-line interface.
 
-Only the fast subcommands are exercised (Table I restricted sweeps are still a
-second or two); the heavyweight ``report`` command is covered by the benchmark
-suite via the underlying ``run_all`` harness.
+The fast subcommands are exercised directly; the heavyweight ``report``
+command is run end to end through ``main()`` with a restricted Fig. 6 sweep
+and a small robustness trial count so its ``--arrays``/``--jobs``/``--json``
+plumbing stays covered without dominating the suite's runtime.
 """
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
@@ -20,9 +23,18 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("table1", "fig6", "fig7", "fig8", "fig9", "report", "compare"):
+        for command in ("table1", "fig6", "fig7", "fig8", "fig9", "report", "robustness", "compare"):
             args = parser.parse_args([command] if command != "compare" else ["compare"])
             assert args.command == command
+
+    def test_robustness_defaults(self):
+        args = build_parser().parse_args(["robustness"])
+        assert args.scenarios is None
+        assert args.trials == 8 and args.jobs == 1 and args.array == 64
+
+    def test_robustness_invalid_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robustness", "--scenarios", "not_a_scenario"])
 
     def test_compare_defaults(self):
         args = build_parser().parse_args(["compare"])
@@ -53,3 +65,62 @@ class TestExecution:
         assert exit_code == 0
         assert target.exists()
         assert "speedup" in target.read_text()
+
+    def test_robustness_command_prints_tables(self, capsys):
+        exit_code = main(
+            [
+                "robustness",
+                "--trials", "2",
+                "--networks", "resnet20",
+                "--scenarios", "ideal", "typical_rram",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Robustness — resnet20" in captured
+        assert "typical_rram" in captured
+        assert "group_lowrank" in captured
+
+    def test_robustness_jobs_and_json(self, tmp_path, capsys):
+        target = tmp_path / "robustness.json"
+        exit_code = main(
+            [
+                "robustness",
+                "--trials", "2",
+                "--networks", "resnet20",
+                "--scenarios", "ideal", "faulty",
+                "--jobs", "2",
+                "--json", str(target),
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(target.read_text())
+        assert document["trials"] == 2
+        assert document["scenarios"] == ["ideal", "faulty"]
+        assert len(document["points"]) == 2 * 3  # scenarios × mappings
+
+    def test_report_end_to_end_with_arrays_jobs_json(self, tmp_path, capsys):
+        """`report --arrays/--jobs/--json` through main(), restricted to stay fast."""
+        target = tmp_path / "report.json"
+        exit_code = main(
+            [
+                "report",
+                "--arrays", "32",
+                "--jobs", "2",
+                "--trials", "2",
+                "--json", str(target),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Reproduction report" in captured
+        assert "Robustness —" in captured
+        document = json.loads(target.read_text())
+        assert set(document["experiments"]) == {
+            "table1", "fig6", "fig7", "fig8", "fig9", "robustness",
+        }
+        assert document["headline"]
+        # --arrays restricted the Fig. 6 sweep to the requested sizes.
+        panels = document["experiments"]["fig6"]["result"]["panels"]
+        assert {panel["array_size"] for panel in panels} == {32}

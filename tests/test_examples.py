@@ -49,9 +49,10 @@ class TestExampleScripts:
         assert "deployment comparison" in out
 
     def test_noise_robustness_example(self, capsys):
-        out = run_example("noise_robustness.py", [], capsys)
+        out = run_example("noise_robustness.py", ["--trials", "2"], capsys)
         assert "relative output error" in out
-        assert "variation 10%" in out
+        assert "Monte-Carlo trials" in out
+        assert "typical_rram" in out and "worst_case_rram" in out
 
     def test_all_examples_present(self):
         expected = {
