@@ -172,6 +172,54 @@ def bench_decomposition_cache(repeats: int) -> Dict[str, object]:
     }
 
 
+def bench_store(repeats: int) -> Dict[str, object]:
+    """Warm-store report assembly vs. the cold sweep it replaces.
+
+    Cold runs execute the restricted experiment suite into a fresh store;
+    the warm runs re-assemble the same suite purely from the materialized
+    artifacts.  ``byte_identical`` asserts the store's headline contract —
+    the warm document must match the cold one exactly — so a "fast but
+    wrong" cache regression cannot slip through, and ``speedup`` tracks the
+    acceptance floor (≥5x) per commit.  Process-level memoization (workloads,
+    proxy calibration) is warm for both sides, so the ratio isolates the
+    store's contribution.
+    """
+    import shutil
+    import tempfile
+
+    from repro.engine.cache import default_decomposition_cache
+    from repro.experiments.runner import run_all, suite_to_json
+    from repro.store import ExperimentStore
+
+    suite_kwargs = dict(include_fig6_arrays=(32,), robustness_trials=2)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        def cold_run() -> None:
+            root = workdir / f"cold-{time.perf_counter_ns()}"
+            run_all(store=ExperimentStore(root), **suite_kwargs)
+            shutil.rmtree(root, ignore_errors=True)
+
+        run_all(**suite_kwargs)  # warm the process-level caches for both sides
+        cold = best_of(cold_run, repeats)
+
+        warm_store = ExperimentStore(workdir / "warm")
+        cold_document = suite_to_json(run_all(store=warm_store, **suite_kwargs))
+        warm = best_of(lambda: run_all(store=warm_store, **suite_kwargs), repeats)
+        warm_document = suite_to_json(run_all(store=warm_store, **suite_kwargs))
+        byte_identical = json.dumps(warm_document) == json.dumps(cold_document)
+    finally:
+        default_decomposition_cache.detach_store()
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "kernel": "experiment_store_warm_report",
+        "workload": "restricted suite (fig6 arrays=32, robustness trials=2), cold sweep vs warm assembly",
+        "engine_seconds": warm,
+        "reference_seconds": cold,
+        "speedup": cold / warm if warm > 0 else None,
+        "byte_identical": byte_identical,
+    }
+
+
 def bench_window_search(repeats: int) -> Dict[str, object]:
     geometry = ConvGeometry(64, 64, 3, 3, 16, 16, stride=1, padding=1, name="bench-conv")
     array = ArrayDims.square(64)
@@ -203,6 +251,7 @@ def main(argv: Optional[list] = None) -> int:
         bench_monte_carlo(args.repeats),
         bench_decomposition_cache(args.repeats),
         bench_window_search(args.repeats),
+        bench_store(args.repeats),
     ]
     document = {
         "schema": "BENCH_kernels/v1",

@@ -12,6 +12,8 @@ The package is organized by subsystem (see DESIGN.md for the full inventory):
 * :mod:`repro.training`     — trainer, evaluation and the calibrated accuracy proxy,
 * :mod:`repro.analysis`     — Pareto fronts, tables, ASCII plots,
 * :mod:`repro.experiments`  — one harness per paper table / figure,
+* :mod:`repro.store`        — persistent experiment store (canonical fingerprints,
+  content-addressed artifacts; makes sweeps incremental, resumable, shardable),
 * :mod:`repro.workloads`    — layer-geometry catalogues of ResNet-20 and WRN16-4.
 
 Quick start::

@@ -12,6 +12,21 @@ Usage (after ``pip install -e .``)::
     python -m repro compare --network resnet20 --array 64
                                                 # deployment-style method comparison
 
+With ``--store DIR`` (or ``$REPRO_STORE``) runs are incremental: every sweep
+grid cell is persisted in a content-addressed artifact store, warm reruns
+assemble from it instead of recomputing, and ``report --shard K/N`` computes
+one shard of the grid cells so several processes can split a sweep with the
+store as their shared medium::
+
+    python -m repro --store .repro-store report --shard 1/4 &
+    python -m repro --store .repro-store report --shard 2/4 &
+    ...wait...
+    python -m repro --store .repro-store report --json out.json   # warm assembly
+
+    python -m repro --store .repro-store store ls     # inspect artifacts
+    python -m repro --store .repro-store store gc     # drop stale/corrupt ones
+    python -m repro --store .repro-store store clear  # start cold
+
 Every subcommand prints plain text; ``--output FILE`` writes it to a file too.
 """
 
@@ -24,21 +39,62 @@ from .experiments.fig6 import format_fig6, run_fig6
 from .experiments.fig7 import format_fig7, run_fig7
 from .experiments.fig8 import format_fig8, run_fig8
 from .experiments.fig9 import format_fig9, run_fig9
-from .engine.sweep import to_jsonable
+from .engine.cache import default_decomposition_cache
+from .engine.sweep import parse_shard, to_jsonable
 from .experiments.robustness import format_robustness, run_robustness
-from .experiments.runner import format_report, run_all, suite_to_json
+from .experiments.runner import (
+    format_report,
+    format_shard_summary,
+    run_all,
+    run_shard,
+    suite_to_json,
+)
 from .experiments.table1 import format_table1, run_table1
 from .imc.reports import MethodSpec, compare_methods
 from .mapping.geometry import ArrayDims
 from .scenarios import scenario_names
+from .store import ExperimentStore, open_store
 from .workloads import compressible_geometries
 
 __all__ = ["build_parser", "main"]
 
 
-def _fig6_text(args: argparse.Namespace) -> str:
+def _fig6_text(args: argparse.Namespace, store: Optional[ExperimentStore]) -> str:
     networks = (args.network,) if args.network else ("resnet20", "wrn16_4")
-    return format_fig6(run_fig6(networks=networks), include_plots=args.plots)
+    return format_fig6(run_fig6(networks=networks, store=store), include_plots=args.plots)
+
+
+def _format_size(size_bytes: int) -> str:
+    if size_bytes >= 1 << 20:
+        return f"{size_bytes / (1 << 20):.1f} MiB"
+    if size_bytes >= 1 << 10:
+        return f"{size_bytes / (1 << 10):.1f} KiB"
+    return f"{size_bytes} B"
+
+
+def _store_text(args: argparse.Namespace, store: ExperimentStore) -> str:
+    if args.action == "ls":
+        entries = store.ls()
+        lines = [f"store {store.root} — {len(entries)} artifacts"]
+        for entry in entries:
+            marker = "  [stale]" if entry.stale else ""
+            lines.append(
+                f"  {entry.kind:20s} {entry.fingerprint:36s} "
+                f"{_format_size(entry.size_bytes):>10s}{marker}"
+            )
+        for kind, (count, size) in sorted(store.stats(entries).items()):
+            lines.append(f"  total {kind:20s} {count:4d} artifacts  {_format_size(size)}")
+        return "\n".join(lines)
+    if args.action == "gc":
+        stats = store.gc()
+        return (
+            f"store {store.root} — gc removed {stats.removed} artifacts "
+            f"({_format_size(stats.freed_bytes)}), kept {stats.kept}"
+        )
+    if args.action == "clear":
+        removed = store.clear()
+        return f"store {store.root} — cleared {removed} artifacts"
+    raise ValueError(f"unknown store action {args.action!r}")
 
 
 def _compare_text(args: argparse.Namespace) -> str:
@@ -64,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--output", type=str, default="", help="also write the output to this file")
+    parser.add_argument(
+        "--store", type=str, default="",
+        help="persistent experiment store directory (default: $REPRO_STORE; empty = no caching)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("table1", help="reproduce Table I")
@@ -94,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=8,
         help="Monte-Carlo trial count of the robustness scenario sweep",
     )
+    report.add_argument(
+        "--shard", type=str, default="", metavar="K/N",
+        help="compute only shard K of N grid cells into the store, then exit "
+             "(requires --store; run a final un-sharded report to assemble)",
+    )
 
     robustness = subparsers.add_parser(
         "robustness",
@@ -123,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the machine-readable robustness result to this file",
     )
 
+    store = subparsers.add_parser(
+        "store", help="inspect or maintain the persistent experiment store"
+    )
+    store.add_argument(
+        "action", choices=("ls", "gc", "clear"),
+        help="ls: list artifacts; gc: drop stale/corrupt artifacts; clear: remove everything",
+    )
+
     compare = subparsers.add_parser("compare", help="deployment-style method comparison")
     compare.add_argument("--network", choices=("resnet20", "wrn16_4"), default="resnet20")
     compare.add_argument("--array", type=int, choices=(32, 64, 128), default=64)
@@ -135,23 +208,49 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    store = open_store(args.store or None)
+    if store is not None:
+        # Two-level decomposition caching: SVDs spill to / refill from the store.
+        default_decomposition_cache.attach_store(store)
 
     if args.command == "table1":
-        text = format_table1(run_table1())
+        text = format_table1(run_table1(store=store))
     elif args.command == "fig6":
-        text = _fig6_text(args)
+        text = _fig6_text(args, store)
     elif args.command == "fig7":
-        text = format_fig7(run_fig7(), include_plots=False)
+        text = format_fig7(run_fig7(store=store), include_plots=False)
     elif args.command == "fig8":
-        text = format_fig8(run_fig8(), include_plots=False)
+        text = format_fig8(run_fig8(store=store), include_plots=False)
     elif args.command == "fig9":
-        text = format_fig9(run_fig9(), include_plots=False)
+        text = format_fig9(run_fig9(store=store), include_plots=False)
+    elif args.command == "report" and args.shard:
+        if store is None:
+            parser.error("--shard requires --store (or $REPRO_STORE)")
+        if args.json_path or args.plots:
+            parser.error(
+                "--shard computes grid cells without assembling a report; "
+                "run the final un-sharded `report --json/--plots` to emit it"
+            )
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as error:
+            parser.error(str(error))
+        stats = run_shard(
+            shard,
+            store,
+            include_fig6_arrays=args.arrays,
+            parallel=args.jobs > 1,
+            max_workers=args.jobs if args.jobs > 1 else None,
+            robustness_trials=args.trials,
+        )
+        text = format_shard_summary(stats)
     elif args.command == "report":
         suite = run_all(
             include_fig6_arrays=args.arrays,
             parallel=args.jobs > 1,
             max_workers=args.jobs if args.jobs > 1 else None,
             robustness_trials=args.trials,
+            store=store,
         )
         text = format_report(suite, include_plots=args.plots)
         if args.json_path:
@@ -168,6 +267,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             array_size=args.array,
             parallel=args.jobs > 1,
             max_workers=args.jobs if args.jobs > 1 else None,
+            store=store,
         )
         text = format_robustness(result)
         if args.json_path:
@@ -176,6 +276,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             with open(args.json_path, "w", encoding="utf-8") as handle:
                 json.dump(to_jsonable(result), handle, indent=2)
                 handle.write("\n")
+    elif args.command == "store":
+        if store is None:
+            parser.error("the store command requires --store DIR (or $REPRO_STORE)")
+        text = _store_text(args, store)
     elif args.command == "compare":
         text = _compare_text(args)
     else:  # pragma: no cover - argparse enforces the choices

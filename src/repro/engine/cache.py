@@ -16,13 +16,23 @@ The cache is keyed by a content hash of the matrix bytes plus the requested
 ``(rank, groups)``, so logically identical matrices hit regardless of object
 identity.  A module-level default cache is shared by the execution contexts,
 the accuracy proxy and anything else that decomposes weights repeatedly.
+
+The in-memory cache is **LRU-bounded** (``maxsize`` entries; the thin SVD of
+a large layer is three dense matrices, so unbounded growth across a long
+scenario sweep would eventually dominate resident memory).  Attaching a
+persistent :class:`repro.store.ExperimentStore` (``attach_store``) makes the
+cache a two-level hierarchy: every computed SVD is written through to the
+store (kind ``svd``), an in-memory miss consults the store before falling
+back to LAPACK, and an eviction therefore never loses work — the factors
+remain recoverable, bit-identical, by any process sharing the store.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -30,12 +40,18 @@ from ..lowrank.decompose import LowRankFactors
 from ..lowrank.group import GroupLowRankFactors, split_columns
 
 __all__ = [
+    "DEFAULT_SVD_CACHE_ENTRIES",
     "matrix_fingerprint",
     "DecompositionCache",
     "default_decomposition_cache",
     "cached_decompose",
     "cached_group_decompose",
 ]
+
+#: In-memory LRU bound of the process-wide default cache.  The default sweeps
+#: decompose a few hundred distinct (sub-)matrices; the bound only bites on
+#: much larger scenario grids, where the persistent store absorbs the spill.
+DEFAULT_SVD_CACHE_ENTRIES = 512
 
 
 def matrix_fingerprint(matrix: np.ndarray) -> Tuple[Tuple[int, ...], str, str]:
@@ -45,25 +61,78 @@ def matrix_fingerprint(matrix: np.ndarray) -> Tuple[Tuple[int, ...], str, str]:
     return (tuple(data.shape), str(data.dtype), digest)
 
 
-@dataclass
-class DecompositionCache:
-    """Memoizes thin SVDs and the (group) low-rank factorizations built on them."""
+def _store_token(key: Tuple[Tuple[int, ...], str, str]) -> str:
+    """Flatten a matrix fingerprint into a store-safe filename token."""
+    shape, dtype, digest = key
+    return f"{digest}_{'x'.join(str(dim) for dim in shape)}_{dtype}"
 
-    _svds: Dict[object, Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
+
+class DecompositionCache:
+    """Memoizes thin SVDs and the (group) low-rank factorizations built on them.
+
+    ``maxsize`` bounds the in-memory entry count with LRU eviction
+    (``None`` = unbounded).  ``attach_store`` adds a persistent second level:
+    computed SVDs are written through, and in-memory misses consult the store
+    before recomputing.
+    """
+
+    def __init__(self, maxsize: Optional[int] = DEFAULT_SVD_CACHE_ENTRIES) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be positive or None, got {maxsize}")
+        self.maxsize = maxsize
+        self._svds: "OrderedDict[object, Tuple[np.ndarray, np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        # The module-level default cache is shared across map_sweep's thread
+        # pool; the LRU bookkeeping (move_to_end / popitem) must not race.
+        # SVD computation and store I/O happen outside the lock.
+        self._lock = threading.Lock()
+        self._store = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.store_hits = 0
+
+    def attach_store(self, store) -> None:
+        """Spill to / refill from a persistent ``repro.store.ExperimentStore``."""
+        self._store = store
+
+    def detach_store(self) -> None:
+        self._store = None
 
     def svd(self, matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Full thin SVD ``(U, S, Vt)`` of a matrix, cached by content."""
         key = matrix_fingerprint(matrix)
-        cached = self._svds.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._svds.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._svds.move_to_end(key)
+                return cached
+        if self._store is not None:
+            arrays = self._store.get_arrays("svd", _store_token(key))
+            if arrays is not None and {"u", "s", "vt"} <= set(arrays):
+                factors = (arrays["u"], arrays["s"], arrays["vt"])
+                with self._lock:
+                    self.store_hits += 1
+                    self._insert(key, factors)
+                return factors
         u, s, vt = np.linalg.svd(matrix, full_matrices=False)
-        self._svds[key] = (u, s, vt)
+        if self._store is not None:
+            self._store.put_arrays("svd", _store_token(key), {"u": u, "s": s, "vt": vt})
+        with self._lock:
+            self.misses += 1
+            self._insert(key, (u, s, vt))
         return u, s, vt
+
+    def _insert(self, key: object, factors: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> None:
+        # Caller holds self._lock.
+        self._svds[key] = factors
+        self._svds.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._svds) > self.maxsize:
+                self._svds.popitem(last=False)
+                self.evictions += 1
 
     def decompose(self, matrix: np.ndarray, rank: int) -> LowRankFactors:
         """Memoized equivalent of :func:`repro.lowrank.decompose.decompose`.
@@ -88,9 +157,12 @@ class DecompositionCache:
         return GroupLowRankFactors(tuple(self.decompose(block, rank) for block in blocks))
 
     def clear(self) -> None:
-        self._svds.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._svds.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.store_hits = 0
 
     def __len__(self) -> int:
         return len(self._svds)

@@ -1,4 +1,4 @@
-"""Experiment layer: sweep registry, parallel sweep mapping, JSON emission.
+"""Experiment layer: sweep registry, parallel + incremental sweep mapping.
 
 Instead of five harnesses each re-wiring mapping + decomposition + simulation
 by hand, every paper artefact (Table I, Figs. 6–9) registers an
@@ -7,21 +7,33 @@ The registry-based runner (:func:`run_experiments`) executes the registered
 sweeps through the shared engine — optionally in parallel via
 :mod:`concurrent.futures` — and :func:`to_jsonable` turns any result
 dataclass tree into machine-readable JSON for the report emitter.
+
+With a :class:`SweepCache` (an :class:`repro.store.ExperimentStore` plus the
+cell key schema of one sweep), :func:`map_sweep` becomes *incremental*: each
+grid cell is fingerprinted, cells already materialized in the store are
+decoded instead of recomputed, and fresh results are persisted as they
+complete — so an interrupted run resumes where it stopped.  A shard spec
+``(k, n)`` restricts execution to the cells a shard owns (ownership is a pure
+function of the fingerprint, so any number of processes partition a sweep
+without coordinating beyond the shared store).
 """
 
 from __future__ import annotations
 
-import dataclasses
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
+from ..store import ExperimentStore, decode, encode, experiment_fingerprint
 
 __all__ = [
     "ExperimentSpec",
     "register_experiment",
     "experiment_registry",
+    "SweepCache",
+    "ShardStats",
+    "parse_shard",
+    "shard_owns",
     "map_sweep",
     "run_experiments",
     "to_jsonable",
@@ -76,26 +88,177 @@ def experiment_registry() -> Dict[str, ExperimentSpec]:
     return dict(_REGISTRY)
 
 
+class SweepCache:
+    """Binds one sweep's cell key schema to an :class:`~repro.store.ExperimentStore`.
+
+    ``kind`` names the artifact family (e.g. ``table1/row``), ``config_fn``
+    maps a sweep point's positional arguments to the canonical configuration
+    mapping that fingerprints the cell, and ``result_type`` is the annotated
+    type the stored payload decodes back into (a dataclass, or a typing
+    generic like ``List[RobustnessPoint]``).
+    """
+
+    _MISS = object()
+
+    def __init__(
+        self,
+        store: ExperimentStore,
+        kind: str,
+        config_fn: Callable[..., Mapping[str, Any]],
+        result_type: Any,
+    ) -> None:
+        self.store = store
+        self.kind = kind
+        self.config_fn = config_fn
+        self.result_type = result_type
+        self.hits = 0
+        self.computed = 0
+
+    def fingerprint(self, args: Tuple[Any, ...]) -> str:
+        return experiment_fingerprint(self.kind, self.config_fn(*args))
+
+    def load(self, fingerprint: str) -> Any:
+        """The decoded cell result, or :data:`SweepCache._MISS`.
+
+        A checksum-valid artifact whose payload no longer matches the current
+        result dataclass (a structural change shipped without a salt bump) is
+        dropped and treated as a miss — never served, never a crash.
+        """
+        payload = self.store.get(self.kind, fingerprint)
+        if payload is None:
+            return self._MISS
+        try:
+            result = decode(self.result_type, payload)
+        except (TypeError, KeyError, ValueError, AttributeError):
+            self.store.drop(self.kind, fingerprint)
+            return self._MISS
+        self.hits += 1
+        return result
+
+    def save(self, fingerprint: str, result: Any) -> None:
+        self.computed += 1
+        self.store.put(self.kind, fingerprint, encode(result))
+
+
+@dataclass
+class ShardStats:
+    """What one shard of a sweep did (returned instead of an assembled result)."""
+
+    kind: str
+    shard: Tuple[int, int]
+    total_cells: int = 0
+    computed: int = 0
+    resumed: int = 0
+    foreign: int = 0
+
+    @property
+    def owned(self) -> int:
+        return self.computed + self.resumed
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``K/N`` shard spec into ``(k, n)`` with ``1 <= k <= n``."""
+    try:
+        k_text, n_text = text.split("/", 1)
+        k, n = int(k_text), int(n_text)
+    except ValueError as error:
+        raise ValueError(f"shard spec must look like K/N, got {text!r}") from error
+    if not 1 <= k <= n:
+        raise ValueError(f"shard index must satisfy 1 <= K <= N, got {text!r}")
+    return k, n
+
+
+def shard_owns(fingerprint: str, k: int, n: int) -> bool:
+    """Whether shard ``k`` of ``n`` owns a cell — a pure function of its key.
+
+    Ownership hashes the fingerprint, not the enumeration index, so it is
+    stable across processes and across sweeps enumerated in different orders
+    or restricted to different subsets.
+    """
+    return int(fingerprint[:8], 16) % n == k - 1
+
+
+def _run_points(
+    fn: Callable[..., Any],
+    args_list: Sequence[Tuple[Any, ...]],
+    parallel: bool,
+    max_workers: Optional[int],
+) -> List[Any]:
+    if not parallel or len(args_list) <= 1:
+        return [fn(*args) for args in args_list]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(lambda args: fn(*args), args_list))
+
+
 def map_sweep(
     fn: Callable[..., Any],
     points: Sequence[Any],
     parallel: bool = False,
     max_workers: Optional[int] = None,
-) -> List[Any]:
+    cache: Optional[SweepCache] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Any:
     """Apply ``fn`` to every sweep point, optionally via a thread pool.
 
     Sweep points are tuples of positional arguments (bare values are treated
     as 1-tuples).  Results keep the order of ``points``.  Threads are the
     right pool here: the work is numpy/BLAS-bound, which releases the GIL, and
     the engine's module-level memoization caches stay shared.
+
+    With ``cache`` the sweep is incremental: cells whose fingerprint is
+    already materialized in the store are decoded instead of recomputed, and
+    every fresh result is persisted the moment it completes.  With ``shard``
+    (requires ``cache``) only the cells the shard owns are computed — nothing
+    is assembled — and a :class:`ShardStats` summary is returned instead of
+    the result list; cells the store already holds are skipped, which is what
+    makes an interrupted sharded run resumable.
     """
     args_list: List[Tuple[Any, ...]] = [
         point if isinstance(point, tuple) else (point,) for point in points
     ]
-    if not parallel or len(args_list) <= 1:
-        return [fn(*args) for args in args_list]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(lambda args: fn(*args), args_list))
+    if cache is None:
+        if shard is not None:
+            raise ValueError("sharded execution requires a sweep cache (a store)")
+        return _run_points(fn, args_list, parallel, max_workers)
+
+    fingerprints = [cache.fingerprint(args) for args in args_list]
+    if shard is not None:
+        k, n = shard
+        stats = ShardStats(kind=cache.kind, shard=(k, n), total_cells=len(args_list))
+        todo: List[Tuple[Tuple[Any, ...], str]] = []
+        for args, fingerprint in zip(args_list, fingerprints):
+            if not shard_owns(fingerprint, k, n):
+                stats.foreign += 1
+            elif cache.store.contains(cache.kind, fingerprint):
+                stats.resumed += 1
+            else:
+                todo.append((args, fingerprint))
+
+        def compute_and_store(args: Tuple[Any, ...], fingerprint: str) -> None:
+            cache.save(fingerprint, fn(*args))
+
+        _run_points(compute_and_store, todo, parallel, max_workers)
+        stats.computed = len(todo)
+        return stats
+
+    results: List[Any] = [None] * len(args_list)
+    missing: List[Tuple[int, Tuple[Any, ...], str]] = []
+    for index, (args, fingerprint) in enumerate(zip(args_list, fingerprints)):
+        cached = cache.load(fingerprint)
+        if cached is not SweepCache._MISS:
+            results[index] = cached
+        else:
+            missing.append((index, args, fingerprint))
+
+    def compute_one(index: int, args: Tuple[Any, ...], fingerprint: str) -> Any:
+        result = fn(*args)
+        cache.save(fingerprint, result)
+        return result
+
+    computed = _run_points(compute_one, missing, parallel, max_workers)
+    for (index, _, _), result in zip(missing, computed):
+        results[index] = result
+    return results
 
 
 def run_experiments(
@@ -134,22 +297,8 @@ def to_jsonable(value: Any) -> Any:
 
     Dict keys become strings (JSON objects require it — Table I keys its cycle
     maps by integer array size), numpy scalars become Python scalars and
-    numpy arrays become nested lists.
+    numpy arrays become nested lists.  This is the same lowering the store
+    persists artifacts with (:func:`repro.store.encode`), which is what makes
+    a warm-store report byte-identical to a cold one.
     """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            f.name: to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)
-        }
-    if isinstance(value, Mapping):
-        return {str(key): to_jsonable(item) for key, item in value.items()}
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, (np.bool_,)):
-        return bool(value)
-    if isinstance(value, (list, tuple, set)):
-        return [to_jsonable(item) for item in value]
-    return value
+    return encode(value)

@@ -16,13 +16,20 @@ series by :func:`headline_metrics`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
-from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
+from ..engine.sweep import (
+    ExperimentSpec,
+    ShardStats,
+    SweepCache,
+    map_sweep,
+    register_experiment,
+)
 from ..mapping.geometry import ArrayDims
+from ..store import ExperimentStore
 from .common import (
     ARRAY_SIZES,
     GROUP_COUNTS,
@@ -142,6 +149,27 @@ def _fig6_panel(
     )
 
 
+def _fig6_cell_config(
+    network: str,
+    size: int,
+    group_counts: Sequence[int],
+    rank_divisors: Sequence[int],
+    pruning_entries: Sequence[int],
+) -> Mapping[str, Any]:
+    """The canonical store key of one Fig. 6 panel.
+
+    The panel key omits the *requested* array-size subset, so e.g.
+    ``--arrays 64`` reuses the (network, 64) panel a full sweep materialized.
+    """
+    return {
+        "network": network,
+        "array_size": size,
+        "group_counts": list(group_counts),
+        "rank_divisors": list(rank_divisors),
+        "pruning_entries": list(pruning_entries),
+    }
+
+
 def run_fig6(
     networks: Sequence[str] = ("resnet20", "wrn16_4"),
     array_sizes: Sequence[int] = ARRAY_SIZES,
@@ -149,14 +177,24 @@ def run_fig6(
     rank_divisors: Sequence[int] = RANK_DIVISORS,
     pruning_entries: Sequence[int] = PRUNING_ENTRIES,
     parallel: bool = False,
-) -> Fig6Result:
-    """Compute every Fig. 6 panel."""
+    store: Optional[ExperimentStore] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Union[Fig6Result, ShardStats]:
+    """Compute every Fig. 6 panel (incrementally / sharded when a store is given)."""
     points = [
         (network, size, tuple(group_counts), tuple(rank_divisors), tuple(pruning_entries))
         for network in networks
         for size in array_sizes
     ]
-    return Fig6Result(panels=map_sweep(_fig6_panel, points, parallel=parallel))
+    cache = (
+        SweepCache(store, "fig6/panel", _fig6_cell_config, Fig6Panel)
+        if store is not None
+        else None
+    )
+    panels = map_sweep(_fig6_panel, points, parallel=parallel, cache=cache, shard=shard)
+    if shard is not None:
+        return panels
+    return Fig6Result(panels=panels)
 
 
 def headline_metrics(panel: Fig6Panel) -> Dict[str, float]:

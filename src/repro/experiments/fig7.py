@@ -11,13 +11,20 @@ size, exactly like the bars in the figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.plots import ascii_bars
 from ..analysis.tables import format_table
-from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
+from ..engine.sweep import (
+    ExperimentSpec,
+    ShardStats,
+    SweepCache,
+    map_sweep,
+    register_experiment,
+)
 from ..imc.energy import EnergyModel
 from ..mapping.geometry import ArrayDims
+from ..store import ExperimentStore
 from .common import (
     ARRAY_SIZES,
     NetworkWorkload,
@@ -106,6 +113,25 @@ def _fig7_bar(
     )
 
 
+def _fig7_cell_config(
+    network: str,
+    size: int,
+    groups: int,
+    rank_divisor: int,
+    pattern_entries: int,
+    model: EnergyModel,
+) -> Mapping[str, Any]:
+    """The canonical store key of one Fig. 7 bar (peripheral specs included)."""
+    return {
+        "network": network,
+        "array_size": size,
+        "groups": groups,
+        "rank_divisor": rank_divisor,
+        "pattern_entries": pattern_entries,
+        "peripherals": model.peripherals,
+    }
+
+
 def run_fig7(
     networks: Sequence[str] = ("resnet20", "wrn16_4"),
     array_sizes: Sequence[int] = ARRAY_SIZES,
@@ -114,15 +140,25 @@ def run_fig7(
     pattern_entries: int = PATTERN_ENTRIES,
     model: Optional[EnergyModel] = None,
     parallel: bool = False,
-) -> Fig7Result:
-    """Compute the Fig. 7 energy comparison."""
+    store: Optional[ExperimentStore] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Union[Fig7Result, ShardStats]:
+    """Compute the Fig. 7 energy comparison (incremental / sharded with a store)."""
     model = model if model is not None else EnergyModel()
     points = [
         (network, size, groups, rank_divisor, pattern_entries, model)
         for network in networks
         for size in array_sizes
     ]
-    return Fig7Result(bars=map_sweep(_fig7_bar, points, parallel=parallel))
+    cache = (
+        SweepCache(store, "fig7/bar", _fig7_cell_config, Fig7Bar)
+        if store is not None
+        else None
+    )
+    bars = map_sweep(_fig7_bar, points, parallel=parallel, cache=cache, shard=shard)
+    if shard is not None:
+        return bars
+    return Fig7Result(bars=bars)
 
 
 def format_fig7(result: Fig7Result, include_plots: bool = True) -> str:

@@ -11,13 +11,20 @@ models them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
-from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
+from ..engine.sweep import (
+    ExperimentSpec,
+    ShardStats,
+    SweepCache,
+    map_sweep,
+    register_experiment,
+)
 from ..mapping.geometry import ArrayDims
+from ..store import ExperimentStore
 from .common import (
     GROUP_COUNTS,
     QUANTIZATION_BITS,
@@ -117,6 +124,23 @@ def _fig8_panel(
     )
 
 
+def _fig8_cell_config(
+    network: str,
+    size: int,
+    bits: Sequence[int],
+    group_counts: Sequence[int],
+    rank_divisors: Sequence[int],
+) -> Mapping[str, Any]:
+    """The canonical store key of one Fig. 8 panel."""
+    return {
+        "network": network,
+        "array_size": size,
+        "bits": list(bits),
+        "group_counts": list(group_counts),
+        "rank_divisors": list(rank_divisors),
+    }
+
+
 def run_fig8(
     network: str = "resnet20",
     array_sizes: Sequence[int] = FIG8_ARRAY_SIZES,
@@ -124,13 +148,23 @@ def run_fig8(
     group_counts: Sequence[int] = GROUP_COUNTS,
     rank_divisors: Sequence[int] = RANK_DIVISORS,
     parallel: bool = False,
-) -> Fig8Result:
+    store: Optional[ExperimentStore] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Union[Fig8Result, ShardStats]:
     """Compute the Fig. 8 comparison for one network (ResNet-20 in the paper)."""
     points = [
         (network, size, tuple(bits), tuple(group_counts), tuple(rank_divisors))
         for size in array_sizes
     ]
-    return Fig8Result(panels=map_sweep(_fig8_panel, points, parallel=parallel))
+    cache = (
+        SweepCache(store, "fig8/panel", _fig8_cell_config, Fig8Panel)
+        if store is not None
+        else None
+    )
+    panels = map_sweep(_fig8_panel, points, parallel=parallel, cache=cache, shard=shard)
+    if shard is not None:
+        return panels
+    return Fig8Result(panels=panels)
 
 
 def format_fig8(result: Fig8Result, include_plots: bool = True) -> str:

@@ -11,13 +11,20 @@ method (1.5× / 1.6× speed-ups on WRN16-4 / ResNet-20), which
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
-from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
+from ..engine.sweep import (
+    ExperimentSpec,
+    ShardStats,
+    SweepCache,
+    map_sweep,
+    register_experiment,
+)
 from ..mapping.geometry import ArrayDims
+from ..store import ExperimentStore
 from .common import (
     GROUP_COUNTS,
     RANK_DIVISORS,
@@ -131,18 +138,43 @@ def _fig9_panel(
     )
 
 
+def _fig9_cell_config(
+    network: str,
+    size: int,
+    group_counts: Sequence[int],
+    rank_divisors: Sequence[int],
+) -> Mapping[str, Any]:
+    """The canonical store key of one Fig. 9 panel."""
+    return {
+        "network": network,
+        "array_size": size,
+        "group_counts": list(group_counts),
+        "rank_divisors": list(rank_divisors),
+    }
+
+
 def run_fig9(
     panels: Sequence[Tuple[str, int]] = FIG9_PANELS,
     group_counts: Sequence[int] = GROUP_COUNTS,
     rank_divisors: Sequence[int] = RANK_DIVISORS,
     parallel: bool = False,
-) -> Fig9Result:
-    """Compute the Fig. 9 comparison."""
+    store: Optional[ExperimentStore] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Union[Fig9Result, ShardStats]:
+    """Compute the Fig. 9 comparison (incremental / sharded with a store)."""
     points = [
         (network, size, tuple(group_counts), tuple(rank_divisors))
         for network, size in panels
     ]
-    return Fig9Result(panels=map_sweep(_fig9_panel, points, parallel=parallel))
+    cache = (
+        SweepCache(store, "fig9/panel", _fig9_cell_config, Fig9Panel)
+        if store is not None
+        else None
+    )
+    result_panels = map_sweep(_fig9_panel, points, parallel=parallel, cache=cache, shard=shard)
+    if shard is not None:
+        return result_panels
+    return Fig9Result(panels=result_panels)
 
 
 def format_fig9(result: Fig9Result, include_plots: bool = True) -> str:

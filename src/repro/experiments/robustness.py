@@ -24,15 +24,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..analysis.tables import format_energy_pj, format_table
 from ..engine.context import MonteCarloResult
-from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
+from ..engine.sweep import (
+    ExperimentSpec,
+    ShardStats,
+    SweepCache,
+    map_sweep,
+    register_experiment,
+)
 from ..mapping.geometry import ArrayDims, ConvGeometry
 from ..scenarios import HardwareScenario, get_scenario, scenario_names
+from ..store import ExperimentStore
 from ..training.proxy import AccuracyProxy
 from .common import get_workload
 
@@ -225,6 +232,29 @@ def _scenario_points(
     return points
 
 
+def _robustness_cell_config(
+    network: str,
+    scenario_name: str,
+    array_size: int,
+    trials: int,
+    batch: int,
+    rank_divisor: int,
+    groups: int,
+    seed: int,
+) -> Mapping[str, Any]:
+    """The canonical store key of one (network, scenario) robustness cell."""
+    return {
+        "network": network,
+        "scenario": scenario_name,
+        "array_size": array_size,
+        "trials": trials,
+        "batch": batch,
+        "rank_divisor": rank_divisor,
+        "groups": groups,
+        "seed": seed,
+    }
+
+
 def run_robustness(
     networks: Sequence[str] = ("resnet20", "wrn16_4"),
     scenarios: Optional[Sequence[str]] = None,
@@ -236,8 +266,15 @@ def run_robustness(
     seed: int = 0,
     parallel: bool = False,
     max_workers: Optional[int] = None,
-) -> RobustnessResult:
-    """Sweep scenario × mapping × network with batched Monte-Carlo trials."""
+    store: Optional[ExperimentStore] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Union[RobustnessResult, ShardStats]:
+    """Sweep scenario × mapping × network with batched Monte-Carlo trials.
+
+    With ``store`` the (network, scenario) cells are incremental across runs;
+    with ``shard`` only the owned cells are computed and a :class:`ShardStats`
+    summary is returned.
+    """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     scenario_seq: Tuple[str, ...] = (
@@ -255,7 +292,21 @@ def run_robustness(
         for network in networks
         for scenario in scenario_seq
     ]
-    cells = map_sweep(_scenario_points, points, parallel=parallel, max_workers=max_workers)
+    cache = (
+        SweepCache(store, "robustness/cell", _robustness_cell_config, List[RobustnessPoint])
+        if store is not None
+        else None
+    )
+    cells = map_sweep(
+        _scenario_points,
+        points,
+        parallel=parallel,
+        max_workers=max_workers,
+        cache=cache,
+        shard=shard,
+    )
+    if shard is not None:
+        return cells
     return RobustnessResult(
         points=[point for cell in cells for point in cell],
         networks=tuple(networks),

@@ -15,9 +15,17 @@ from __future__ import annotations
 import argparse
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
-from ..engine.sweep import experiment_registry, run_experiments, to_jsonable
+from ..engine.cache import default_decomposition_cache
+from ..engine.sweep import (
+    ShardStats,
+    experiment_registry,
+    parse_shard,
+    run_experiments,
+    to_jsonable,
+)
+from ..store import ExperimentStore, open_store
 from .common import get_workload
 from .fig6 import Fig6Result, format_fig6, headline_metrics, run_fig6
 from .fig7 import Fig7Result, format_fig7, run_fig7
@@ -26,7 +34,18 @@ from .fig9 import Fig9Result, format_fig9, iso_accuracy_speedup, run_fig9
 from .robustness import RobustnessResult, format_robustness, run_robustness
 from .table1 import Table1Result, format_table1, run_table1
 
-__all__ = ["ExperimentSuite", "run_all", "format_report", "suite_to_json", "main"]
+__all__ = [
+    "ExperimentSuite",
+    "run_all",
+    "run_shard",
+    "format_shard_summary",
+    "format_report",
+    "suite_to_json",
+    "main",
+]
+
+#: Report order of the combined suite (also the sharded execution order).
+SUITE_EXPERIMENTS = ("table1", "fig6", "fig7", "fig8", "fig9", "robustness")
 
 
 @dataclass
@@ -62,36 +81,114 @@ class ExperimentSuite:
             f"iso-accuracy speedup over traditional low-rank: {', '.join(fig9_lines)}"
         )
 
+def _suite_overrides(
+    include_fig6_arrays: Optional[Sequence[int]],
+    robustness_trials: int,
+    store: Optional[ExperimentStore],
+    shard: Optional[Tuple[int, int]],
+) -> Dict[str, Dict[str, Any]]:
+    overrides: Dict[str, Dict[str, Any]] = {
+        "robustness": {"trials": robustness_trials},
+    }
+    if include_fig6_arrays is not None:
+        overrides["fig6"] = {"array_sizes": tuple(include_fig6_arrays)}
+    if store is not None:
+        for name in SUITE_EXPERIMENTS:
+            overrides.setdefault(name, {})["store"] = store
+            if shard is not None:
+                overrides[name]["shard"] = shard
+    return overrides
+
+
 def run_all(
     include_fig6_arrays: Optional[Sequence[int]] = None,
     parallel: bool = False,
     max_workers: Optional[int] = None,
     robustness_trials: int = 8,
+    store: Optional[ExperimentStore] = None,
 ) -> ExperimentSuite:
     """Execute every registered harness with the paper's default sweeps.
 
     ``include_fig6_arrays`` restricts the Fig. 6 array-size sweep (the CLI's
     ``--arrays``); ``parallel`` runs the harnesses concurrently through the
     registry runner; ``robustness_trials`` sets the Monte-Carlo trial count of
-    the scenario robustness sweep.
+    the scenario robustness sweep.  With ``store`` the run is incremental:
+    grid cells already materialized in the store are decoded instead of
+    recomputed (a fully warm store makes this a pure assembly pass), and every
+    fresh cell is persisted as it completes, so interrupted runs resume.
     """
-    overrides: Dict[str, Dict[str, Any]] = {
-        "robustness": {"trials": robustness_trials},
-    }
-    if include_fig6_arrays is not None:
-        overrides["fig6"] = {"array_sizes": tuple(include_fig6_arrays)}
+    overrides = _suite_overrides(include_fig6_arrays, robustness_trials, store, None)
+    # Attach (or drop) the store's second-level SVD cache before any SVD runs,
+    # so the warm-up below spills/refills through it too — and a storeless
+    # call never leaks a previously attached store.
+    if store is not None:
+        default_decomposition_cache.attach_store(store)
+    else:
+        default_decomposition_cache.detach_store()
     # Warm the shared workload cache (and its proxy calibration SVDs) serially
     # so concurrent harnesses read the caches instead of racing to fill them.
     if parallel:
         for network in ("resnet20", "wrn16_4"):
             get_workload(network).proxy._calibration_curve()
     results = run_experiments(
-        names=("table1", "fig6", "fig7", "fig8", "fig9", "robustness"),
+        names=SUITE_EXPERIMENTS,
         overrides=overrides,
         parallel=parallel,
         max_workers=max_workers,
     )
     return ExperimentSuite(**results)
+
+
+def run_shard(
+    shard: Tuple[int, int],
+    store: ExperimentStore,
+    include_fig6_arrays: Optional[Sequence[int]] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    robustness_trials: int = 8,
+) -> Dict[str, ShardStats]:
+    """Execute one shard of the suite's grid cells into the shared store.
+
+    Every experiment's grid cells are partitioned by fingerprint; this shard
+    computes only the cells it owns that the store does not already hold
+    (resuming an interrupted shard is therefore free) and persists each as it
+    completes.  Nothing is assembled — run :func:`run_all` with the same store
+    afterwards (or ``repro report --store``) to assemble the full suite from
+    the materialized cells.
+    """
+    overrides = _suite_overrides(include_fig6_arrays, robustness_trials, store, shard)
+    default_decomposition_cache.attach_store(store)
+    if parallel:
+        for network in ("resnet20", "wrn16_4"):
+            get_workload(network).proxy._calibration_curve()
+    results = run_experiments(
+        names=SUITE_EXPERIMENTS,
+        overrides=overrides,
+        parallel=parallel,
+        max_workers=max_workers,
+    )
+    return results
+
+
+def format_shard_summary(stats: Mapping[str, ShardStats]) -> str:
+    """Render one line per experiment of a sharded run's cell accounting."""
+    lines = []
+    for name, stat in stats.items():
+        k, n = stat.shard
+        lines.append(
+            f"shard {k}/{n} — {name}: computed {stat.computed}, "
+            f"resumed {stat.resumed}, foreign {stat.foreign} "
+            f"(of {stat.total_cells} cells)"
+        )
+    totals = (
+        sum(s.computed for s in stats.values()),
+        sum(s.resumed for s in stats.values()),
+        sum(s.total_cells for s in stats.values()),
+    )
+    lines.append(
+        f"shard total: computed {totals[0]}, resumed {totals[1]} of {totals[2]} cells"
+    )
+    return "\n".join(lines)
 
 
 def format_report(suite: ExperimentSuite, include_plots: bool = False) -> str:
@@ -164,12 +261,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         default=8,
         help="Monte-Carlo trial count of the robustness scenario sweep",
     )
+    parser.add_argument(
+        "--store", type=str, default="",
+        help="persistent experiment store directory (default: $REPRO_STORE)",
+    )
+    parser.add_argument(
+        "--shard", type=str, default="", metavar="K/N",
+        help="compute only shard K of N grid cells into the store, then exit",
+    )
     args = parser.parse_args(argv)
+    store = open_store(args.store or None)
+    if args.shard:
+        if store is None:
+            parser.error("--shard requires --store (or $REPRO_STORE)")
+        if args.json or args.output or args.plots:
+            parser.error(
+                "--shard computes grid cells without assembling a report; "
+                "run the final un-sharded invocation to emit --json/--output"
+            )
+        stats = run_shard(
+            parse_shard(args.shard),
+            store,
+            include_fig6_arrays=args.arrays,
+            parallel=args.jobs > 1,
+            max_workers=args.jobs if args.jobs > 1 else None,
+            robustness_trials=args.trials,
+        )
+        print(format_shard_summary(stats))
+        return 0
     suite = run_all(
         include_fig6_arrays=args.arrays,
         parallel=args.jobs > 1,
         max_workers=args.jobs if args.jobs > 1 else None,
         robustness_trials=args.trials,
+        store=store,
     )
     report = format_report(suite, include_plots=args.plots)
     if args.output:

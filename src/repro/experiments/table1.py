@@ -8,11 +8,18 @@ m/16) for ResNet-20 and WRN16-4, reporting accuracy and computing cycles on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.tables import format_cycles, format_table
-from ..engine.sweep import ExperimentSpec, map_sweep, register_experiment
+from ..engine.sweep import (
+    ExperimentSpec,
+    ShardStats,
+    SweepCache,
+    map_sweep,
+    register_experiment,
+)
 from ..mapping.geometry import ArrayDims
+from ..store import ExperimentStore
 from .common import GROUP_COUNTS, RANK_DIVISORS, get_workload, lowrank_network_cycles
 
 __all__ = ["Table1Row", "Table1Result", "run_table1", "format_table1"]
@@ -80,21 +87,48 @@ def _table1_row(network: str, groups: int, divisor: int, array_sizes: Sequence[i
     )
 
 
+def _table1_cell_config(
+    network: str, groups: int, divisor: int, array_sizes: Sequence[int]
+) -> Mapping[str, Any]:
+    """The canonical store key of one Table I grid cell."""
+    return {
+        "network": network,
+        "groups": groups,
+        "rank_divisor": divisor,
+        "array_sizes": list(array_sizes),
+    }
+
+
 def run_table1(
     networks: Sequence[str] = ("resnet20", "wrn16_4"),
     array_sizes: Sequence[int] = TABLE1_ARRAY_SIZES,
     group_counts: Sequence[int] = GROUP_COUNTS,
     rank_divisors: Sequence[int] = RANK_DIVISORS,
     parallel: bool = False,
-) -> Table1Result:
-    """Reproduce Table I: sweep groups × rank divisors for both networks."""
+    store: Optional[ExperimentStore] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Union[Table1Result, ShardStats]:
+    """Reproduce Table I: sweep groups × rank divisors for both networks.
+
+    With ``store`` the sweep is incremental (cells already materialized are
+    decoded, fresh rows persisted); with ``shard`` only the owned cells are
+    computed and a :class:`ShardStats` summary is returned.
+    """
     points = [
         (network, groups, divisor, tuple(array_sizes))
         for network in networks
         for groups in group_counts
         for divisor in rank_divisors
     ]
-    return Table1Result(rows=map_sweep(_table1_row, points, parallel=parallel))
+    cache = (
+        SweepCache(store, "table1/row", _table1_cell_config, Table1Row)
+        if store is not None
+        else None
+    )
+    rows = map_sweep(_table1_row, points, parallel=parallel, cache=cache, shard=shard)
+    if shard is not None:
+        return rows
+    return Table1Result(rows=rows)
 
 
 def format_table1(result: Table1Result, array_sizes: Optional[Sequence[int]] = None) -> str:

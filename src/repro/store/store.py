@@ -1,0 +1,388 @@
+"""Content-addressed on-disk artifact store for experiment results.
+
+Layout (all under one root directory, e.g. ``~/.cache/repro-store`` or the
+CLI's ``--store DIR``)::
+
+    <root>/v1/<kind>/<fp[:2]>/<fp>.json     sweep-cell results (wrapped JSON)
+    <root>/v1/<kind>/<fp[:2]>/<fp>.npz      array artifacts (spilled SVDs)
+
+``v1`` is the on-disk schema version (:data:`STORE_SCHEMA_VERSION`); a future
+layout change bumps it and :meth:`ExperimentStore.gc` collects the old trees.
+``kind`` names the artifact family (``table1/row``, ``fig6/panel``, ``svd``,
+…) and ``fp`` is the canonical fingerprint of the producing configuration
+(:mod:`repro.store.fingerprint`).
+
+Correctness properties the test battery pins:
+
+* **Atomicity** — artifacts are written to a same-directory temporary file,
+  fsynced, then ``os.replace``-d into place, so concurrent writers racing on
+  one key leave exactly one valid artifact (the last rename wins) and a
+  reader never observes a partial write under the final name.
+* **Self-validation** — every JSON artifact wraps its payload with the schema
+  version, kind, fingerprint and a blake2b checksum; :meth:`get` verifies all
+  four and treats any mismatch (truncation, bit-rot, schema drift) as a miss,
+  dropping the corrupt file so the caller recomputes instead of being served
+  garbage.  NPZ artifacts are validated by their embedded schema marker and
+  numpy's own header/zip checks.
+* **Invalidation** — fingerprints embed the code-version salt, so intentional
+  numeric changes simply stop matching old artifacts; ``gc`` removes
+  stale-salt, stale-schema, corrupt and leftover temporary files, and
+  ``clear`` removes everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .fingerprint import code_version_salt
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "STORE_ENV_VAR",
+    "ArtifactInfo",
+    "GcStats",
+    "ExperimentStore",
+    "default_store_root",
+    "open_store",
+]
+
+#: On-disk layout version; bump on any wrapper/layout change.
+STORE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the default store root.
+STORE_ENV_VAR = "REPRO_STORE"
+
+_KIND_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
+_TOKEN_SANITIZER = re.compile(r"[^A-Za-z0-9._x-]+")
+
+
+def default_store_root() -> Optional[str]:
+    """The store root named by ``REPRO_STORE``, if any."""
+    return os.environ.get(STORE_ENV_VAR) or None
+
+
+def open_store(root: Optional[str] = None) -> Optional["ExperimentStore"]:
+    """Open the store at ``root`` (or the environment default); None disables caching."""
+    root = root or default_store_root()
+    return ExperimentStore(root) if root else None
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One artifact as listed by :meth:`ExperimentStore.ls`."""
+
+    kind: str
+    fingerprint: str
+    path: Path
+    size_bytes: int
+    mtime: float
+    salt: Optional[str]
+    stale: bool
+
+
+@dataclass
+class GcStats:
+    """What one :meth:`ExperimentStore.gc` pass removed."""
+
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+
+
+def _payload_checksum(payload: Any) -> str:
+    data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(data.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class ExperimentStore:
+    """Content-addressed artifact store shared by processes via the filesystem."""
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.corrupt_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def version_root(self) -> Path:
+        return self.root / f"v{STORE_SCHEMA_VERSION}"
+
+    def path_for(self, kind: str, fingerprint: str, suffix: str = ".json") -> Path:
+        kind_dir = "/".join(
+            _KIND_SANITIZER.sub("_", part) for part in kind.split("/") if part
+        )
+        token = _TOKEN_SANITIZER.sub("_", fingerprint)
+        return self.version_root / kind_dir / token[:2] / f"{token}{suffix}"
+
+    def contains(self, kind: str, fingerprint: str, suffix: str = ".json") -> bool:
+        """Cheap existence probe (full validation happens on :meth:`get`)."""
+        return self.path_for(kind, fingerprint, suffix).exists()
+
+    def drop(self, kind: str, fingerprint: str, suffix: str = ".json") -> None:
+        """Discard one artifact (e.g. a payload the caller could not decode)."""
+        self._drop_corrupt(self.path_for(kind, fingerprint, suffix))
+
+    # ------------------------------------------------------------------
+    # JSON artifacts
+    # ------------------------------------------------------------------
+    def get(self, kind: str, fingerprint: str) -> Optional[Any]:
+        """The stored payload for a key, or None on miss/corruption.
+
+        A corrupt or schema-incompatible artifact is dropped so the caller
+        recomputes; it is never served.
+        """
+        path = self.path_for(kind, fingerprint)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            wrapper = json.loads(raw)
+            if (
+                wrapper["schema"] != STORE_SCHEMA_VERSION
+                or wrapper["fingerprint"] != fingerprint
+                or wrapper["checksum"] != _payload_checksum(wrapper["payload"])
+            ):
+                raise ValueError("artifact failed validation")
+            payload = wrapper["payload"]
+        except (ValueError, KeyError, TypeError):
+            self._drop_corrupt(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(
+        self,
+        kind: str,
+        fingerprint: str,
+        payload: Any,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Atomically persist a payload under its fingerprint; returns the path."""
+        wrapper = {
+            "schema": STORE_SCHEMA_VERSION,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "salt": code_version_salt(),
+            "created": time.time(),
+            "meta": dict(meta) if meta else {},
+            "payload": payload,
+            "checksum": _payload_checksum(payload),
+        }
+        path = self.path_for(kind, fingerprint)
+        self._atomic_write(path, json.dumps(wrapper, indent=None).encode("utf-8"))
+        self.puts += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Array artifacts (numpy .npz)
+    # ------------------------------------------------------------------
+    def get_arrays(self, kind: str, fingerprint: str) -> Optional[Dict[str, np.ndarray]]:
+        """Stored arrays for a key, or None on miss/corruption."""
+        path = self.path_for(kind, fingerprint, suffix=".npz")
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if int(archive["__schema__"]) != STORE_SCHEMA_VERSION:
+                    raise ValueError("schema mismatch")
+                arrays = {
+                    name: archive[name]
+                    for name in archive.files
+                    if not name.startswith("__")
+                }
+        except Exception:  # numpy raises various zipfile/value errors on corruption
+            self._drop_corrupt(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return arrays
+
+    def put_arrays(self, kind: str, fingerprint: str, arrays: Mapping[str, np.ndarray]) -> Path:
+        """Atomically persist named arrays under a fingerprint."""
+        path = self.path_for(kind, fingerprint, suffix=".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_path(path)
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, __schema__=np.int64(STORE_SCHEMA_VERSION), **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.puts += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance: ls / gc / clear
+    # ------------------------------------------------------------------
+    def ls(self) -> List[ArtifactInfo]:
+        """Every artifact in the store, with its kind, size and staleness."""
+        entries: List[ArtifactInfo] = []
+        salt = code_version_salt()
+        for path in sorted(self._iter_artifacts()):
+            stat = path.stat()
+            kind = str(path.parent.parent.relative_to(self.version_root))
+            artifact_salt: Optional[str] = None
+            stale = False
+            if path.suffix == ".json":
+                try:
+                    wrapper = json.loads(path.read_text(encoding="utf-8"))
+                    artifact_salt = wrapper.get("salt")
+                    kind = wrapper.get("kind", kind)
+                    stale = artifact_salt != salt
+                except (ValueError, OSError):
+                    stale = True
+            entries.append(
+                ArtifactInfo(
+                    kind=kind,
+                    fingerprint=path.stem,
+                    path=path,
+                    size_bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                    salt=artifact_salt,
+                    stale=stale,
+                )
+            )
+        return entries
+
+    def _version_trees(self) -> List[Path]:
+        """The ``v<digits>`` layout trees under the root — the only directories
+        the store ever considers its own (a user pointing ``--store`` at an
+        existing directory must never lose unrelated data to gc/clear)."""
+        if not self.root.exists():
+            return []
+        return [
+            child
+            for child in self.root.iterdir()
+            if child.is_dir() and re.fullmatch(r"v\d+", child.name)
+        ]
+
+    def gc(self) -> GcStats:
+        """Remove stale-salt, stale-schema, corrupt and temporary files."""
+        stats = GcStats()
+        # Old layout versions are invalid wholesale.
+        for child in self._version_trees():
+            if child != self.version_root:
+                stats.removed += sum(1 for p in child.rglob("*") if p.is_file())
+                stats.freed_bytes += sum(
+                    p.stat().st_size for p in child.rglob("*") if p.is_file()
+                )
+                shutil.rmtree(child, ignore_errors=True)
+        if not self.version_root.exists():
+            return stats
+        salt = code_version_salt()
+        for path in list(self.version_root.rglob("*")):
+            if not path.is_file():
+                continue
+            if ".tmp-" in path.name:
+                stats.removed += 1
+                stats.freed_bytes += path.stat().st_size
+                self._drop_corrupt(path)
+                continue
+            keep = False
+            if path.suffix == ".json":
+                try:
+                    wrapper = json.loads(path.read_text(encoding="utf-8"))
+                    keep = (
+                        wrapper["schema"] == STORE_SCHEMA_VERSION
+                        and wrapper["salt"] == salt
+                        and wrapper["checksum"] == _payload_checksum(wrapper["payload"])
+                    )
+                except (ValueError, KeyError, TypeError, OSError):
+                    keep = False
+            elif path.suffix == ".npz":
+                try:
+                    with np.load(path, allow_pickle=False) as archive:
+                        keep = int(archive["__schema__"]) == STORE_SCHEMA_VERSION
+                except Exception:
+                    keep = False
+            if keep:
+                stats.kept += 1
+            else:
+                stats.removed += 1
+                stats.freed_bytes += path.stat().st_size
+                self._drop_corrupt(path)
+        return stats
+
+    def clear(self) -> int:
+        """Remove every artifact; returns how many files were deleted.
+
+        Only the store's own ``v<digits>`` layout trees are removed — never
+        the root directory itself, which the user may share with other data.
+        """
+        removed = sum(1 for _ in self._iter_artifacts())
+        for child in self._version_trees():
+            shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+    def stats(self, entries: Optional[List[ArtifactInfo]] = None) -> Dict[str, Tuple[int, int]]:
+        """``{kind: (artifact count, total bytes)}`` for everything stored.
+
+        Pass the entries from an :meth:`ls` already in hand to avoid a second
+        walk over the artifact tree.
+        """
+        totals: Dict[str, Tuple[int, int]] = {}
+        for entry in self.ls() if entries is None else entries:
+            count, size = totals.get(entry.kind, (0, 0))
+            totals[entry.kind] = (count + 1, size + entry.size_bytes)
+        return totals
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _iter_artifacts(self) -> Iterator[Path]:
+        if not self.version_root.exists():
+            return
+        for path in self.version_root.rglob("*"):
+            if path.is_file() and ".tmp-" not in path.name:
+                yield path
+
+    def _tmp_path(self, target: Path) -> Path:
+        token = os.urandom(4).hex()
+        return target.with_name(f"{target.name}.tmp-{os.getpid()}-{token}")
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_path(path)
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    def _drop_corrupt(self, path: Path) -> None:
+        self.corrupt_dropped += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass

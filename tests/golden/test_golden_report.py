@@ -31,7 +31,9 @@ from typing import Any, List, Tuple
 
 import pytest
 
+from repro.engine.cache import default_decomposition_cache
 from repro.experiments.runner import run_all, suite_to_json
+from repro.store import ExperimentStore
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "report_golden.json"
 
@@ -104,8 +106,25 @@ def _compare(expected: Any, actual: Any, path: str, mismatches: List[str]) -> No
 
 
 @pytest.fixture(scope="module")
-def reproduced_document():
-    return suite_to_json(run_all())
+def experiment_store(tmp_path_factory):
+    """A cold persistent store the golden run fills (and a warm pass re-reads)."""
+    store = ExperimentStore(tmp_path_factory.mktemp("golden") / "store")
+    yield store
+    default_decomposition_cache.detach_store()
+
+
+@pytest.fixture(scope="module")
+def reproduced_document(experiment_store):
+    # The cold run executes *through* the store layer, so the golden
+    # comparison also certifies that persisting cells does not perturb a
+    # single reproduced number.
+    return suite_to_json(run_all(store=experiment_store))
+
+
+@pytest.fixture(scope="module")
+def warm_document(reproduced_document, experiment_store):
+    """A second full run assembled purely from the store the cold run filled."""
+    return suite_to_json(run_all(store=experiment_store))
 
 
 class TestGoldenReport:
@@ -126,6 +145,22 @@ class TestGoldenReport:
             "If the drift is intentional, regenerate the snapshot (see module docstring) "
             "and review the diff."
         )
+
+    def test_warm_store_run_matches_snapshot(self, warm_document):
+        """The golden contract holds when every cell is decoded, not computed."""
+        golden = json.loads(GOLDEN_PATH.read_text())
+        mismatches: List[str] = []
+        _compare(golden, warm_document, "$", mismatches)
+        assert not mismatches, (
+            f"warm-store run drifted from the golden snapshot: {mismatches[:10]}"
+        )
+
+    def test_warm_store_run_is_byte_identical_to_cold(
+        self, reproduced_document, warm_document
+    ):
+        cold = json.dumps(reproduced_document, indent=2, sort_keys=False)
+        warm = json.dumps(warm_document, indent=2, sort_keys=False)
+        assert warm == cold
 
     def test_snapshot_covers_all_experiments(self):
         golden = json.loads(GOLDEN_PATH.read_text())

@@ -1,0 +1,18 @@
+"""Store-test isolation: undo process-global store attachments between tests.
+
+``repro.cli.main`` and ``run_all(store=...)`` attach the store to the
+process-wide decomposition cache (two-level SVD caching); left attached, a
+later test would spill SVDs into a torn-down ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import default_decomposition_cache
+
+
+@pytest.fixture(autouse=True)
+def detach_default_decomposition_store():
+    yield
+    default_decomposition_cache.detach_store()

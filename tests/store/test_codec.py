@@ -1,0 +1,136 @@
+"""Typed codec round-trips for every result type the harnesses persist.
+
+The warm-store byte-identity contract reduces to: for every stored cell type
+``T`` and value ``x``, ``encode(decode(T, json_round_trip(encode(x)))) ==
+encode(x)``.  These tests pin that for the real harness results (including
+``Dict[int, int]`` keys, nested dataclasses, and tuple fields) and for the
+corner cases of the generic decoder.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.store import decode, encode
+
+
+def json_round_trip(payload):
+    return json.loads(json.dumps(payload))
+
+
+def assert_codec_round_trip(result_type, value):
+    payload = json_round_trip(encode(value))
+    rebuilt = decode(result_type, payload)
+    assert type(rebuilt) is type(value)
+    assert encode(rebuilt) == encode(value)
+    return rebuilt
+
+
+class TestHarnessResultTypes:
+    def test_table1_row(self):
+        from repro.experiments.table1 import Table1Row, run_table1
+
+        result = run_table1(
+            networks=("resnet20",), array_sizes=(32, 64),
+            group_counts=(1,), rank_divisors=(2,),
+        )
+        row = assert_codec_round_trip(Table1Row, result.rows[0])
+        # Dict[int, int] keys come back as ints, not the JSON strings.
+        assert set(row.cycles_with_sdk) == {32, 64}
+        assert all(isinstance(key, int) for key in row.cycles_with_sdk)
+
+    def test_fig6_panel(self):
+        from repro.experiments.fig6 import Fig6Panel, run_fig6
+
+        result = run_fig6(
+            networks=("resnet20",), array_sizes=(32,),
+            group_counts=(1, 2), rank_divisors=(2,), pruning_entries=(4,),
+        )
+        panel = assert_codec_round_trip(Fig6Panel, result.panels[0])
+        assert panel.baseline.method == "baseline im2col"
+        assert panel.series().keys() == result.panels[0].series().keys()
+
+    def test_fig7_bar(self):
+        from repro.experiments.fig7 import Fig7Bar, run_fig7
+
+        result = run_fig7(networks=("resnet20",), array_sizes=(32,))
+        bar = assert_codec_round_trip(Fig7Bar, result.bars[0])
+        assert bar.ours_normalized == result.bars[0].ours_normalized
+
+    def test_fig8_panel(self):
+        from repro.experiments.fig8 import Fig8Panel, run_fig8
+
+        result = run_fig8(array_sizes=(64,), bits=(2, 4), group_counts=(1,), rank_divisors=(4,))
+        assert_codec_round_trip(Fig8Panel, result.panels[0])
+
+    def test_fig9_panel(self):
+        from repro.experiments.fig9 import Fig9Panel, run_fig9
+
+        result = run_fig9(panels=(("resnet20", 64),), group_counts=(1,), rank_divisors=(2, 4))
+        assert_codec_round_trip(Fig9Panel, result.panels[0])
+
+    def test_robustness_cell(self):
+        from repro.experiments.robustness import RobustnessPoint, run_robustness
+
+        result = run_robustness(
+            networks=("resnet20",), scenarios=("ideal", "typical_rram"), trials=2
+        )
+        rebuilt = assert_codec_round_trip(List[RobustnessPoint], result.points)
+        assert all(isinstance(point, RobustnessPoint) for point in rebuilt)
+
+
+@dataclass(frozen=True)
+class Leaf:
+    name: str
+    value: float
+
+
+@dataclass
+class Tree:
+    leaves: List[Leaf] = field(default_factory=list)
+    by_size: Dict[int, Leaf] = field(default_factory=dict)
+    pair: Tuple[int, str] = (0, "")
+    sizes: Tuple[int, ...] = ()
+    label: Optional[str] = None
+
+
+class TestGenericDecoding:
+    def test_nested_generics(self):
+        tree = Tree(
+            leaves=[Leaf("a", 1.5), Leaf("b", -2.0)],
+            by_size={32: Leaf("c", 0.0), 64: Leaf("d", 1.0)},
+            pair=(3, "x"),
+            sizes=(32, 64, 128),
+            label="deep",
+        )
+        rebuilt = assert_codec_round_trip(Tree, tree)
+        assert rebuilt == tree
+        assert isinstance(rebuilt.sizes, tuple) and isinstance(rebuilt.pair, tuple)
+        assert all(isinstance(key, int) for key in rebuilt.by_size)
+
+    def test_optional_none_survives(self):
+        rebuilt = assert_codec_round_trip(Tree, Tree(label=None))
+        assert rebuilt.label is None
+
+    def test_int_json_value_promotes_to_float_field(self):
+        # json.dumps(1.0) stays "1.0", but a hand-written artifact may hold 1.
+        leaf = decode(Leaf, {"name": "x", "value": 1})
+        assert isinstance(leaf.value, float) and leaf.value == 1.0
+
+    def test_exact_float_round_trip(self):
+        values = [0.1, 1e-300, 123456789.123456789, -0.0, 2**53 + 1.0]
+        for value in values:
+            assert decode(Leaf, json_round_trip(encode(Leaf("v", value)))).value == value
+
+    def test_decode_rejects_non_mapping_for_dataclass(self):
+        with pytest.raises(TypeError):
+            decode(Leaf, [1, 2])
+
+    def test_unparametrized_containers(self):
+        assert decode(list, [1, 2]) == [1, 2]
+        assert decode(tuple, [1, 2]) == (1, 2)
+        assert decode(dict, {"a": 1}) == {"a": 1}

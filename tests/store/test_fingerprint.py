@@ -1,0 +1,212 @@
+"""Property tests for fingerprint canonicalization (the store's key schema).
+
+The fingerprint is the single point of truth for cache correctness: if two
+configurations that mean the same thing hash differently the store silently
+loses hits, and if two *different* configurations collide the store silently
+serves wrong results.  Hypothesis drives the canonicalization over arbitrary
+nested configurations; a subprocess round-trip pins cross-process stability
+(fingerprints must not depend on ``PYTHONHASHSEED``, dict iteration order or
+interpreter state); a golden digest pins the schema itself.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import canonical_json, canonicalize, experiment_fingerprint
+from repro.store.fingerprint import SALT_ENV_VAR
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+# ----------------------------------------------------------------------
+# Strategies: arbitrary nested configuration values
+# ----------------------------------------------------------------------
+scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=8)
+)
+config_values = st.recursive(
+    scalars,
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=5), children, max_size=3),
+    max_leaves=10,
+)
+configs = st.dictionaries(st.text(max_size=6), config_values, max_size=5)
+
+
+def shuffled_dict(mapping, rng_seed: int):
+    """The same mapping with a different (deterministic) insertion order."""
+    keys = list(mapping)
+    order = np.random.default_rng(rng_seed).permutation(len(keys))
+    out = {}
+    for index in order:
+        key = keys[int(index)]
+        value = mapping[key]
+        out[key] = shuffled_dict(value, rng_seed + 1) if isinstance(value, dict) else value
+    return out
+
+
+class TestDictOrderInsensitivity:
+    @given(config=configs)
+    @settings(max_examples=100, deadline=None)
+    def test_insertion_order_never_changes_the_fingerprint(self, config):
+        reordered = shuffled_dict(config, rng_seed=7)
+        assert experiment_fingerprint("t", config) == experiment_fingerprint("t", reordered)
+
+    def test_nested_reorder(self):
+        a = {"outer": {"x": 1, "y": 2.5}, "z": [1, 2]}
+        b = {"z": [1, 2], "outer": {"y": 2.5, "x": 1}}
+        assert experiment_fingerprint("t", a) == experiment_fingerprint("t", b)
+
+
+class TestFloatReprInsensitivity:
+    """Digests hash IEEE-754 values, never their decimal text formatting."""
+
+    @given(value=st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_repr_roundtrip_is_identity(self, value):
+        assert experiment_fingerprint("t", {"x": value}) == experiment_fingerprint(
+            "t", {"x": float(repr(value))}
+        )
+
+    @given(value=st.floats(allow_nan=False, allow_infinity=False, width=32))
+    @settings(max_examples=50, deadline=None)
+    def test_numpy_scalars_hash_like_python_scalars(self, value):
+        assert experiment_fingerprint("t", {"x": float(value)}) == experiment_fingerprint(
+            "t", {"x": np.float64(value)}
+        )
+
+    @given(value=st.integers(min_value=-(10**9), max_value=10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_numpy_ints_hash_like_python_ints(self, value):
+        assert experiment_fingerprint("t", {"x": value}) == experiment_fingerprint(
+            "t", {"x": np.int64(value)}
+        )
+
+    def test_int_and_equal_float_are_distinct_configs(self):
+        # 1 and 1.0 select different code paths in several harness kwargs, so
+        # the type tag is part of the identity.
+        assert experiment_fingerprint("t", {"x": 1}) != experiment_fingerprint(
+            "t", {"x": 1.0}
+        )
+
+    def test_tuple_and_list_canonicalize_identically(self):
+        assert experiment_fingerprint("t", {"x": (1, 2)}) == experiment_fingerprint(
+            "t", {"x": [1, 2]}
+        )
+
+
+class TestDefaultsInsensitivity:
+    @given(config=configs, defaults=configs)
+    @settings(max_examples=100, deadline=None)
+    def test_omitting_a_default_equals_passing_it(self, config, defaults):
+        merged = dict(defaults)
+        merged.update(config)
+        assert experiment_fingerprint(
+            "t", config, defaults=defaults
+        ) == experiment_fingerprint("t", merged, defaults=defaults)
+
+    def test_overriding_a_default_changes_the_fingerprint(self):
+        defaults = {"trials": 8}
+        assert experiment_fingerprint(
+            "t", {"trials": 16}, defaults=defaults
+        ) != experiment_fingerprint("t", {}, defaults=defaults)
+
+
+class TestNoCollisions:
+    @given(a=configs, b=configs)
+    @settings(max_examples=200, deadline=None)
+    def test_distinct_canonical_configs_never_collide(self, a, b):
+        if canonical_json(a) == canonical_json(b):
+            assert experiment_fingerprint("t", a) == experiment_fingerprint("t", b)
+        else:
+            assert experiment_fingerprint("t", a) != experiment_fingerprint("t", b)
+
+    @given(config=configs)
+    @settings(max_examples=50, deadline=None)
+    def test_kind_partitions_the_keyspace(self, config):
+        assert experiment_fingerprint("table1/row", config) != experiment_fingerprint(
+            "fig6/panel", config
+        )
+
+    @given(config=configs)
+    @settings(max_examples=50, deadline=None)
+    def test_salt_partitions_the_keyspace(self, config):
+        assert experiment_fingerprint("t", config, salt="v1") != experiment_fingerprint(
+            "t", config, salt="v2"
+        )
+
+
+class TestCanonicalizeCorners:
+    def test_bool_is_not_an_int(self):
+        assert canonicalize(True) != canonicalize(1)
+
+    def test_uncanonicalizable_value_raises(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_dataclasses_canonicalize_by_field(self):
+        from repro.imc.energy import EnergyModel
+
+        model = EnergyModel()
+        assert canonical_json({"p": model.peripherals}) == canonical_json(
+            {"p": EnergyModel().peripherals}
+        )
+
+    def test_salt_env_override(self, monkeypatch):
+        base = experiment_fingerprint("t", {"a": 1})
+        monkeypatch.setenv(SALT_ENV_VAR, "forced-cold")
+        assert experiment_fingerprint("t", {"a": 1}) != base
+
+
+class TestCrossProcessStability:
+    """Fingerprints are the store's shared-medium contract between processes."""
+
+    CONFIG_CODE = (
+        "from repro.store import experiment_fingerprint;"
+        "print(experiment_fingerprint('proc', "
+        "{'network': 'wrn16_4', 'trials': 8, 'noise': 0.1, "
+        "'sizes': [32, 64], 'nested': {'b': False, 'a': None}}, salt='pin'))"
+    )
+
+    def _subprocess_fingerprint(self, hashseed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = hashseed
+        output = subprocess.run(
+            [sys.executable, "-c", self.CONFIG_CODE],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        return output.stdout.strip()
+
+    def test_fingerprints_stable_across_processes_and_hash_seeds(self):
+        local = experiment_fingerprint(
+            "proc",
+            {"network": "wrn16_4", "trials": 8, "noise": 0.1,
+             "sizes": [32, 64], "nested": {"b": False, "a": None}},
+            salt="pin",
+        )
+        assert self._subprocess_fingerprint("0") == local
+        assert self._subprocess_fingerprint("424242") == local
+
+    def test_golden_digest_pins_the_key_schema(self):
+        # Changing canonicalization silently invalidates (or worse, aliases)
+        # every existing store; this digest makes such a change loud.  If you
+        # changed the schema on purpose, bump CODE_VERSION_SALT and update me.
+        assert (
+            experiment_fingerprint(
+                "golden", {"a": 1, "b": 2.5, "c": [True, None, "s"]}, salt="pin"
+            )
+            == "6a98baaad0ed355be2483c190ec9e83d"
+        )

@@ -1,0 +1,204 @@
+"""ExperimentStore behavior: round-trips, validation, corruption, maintenance."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store import STORE_SCHEMA_VERSION, ExperimentStore, open_store
+from repro.store.fingerprint import SALT_ENV_VAR
+from repro.store.store import STORE_ENV_VAR
+
+FP = "ab" * 16
+
+
+@pytest.fixture
+def store(tmp_path) -> ExperimentStore:
+    return ExperimentStore(tmp_path / "store")
+
+
+class TestJsonArtifacts:
+    def test_round_trip(self, store):
+        payload = {"rows": [1, 2.5, "x"], "nested": {"a": None, "b": True}}
+        store.put("table1/row", FP, payload)
+        assert store.get("table1/row", FP) == payload
+        assert store.hits == 1 and store.puts == 1
+
+    def test_miss_on_absent_key(self, store):
+        assert store.get("table1/row", FP) is None
+        assert store.misses == 1
+
+    def test_contains_is_cheap_existence(self, store):
+        assert not store.contains("k", FP)
+        store.put("k", FP, {"v": 1})
+        assert store.contains("k", FP)
+
+    def test_kinds_partition_the_namespace(self, store):
+        store.put("a", FP, {"v": 1})
+        store.put("b", FP, {"v": 2})
+        assert store.get("a", FP) == {"v": 1}
+        assert store.get("b", FP) == {"v": 2}
+
+    def test_put_overwrites_atomically(self, store):
+        store.put("k", FP, {"v": 1})
+        store.put("k", FP, {"v": 2})
+        assert store.get("k", FP) == {"v": 2}
+
+    def test_no_temporary_files_left_behind(self, store):
+        for index in range(5):
+            store.put("k", FP, {"v": index})
+        leftovers = [p for p in store.root.rglob("*") if ".tmp-" in p.name]
+        assert leftovers == []
+
+
+class TestCorruptionDetection:
+    """A damaged artifact must be treated as a miss, never served."""
+
+    def test_truncated_artifact_is_a_miss_and_dropped(self, store):
+        path = store.put("k", FP, {"rows": list(range(100))})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert store.get("k", FP) is None
+        assert store.corrupt_dropped == 1
+        assert not path.exists()
+        # The caller recomputes and the key works again.
+        store.put("k", FP, {"rows": [1]})
+        assert store.get("k", FP) == {"rows": [1]}
+
+    def test_bit_flip_in_payload_fails_the_checksum(self, store):
+        path = store.put("k", FP, {"value": 12345})
+        wrapper = json.loads(path.read_text())
+        wrapper["payload"]["value"] = 54321
+        path.write_text(json.dumps(wrapper))
+        assert store.get("k", FP) is None
+        assert store.corrupt_dropped == 1
+
+    def test_wrong_schema_version_is_a_miss(self, store):
+        path = store.put("k", FP, {"v": 1})
+        wrapper = json.loads(path.read_text())
+        wrapper["schema"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(wrapper))
+        assert store.get("k", FP) is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, store):
+        path = store.put("k", FP, {"v": 1})
+        other = "cd" * 16
+        target = store.path_for("k", other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(target)
+        assert store.get("k", other) is None
+
+    def test_non_json_garbage_is_a_miss(self, store):
+        path = store.path_for("k", FP)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x00\x01not json")
+        assert store.get("k", FP) is None
+
+
+class TestArrayArtifacts:
+    def test_round_trip_bit_identical(self, store, rng):
+        arrays = {"u": rng.standard_normal((16, 8)), "s": rng.standard_normal(8)}
+        store.put_arrays("svd", FP, arrays)
+        loaded = store.get_arrays("svd", FP)
+        assert set(loaded) == {"u", "s"}
+        assert np.array_equal(loaded["u"], arrays["u"])
+        assert np.array_equal(loaded["s"], arrays["s"])
+
+    def test_truncated_npz_is_a_miss_and_dropped(self, store, rng):
+        path = store.put_arrays("svd", FP, {"u": rng.standard_normal((64, 64))})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert store.get_arrays("svd", FP) is None
+        assert not path.exists()
+
+    def test_absent_arrays_are_a_miss(self, store):
+        assert store.get_arrays("svd", FP) is None
+
+
+class TestMaintenance:
+    def test_ls_lists_every_artifact(self, store, rng):
+        store.put("table1/row", FP, {"v": 1})
+        store.put("fig6/panel", "cd" * 16, {"v": 2})
+        store.put_arrays("svd", "ef" * 16, {"u": rng.standard_normal(4)})
+        entries = store.ls()
+        assert len(entries) == 3
+        assert {entry.kind for entry in entries} == {"table1/row", "fig6/panel", "svd"}
+        assert all(not entry.stale for entry in entries if entry.salt is not None)
+
+    def test_gc_keeps_valid_artifacts(self, store):
+        store.put("k", FP, {"v": 1})
+        stats = store.gc()
+        assert stats.kept == 1 and stats.removed == 0
+        assert store.get("k", FP) == {"v": 1}
+
+    def test_gc_removes_corrupt_and_temporary_files(self, store):
+        path = store.put("k", FP, {"v": 1})
+        data = path.read_bytes()
+        path.write_bytes(data[:10])
+        tmp = path.with_name(path.name + ".tmp-123-dead")
+        tmp.write_bytes(b"partial")
+        stats = store.gc()
+        assert stats.removed == 2
+        assert not path.exists() and not tmp.exists()
+
+    def test_gc_removes_stale_salt_artifacts(self, store, monkeypatch):
+        store.put("k", FP, {"v": 1})
+        monkeypatch.setenv(SALT_ENV_VAR, "new-code-version")
+        stats = store.gc()
+        assert stats.removed == 1 and stats.kept == 0
+
+    def test_gc_removes_old_layout_versions(self, store):
+        old = store.root / "v0" / "k"
+        old.mkdir(parents=True)
+        (old / "stale.json").write_text("{}")
+        store.put("k", FP, {"v": 1})
+        stats = store.gc()
+        assert stats.removed >= 1
+        assert not (store.root / "v0").exists()
+        assert store.get("k", FP) == {"v": 1}
+
+    def test_clear_removes_everything(self, store):
+        store.put("a", FP, {"v": 1})
+        store.put("b", "cd" * 16, {"v": 2})
+        assert store.clear() == 2
+        assert store.get("a", FP) is None
+
+    def test_clear_and_gc_never_touch_unrelated_data(self, store):
+        """--store may point at a shared directory; only v<digits> trees are ours."""
+        store.root.mkdir(parents=True, exist_ok=True)
+        venv = store.root / "venv"                      # starts with "v", not a layout tree
+        (venv / "bin").mkdir(parents=True)
+        (venv / "bin" / "python").write_text("#!fake")
+        stray = store.root / "notes.txt"
+        stray.write_text("unrelated")
+        store.put("a", FP, {"v": 1})
+
+        store.gc()
+        assert (venv / "bin" / "python").exists() and stray.exists()
+        store.clear()
+        assert (venv / "bin" / "python").exists() and stray.exists()
+        assert not store.version_root.exists()
+
+    def test_stats_by_kind(self, store):
+        store.put("a", FP, {"v": 1})
+        store.put("a", "cd" * 16, {"v": 2})
+        totals = store.stats()
+        count, size = totals["a"]
+        assert count == 2 and size > 0
+
+
+class TestOpenStore:
+    def test_explicit_root(self, tmp_path):
+        store = open_store(str(tmp_path / "s"))
+        assert store is not None and store.root == tmp_path / "s"
+
+    def test_environment_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env-store"))
+        store = open_store()
+        assert store is not None and store.root == tmp_path / "env-store"
+
+    def test_disabled_without_configuration(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert open_store() is None

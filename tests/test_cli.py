@@ -124,3 +124,79 @@ class TestExecution:
         # --arrays restricted the Fig. 6 sweep to the requested sizes.
         panels = document["experiments"]["fig6"]["result"]["panels"]
         assert {panel["array_size"] for panel in panels} == {32}
+
+
+class TestStoreCli:
+    """The persistent-store surface: --store plumbing and the store subcommand."""
+
+    def test_store_parser_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.store == "" and args.shard == ""
+
+    def test_store_action_choices(self):
+        for action in ("ls", "gc", "clear"):
+            args = build_parser().parse_args(["--store", "/tmp/s", "store", action])
+            assert args.command == "store" and args.action == action
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--store", "/tmp/s", "store", "nuke"])
+
+    def test_store_command_requires_a_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit):
+            main(["store", "ls"])
+        capsys.readouterr()
+
+    def test_store_ls_gc_clear_round_trip(self, tmp_path, capsys):
+        from repro.engine.cache import default_decomposition_cache
+
+        store_dir = str(tmp_path / "store")
+        try:
+            assert main(["--store", store_dir, "fig9"]) == 0
+            capsys.readouterr()
+
+            assert main(["--store", store_dir, "store", "ls"]) == 0
+            listing = capsys.readouterr().out
+            assert "fig9/panel" in listing and "artifacts" in listing
+
+            assert main(["--store", store_dir, "store", "gc"]) == 0
+            assert "removed 0" in capsys.readouterr().out
+
+            assert main(["--store", store_dir, "store", "clear"]) == 0
+            assert "cleared" in capsys.readouterr().out
+
+            assert main(["--store", store_dir, "store", "ls"]) == 0
+            assert "0 artifacts" in capsys.readouterr().out
+        finally:
+            default_decomposition_cache.detach_store()
+
+    def test_store_env_var_is_the_default(self, tmp_path, capsys, monkeypatch):
+        from repro.engine.cache import default_decomposition_cache
+
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        try:
+            assert main(["fig9"]) == 0
+            capsys.readouterr()
+            assert (tmp_path / "env-store").exists()
+            assert main(["store", "ls"]) == 0
+            assert "fig9/panel" in capsys.readouterr().out
+        finally:
+            default_decomposition_cache.detach_store()
+
+    def test_single_figure_commands_reuse_the_store(self, tmp_path, capsys):
+        from repro.engine.cache import default_decomposition_cache
+
+        store_dir = str(tmp_path / "store")
+        try:
+            assert main(["--store", store_dir, "fig9"]) == 0
+            first = capsys.readouterr().out
+            mtimes = {
+                p: p.stat().st_mtime_ns for p in (tmp_path / "store").rglob("*.json")
+            }
+            assert main(["--store", store_dir, "fig9"]) == 0
+            second = capsys.readouterr().out
+            assert second == first
+            assert {
+                p: p.stat().st_mtime_ns for p in (tmp_path / "store").rglob("*.json")
+            } == mtimes
+        finally:
+            default_decomposition_cache.detach_store()
