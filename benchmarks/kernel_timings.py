@@ -18,7 +18,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -27,6 +27,7 @@ if str(SRC) not in sys.path:
 
 import numpy as np  # noqa: E402
 
+from repro.backend import get_backend  # noqa: E402
 from repro.engine.cache import DecompositionCache  # noqa: E402
 from repro.engine.kernels import (  # noqa: E402
     TRIAL_SEED_STRIDE,
@@ -220,6 +221,69 @@ def bench_store(repeats: int) -> Dict[str, object]:
     }
 
 
+def bench_backends(repeats: int) -> List[Dict[str, object]]:
+    """The pluggable execution backends on their headline workloads.
+
+    * ``threaded_backend_large_sweep`` — the chunked tile executor on a
+      large-sweep-shaped workload (a 512×1152 layer on 64×64 tiles: 144
+      stacked tiles, 1024-vector batches) against the ``numpy64`` reference.
+      The acceptance floor is ≥1.5x, and ``bit_identical`` must hold — the
+      threaded backend's contract is speed without a single ulp of drift.
+    * ``numpy32_backend_monte_carlo`` — the float32 precision policy on the
+      Monte-Carlo robustness workload (16 stacked trials), reporting the
+      speedup over float64 execution and the realized output deviation so the
+      documented tolerance envelope stays honest.
+    """
+    rng = np.random.default_rng(7)
+    noise = NoiseModel.typical()
+
+    # Large-sweep workload: many tiles, deep batch — the shape the Fig. 6 /
+    # robustness sweeps push through the engine per layer.
+    matrix = rng.standard_normal((512, 1152))
+    inputs = rng.standard_normal((1024, 1152))
+    array = ArrayDims.square(64)
+    reference = BatchedTiledMatrix(matrix, array, noise=noise, seed=13, backend="numpy64")
+    threaded = BatchedTiledMatrix(matrix, array, noise=noise, seed=13, backend="threaded")
+    t_reference = best_of(lambda: reference.mvm_batch(inputs), repeats)
+    t_threaded = best_of(lambda: threaded.mvm_batch(inputs), repeats)
+    bit_identical = bool(
+        np.array_equal(threaded.mvm_batch(inputs), reference.mvm_batch(inputs))
+    )
+    large_sweep = {
+        "kernel": "threaded_backend_large_sweep",
+        "workload": (
+            f"512x1152 matrix on 64x64 tiles ({reference.num_allocated_tiles} stacked), "
+            f"1024-vector batch, typical noise, {get_backend('threaded').max_workers} workers"
+        ),
+        "engine_seconds": t_threaded,
+        "reference_seconds": t_reference,
+        "speedup": t_reference / t_threaded if t_threaded > 0 else None,
+        "bit_identical_to_numpy64": bit_identical,
+    }
+
+    # Monte-Carlo workload: the robustness sweep's stacked-trial kernel.
+    mc_matrix = rng.standard_normal((128, 288))
+    mc_inputs = rng.standard_normal((256, 288))
+    mc_kwargs = dict(trials=16, noise=noise, seed=17)
+    mc64 = MonteCarloTiledMatrix(mc_matrix, array, backend="numpy64", **mc_kwargs)
+    mc32 = MonteCarloTiledMatrix(mc_matrix, array, backend="numpy32", **mc_kwargs)
+    t_mc64 = best_of(lambda: mc64.mvm_batch(mc_inputs), repeats)
+    t_mc32 = best_of(lambda: mc32.mvm_batch(mc_inputs), repeats)
+    out64 = mc64.mvm_batch(mc_inputs)
+    out32 = np.float64(mc32.mvm_batch(mc_inputs))
+    max_rel = float(np.abs(out32 - out64).max() / np.abs(out64).max())
+    monte_carlo = {
+        "kernel": "numpy32_backend_monte_carlo",
+        "workload": "128x288 matrix on 64x64 tiles, 16 trials, 256-vector batch, typical noise",
+        "engine_seconds": t_mc32,
+        "reference_seconds": t_mc64,
+        "speedup": t_mc64 / t_mc32 if t_mc32 > 0 else None,
+        "max_relative_deviation_vs_float64": max_rel,
+        "within_policy_envelope": bool(max_rel <= get_backend("numpy32").policy.output_rtol),
+    }
+    return [large_sweep, monte_carlo]
+
+
 def bench_window_search(repeats: int) -> Dict[str, object]:
     geometry = ConvGeometry(64, 64, 3, 3, 16, 16, stride=1, padding=1, name="bench-conv")
     array = ArrayDims.square(64)
@@ -240,19 +304,38 @@ def bench_window_search(repeats: int) -> Dict[str, object]:
     }
 
 
+#: Every benchmark, in emission order.  ``main`` runs them one by one and
+#: aborts — without writing a partial document — naming the one that failed.
+BENCHMARKS = (
+    ("im2col", bench_im2col),
+    ("tiled_mvm", bench_tiled_mvm),
+    ("monte_carlo", bench_monte_carlo),
+    ("decomposition_cache", bench_decomposition_cache),
+    ("window_search", bench_window_search),
+    ("store", bench_store),
+    ("backends", bench_backends),
+)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_kernels.json")
     parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args(argv)
-    results = [
-        bench_im2col(args.repeats),
-        bench_tiled_mvm(args.repeats),
-        bench_monte_carlo(args.repeats),
-        bench_decomposition_cache(args.repeats),
-        bench_window_search(args.repeats),
-        bench_store(args.repeats),
-    ]
+    results: List[Dict[str, object]] = []
+    for name, bench in BENCHMARKS:
+        try:
+            outcome = bench(args.repeats)
+        except Exception:
+            import traceback
+
+            traceback.print_exc()
+            print(
+                f"benchmark {name!r} failed; refusing to write a partial {args.output}",
+                file=sys.stderr,
+            )
+            return 1
+        results.extend(outcome if isinstance(outcome, list) else [outcome])
     document = {
         "schema": "BENCH_kernels/v1",
         "repeats": args.repeats,

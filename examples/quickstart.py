@@ -14,7 +14,6 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import lowrank, quantization
 from repro.analysis.tables import format_kv, format_table

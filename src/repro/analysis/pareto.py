@@ -9,7 +9,7 @@ expose a cost and a quality attribute (or via explicit key functions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, List, Sequence, Tuple, TypeVar
 
 __all__ = ["TradeoffPoint", "pareto_front", "dominates", "hypervolume"]
 

@@ -8,7 +8,7 @@ also returned as dictionaries so they can be exported or re-plotted elsewhere.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["ascii_scatter", "ascii_bars"]
 

@@ -8,7 +8,7 @@ used; no terminal styling.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 __all__ = [
     "format_table",

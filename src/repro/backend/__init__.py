@@ -1,0 +1,69 @@
+"""Pluggable execution backends: precision policy × execution strategy.
+
+Three backends ship registered (see ENGINE.md, "Execution backends"):
+
+* ``numpy64`` — the float64 reference, bit-identical to the engine before
+  backends existed (the ENGINE.md equivalence contract);
+* ``numpy32`` — the float32 precision policy: execution arithmetic in single
+  precision within documented tolerance envelopes, fingerprint-salted so its
+  store artifacts never collide with float64 ones;
+* ``threaded`` — the chunked tile executor: the stacked-tile batched matmul
+  partitioned across a :class:`concurrent.futures.ThreadPoolExecutor` with a
+  deterministic per-slice reduction order, bit-identical to ``numpy64``.
+
+Selection precedence: explicit ``backend=`` argument > the CLI/process
+default (:func:`using_backend` / :func:`set_default_backend`, the global
+``--backend`` flag) > ``$REPRO_BACKEND`` > ``numpy64``.
+"""
+
+from .core import (
+    DEFAULT_BACKEND_NAME,
+    ENV_VAR,
+    FLOAT32_POLICY,
+    FLOAT64_POLICY,
+    THREADS_ENV_VAR,
+    Backend,
+    NumpyBackend,
+    PrecisionPolicy,
+    TileLayout,
+    active_backend,
+    active_precision,
+    active_salt_token,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    registered_salt_tokens,
+    resolve_backend,
+    set_default_backend,
+    using_backend,
+)
+from .threaded import ThreadedBackend
+
+register_backend("numpy64", lambda: NumpyBackend("numpy64", FLOAT64_POLICY), FLOAT64_POLICY)
+register_backend("numpy32", lambda: NumpyBackend("numpy32", FLOAT32_POLICY), FLOAT32_POLICY)
+register_backend("threaded", ThreadedBackend, FLOAT64_POLICY)
+
+__all__ = [
+    "DEFAULT_BACKEND_NAME",
+    "ENV_VAR",
+    "THREADS_ENV_VAR",
+    "FLOAT32_POLICY",
+    "FLOAT64_POLICY",
+    "PrecisionPolicy",
+    "Backend",
+    "NumpyBackend",
+    "TileLayout",
+    "ThreadedBackend",
+    "active_backend",
+    "active_precision",
+    "active_salt_token",
+    "backend_names",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "registered_salt_tokens",
+    "resolve_backend",
+    "set_default_backend",
+    "using_backend",
+]

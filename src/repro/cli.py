@@ -27,14 +27,23 @@ store as their shared medium::
     python -m repro --store .repro-store store gc     # drop stale/corrupt ones
     python -m repro --store .repro-store store clear  # start cold
 
+``--backend NAME`` (or ``$REPRO_BACKEND``) selects the execution backend for
+every kernel and SVD: ``numpy64`` (default float64 reference), ``threaded``
+(multicore tile executor, bit-identical to numpy64) or ``numpy32`` (float32
+precision policy; its store artifacts are salted separately)::
+
+    python -m repro --backend threaded report
+    REPRO_BACKEND=numpy32 python -m repro robustness --trials 16
+
 Every subcommand prints plain text; ``--output FILE`` writes it to a file too.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
+from .backend import backend_names, resolve_backend, using_backend
 from .experiments.fig6 import format_fig6, run_fig6
 from .experiments.fig7 import format_fig7, run_fig7
 from .experiments.fig8 import format_fig8, run_fig8
@@ -124,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", type=str, default="",
         help="persistent experiment store directory (default: $REPRO_STORE; empty = no caching)",
     )
+    parser.add_argument(
+        "--backend", type=str, default=None, metavar="NAME",
+        help="execution backend for every kernel and SVD "
+             f"(one of: {', '.join(backend_names())}; "
+             "default: $REPRO_BACKEND, else numpy64)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("table1", help="reproduce Table I")
@@ -208,11 +223,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        # Resolve eagerly: an unknown --backend (or $REPRO_BACKEND) must fail
+        # with the registered-name listing before any work starts.
+        backend = resolve_backend(args.backend)
+    except ValueError as error:
+        parser.error(str(error))
     store = open_store(args.store or None)
     if store is not None:
         # Two-level decomposition caching: SVDs spill to / refill from the store.
         default_decomposition_cache.attach_store(store)
 
+    with using_backend(backend):
+        text = _dispatch(args, parser, store)
+
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) -> str:
     if args.command == "table1":
         text = format_table1(run_table1(store=store))
     elif args.command == "fig6":
@@ -284,10 +316,4 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text = _compare_text(args)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
-        return 2
-
-    print(text)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-    return 0
+    return text

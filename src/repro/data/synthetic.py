@@ -16,7 +16,7 @@ both of which the synthetic sets preserve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

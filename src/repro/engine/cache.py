@@ -32,10 +32,11 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import Backend, resolve_backend
 from ..lowrank.decompose import LowRankFactors
 from ..lowrank.group import GroupLowRankFactors, split_columns
 
@@ -100,8 +101,21 @@ class DecompositionCache:
     def detach_store(self) -> None:
         self._store = None
 
-    def svd(self, matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Full thin SVD ``(U, S, Vt)`` of a matrix, cached by content."""
+    def svd(
+        self, matrix: np.ndarray, backend: Union[str, Backend, None] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full thin SVD ``(U, S, Vt)`` of a matrix, cached by content.
+
+        The factorization runs through the execution backend
+        (:mod:`repro.backend`; ``None`` resolves to the active default): the
+        matrix is first cast to the backend's compute dtype, so the content
+        key — and therefore the in-memory entry *and* the persistent
+        ``svd`` store token — carries the precision, and float32 factors can
+        never be served where float64 ones are expected.  Bit-identical
+        backends (``numpy64``, ``threaded``) share one entry.
+        """
+        backend = resolve_backend(backend)
+        matrix = backend.asarray(matrix)
         key = matrix_fingerprint(matrix)
         with self._lock:
             cached = self._svds.get(key)
@@ -117,7 +131,7 @@ class DecompositionCache:
                     self.store_hits += 1
                     self._insert(key, factors)
                 return factors
-        u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+        u, s, vt = backend.svd(matrix)
         if self._store is not None:
             self._store.put_arrays("svd", _store_token(key), {"u": u, "s": s, "vt": vt})
         with self._lock:
@@ -134,7 +148,9 @@ class DecompositionCache:
                 self._svds.popitem(last=False)
                 self.evictions += 1
 
-    def decompose(self, matrix: np.ndarray, rank: int) -> LowRankFactors:
+    def decompose(
+        self, matrix: np.ndarray, rank: int, backend: Union[str, Backend, None] = None
+    ) -> LowRankFactors:
         """Memoized equivalent of :func:`repro.lowrank.decompose.decompose`.
 
         Truncating the cached thin SVD reproduces the direct computation
@@ -146,15 +162,23 @@ class DecompositionCache:
         if matrix.ndim != 2:
             raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
         rank = min(rank, min(matrix.shape))
-        u, s, vt = self.svd(matrix)
+        u, s, vt = self.svd(matrix, backend=backend)
         left = u[:, :rank] * s[:rank]
         right = vt[:rank, :]
         return LowRankFactors(left=left, right=right)
 
-    def group_decompose(self, matrix: np.ndarray, rank: int, groups: int) -> GroupLowRankFactors:
+    def group_decompose(
+        self,
+        matrix: np.ndarray,
+        rank: int,
+        groups: int,
+        backend: Union[str, Backend, None] = None,
+    ) -> GroupLowRankFactors:
         """Memoized equivalent of :func:`repro.lowrank.group.group_decompose`."""
         blocks = split_columns(matrix, groups)
-        return GroupLowRankFactors(tuple(self.decompose(block, rank) for block in blocks))
+        return GroupLowRankFactors(
+            tuple(self.decompose(block, rank, backend=backend) for block in blocks)
+        )
 
     def clear(self) -> None:
         with self._lock:
@@ -172,11 +196,15 @@ class DecompositionCache:
 default_decomposition_cache = DecompositionCache()
 
 
-def cached_decompose(matrix: np.ndarray, rank: int) -> LowRankFactors:
+def cached_decompose(
+    matrix: np.ndarray, rank: int, backend: Union[str, Backend, None] = None
+) -> LowRankFactors:
     """Module-level convenience wrapper over the shared cache."""
-    return default_decomposition_cache.decompose(matrix, rank)
+    return default_decomposition_cache.decompose(matrix, rank, backend=backend)
 
 
-def cached_group_decompose(matrix: np.ndarray, rank: int, groups: int) -> GroupLowRankFactors:
+def cached_group_decompose(
+    matrix: np.ndarray, rank: int, groups: int, backend: Union[str, Backend, None] = None
+) -> GroupLowRankFactors:
     """Module-level convenience wrapper over the shared cache."""
-    return default_decomposition_cache.group_decompose(matrix, rank, groups)
+    return default_decomposition_cache.group_decompose(matrix, rank, groups, backend=backend)

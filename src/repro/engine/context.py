@@ -19,6 +19,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from ..backend import Backend, get_backend, resolve_backend
 from ..imc.noise import NoiseModel
 from ..imc.peripherals import PeripheralSuite, default_peripherals
 from ..imc.tiles import TiledMatrix
@@ -214,7 +215,17 @@ class MonteCarloPlan:
 
 @dataclass
 class ExecutionContext:
-    """Hardware configuration + backend choice + shared decomposition cache."""
+    """Hardware configuration + engine/backend choice + shared decomposition cache.
+
+    ``engine`` picks the executor implementation (``"batched"`` stacked-tile
+    kernels, ``"legacy"`` per-tile oracle); ``backend`` picks the execution
+    backend (:mod:`repro.backend`) the batched kernels and the decomposition
+    cache compute through — ``None`` resolves to the active process default
+    (``--backend`` / ``$REPRO_BACKEND`` / ``numpy64``).  The legacy per-tile
+    path *is* the float64 oracle, so it always runs at float64: a context with
+    ``engine="legacy"`` resolves ``backend=None`` to ``numpy64`` regardless of
+    the ambient default, and rejects an explicit non-float64 backend.
+    """
 
     array: ArrayDims
     peripherals: PeripheralSuite = field(default_factory=default_peripherals)
@@ -223,6 +234,7 @@ class ExecutionContext:
     output_bits: Optional[int] = None
     seed: int = 0
     engine: str = "batched"
+    backend: Union[str, Backend, None] = None
     decompositions: DecompositionCache = field(
         default_factory=lambda: default_decomposition_cache
     )
@@ -230,14 +242,34 @@ class ExecutionContext:
     def __post_init__(self) -> None:
         if self.engine not in ("batched", "legacy"):
             raise ValueError(f"unknown engine {self.engine!r}; expected 'batched' or 'legacy'")
+        if self.engine == "legacy":
+            explicit = self.backend is not None
+            self.backend = get_backend("numpy64") if not explicit else resolve_backend(self.backend)
+            if self.backend.policy.name != "float64":
+                raise ValueError(
+                    "the legacy per-tile oracle is the float64 reference; it cannot "
+                    f"execute under the {self.backend.name!r} backend "
+                    f"({self.backend.policy.name})"
+                )
+        else:
+            self.backend = resolve_backend(self.backend)
 
     # ------------------------------------------------------------------
     # Tile construction
     # ------------------------------------------------------------------
     def tiled(self, matrix: np.ndarray, seed_offset: int = 0) -> TiledBackend:
-        """Program a mapped matrix onto tiles using the configured backend."""
-        backend = BatchedTiledMatrix if self.engine == "batched" else TiledMatrix
-        return backend(
+        """Program a mapped matrix onto tiles using the configured engine."""
+        if self.engine == "legacy":
+            return TiledMatrix(
+                matrix=matrix,
+                array=self.array,
+                peripherals=self.peripherals,
+                noise=self.noise,
+                input_bits=self.input_bits,
+                output_bits=self.output_bits,
+                seed=self.seed + seed_offset,
+            )
+        return BatchedTiledMatrix(
             matrix=matrix,
             array=self.array,
             peripherals=self.peripherals,
@@ -245,6 +277,7 @@ class ExecutionContext:
             input_bits=self.input_bits,
             output_bits=self.output_bits,
             seed=self.seed + seed_offset,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -273,7 +306,9 @@ class ExecutionContext:
         The group decomposition is memoized in the shared cache, so building
         the same plan for another array size or noise level reuses the SVDs.
         """
-        factors = self.decompositions.group_decompose(weight_matrix, rank, groups)
+        factors = self.decompositions.group_decompose(
+            weight_matrix, rank, groups, backend=self.backend
+        )
         # Stages are spaced by STAGE_SEED_STRIDE (not consecutive integers):
         # per-tile streams are seeded seed + allocation_index, so an offset of
         # 1 would alias stage 2's tile 0 with stage 1's tile 1.
@@ -320,6 +355,7 @@ class ExecutionContext:
             output_bits=self.output_bits,
             seed=self.seed + seed_offset,
             trial_stride=trial_stride,
+            backend=self.backend,
         )
 
     def dense_monte_carlo_plan(
@@ -353,7 +389,9 @@ class ExecutionContext:
         ``STAGE_SEED_STRIDE``), so trial ``t`` is bit-identical to
         ``trial_context(t).lowrank_plan(...)``.
         """
-        factors = self.decompositions.group_decompose(weight_matrix, rank, groups)
+        factors = self.decompositions.group_decompose(
+            weight_matrix, rank, groups, backend=self.backend
+        )
         stage1 = self.monte_carlo_tiled(
             factors.block_diagonal_right(), trials, seed_offset=0, trial_stride=trial_stride
         )

@@ -28,11 +28,12 @@ streams, same quantization arithmetic.  The equivalence is enforced by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from ..backend import Backend, TileLayout, resolve_backend
 from ..imc.crossbar import weights_to_conductances
 from ..imc.noise import NoiseModel
 from ..imc.peripherals import PeripheralSuite, default_peripherals
@@ -222,10 +223,12 @@ class BatchedTiledMatrix:
     output_bits: Optional[int] = None
     skip_zero_tiles: bool = True
     seed: int = 0
+    backend: Union[str, Backend, None] = None
 
     def __post_init__(self) -> None:
         if self.matrix.ndim != 2:
             raise ValueError(f"expected a 2-D matrix, got shape {self.matrix.shape}")
+        self.backend = resolve_backend(self.backend)
         out_dim, in_dim = self.matrix.shape
         rows, cols = self.array.rows, self.array.logical_cols
         self._row_tiles = ceil_div(in_dim, rows)
@@ -250,8 +253,21 @@ class BatchedTiledMatrix:
                 rng = np.random.default_rng(self.seed + tile.index)
                 g_pos[t] = self.noise.apply(g_pos[t], cell.g_min, cell.g_max, rng)
                 g_neg[t] = self.noise.apply(g_neg[t], cell.g_min, cell.g_max, rng)
-        # The execution operand: differential conductance difference per tile.
+        # Programming stays float64 (the precision policy governs *execution*
+        # arithmetic only, so stored_matrix() keeps the bit-identity contract
+        # under every backend); the execution operand is the differential
+        # difference at the backend's compute dtype — the same array, not a
+        # copy, for float64 backends.
         self._diff = g_pos - g_neg
+        self._exec = self.backend.asarray(self._diff)
+        self._layout = TileLayout(
+            tile_rows=self._tile_rows,
+            out_starts=self._out_starts,
+            out_lens=self._out_lens,
+            scales=self._scales,
+            span=self.peripherals.cell.g_max - self.peripherals.cell.g_min,
+            out_dim=out_dim,
+        )
         self.total_activations = 0
 
     # ------------------------------------------------------------------
@@ -317,42 +333,23 @@ class BatchedTiledMatrix:
                 f"expected inputs of shape (batch, {in_dim}), got {vectors.shape}"
             )
         batch = vectors.shape[0]
-        result = np.zeros((batch, out_dim))
         if not self._blocks:
-            return result
+            return self.backend.zeros((batch, out_dim))
         rows = self.array.rows
         # Slice the batch into per-tile-row segments, zero-padded to the array
         # row count: X has shape (row_tiles, batch, rows).
         padded_in = self._row_tiles * rows
-        x = np.zeros((batch, padded_in))
+        x = self.backend.zeros((batch, padded_in))
         x[:, :in_dim] = vectors
         x = x.reshape(batch, self._row_tiles, rows).transpose(1, 0, 2)
         if self.input_bits is not None:
             x = self._quantize(x, self.input_bits)
-        # Gather each tile's input segment and execute every (tile, vector)
-        # MVM in one batched matmul: (T, batch, rows) @ (T, rows, cols).
-        outputs = np.matmul(x[self._tile_rows], self._diff)
-        cell = self.peripherals.cell
-        span = cell.g_max - cell.g_min
-        # In-place div-then-mul keeps the rounding order of the per-tile path
-        # (currents / span * scale) without allocating two temporaries.
-        outputs /= span
-        outputs *= self._scales[:, None, None]
-        if self.output_bits is not None:
-            # Columns beyond a tile's programmed width carry only noise on the
-            # unprogrammed differential pairs; the per-tile ADC never sees
-            # them, so zero them before quantization to keep the per-tile
-            # max-abs identical.  (Without ADC quantization the scatter below
-            # never reads them, so the mask is skipped.)
-            valid = np.arange(self.array.logical_cols)[None, :] < self._out_lens[:, None]
-            outputs = np.where(valid[:, None, :], outputs, 0.0)
-            outputs = self._quantize(outputs, self.output_bits)
-        # Scatter-add per-tile partial sums in allocation order (the same
-        # accumulation order as the per-tile executor).
-        for t in range(len(self._blocks)):
-            start = self._out_starts[t]
-            length = self._out_lens[t]
-            result[:, start : start + length] += outputs[t, :, :length]
+        # The backend's tile executor performs the gather, the batched MVM,
+        # current-to-weight rescaling, ADC quantization and the allocation-
+        # order scatter-add (see Backend.tiled_mvm and ENGINE.md).
+        result = self.backend.tiled_mvm(
+            x, self._exec, self._layout, self.output_bits, self._quantize
+        )
         self.total_activations += batch * len(self._blocks)
         return result
 
@@ -410,10 +407,12 @@ class MonteCarloTiledMatrix:
     skip_zero_tiles: bool = True
     seed: int = 0
     trial_stride: int = TRIAL_SEED_STRIDE
+    backend: Union[str, Backend, None] = None
 
     def __post_init__(self) -> None:
         if self.matrix.ndim != 2:
             raise ValueError(f"expected a 2-D matrix, got shape {self.matrix.shape}")
+        self.backend = resolve_backend(self.backend)
         if self.trials < 1:
             raise ValueError(f"trials must be positive, got {self.trials}")
         if self.trial_stride < 1:
@@ -449,7 +448,18 @@ class MonteCarloTiledMatrix:
                     g_pos = self.noise.apply(clean.g_pos[t], cell.g_min, cell.g_max, rng)
                     g_neg = self.noise.apply(clean.g_neg[t], cell.g_min, cell.g_max, rng)
                     diff[trial, t] = g_pos - g_neg
+        # As in BatchedTiledMatrix: programming stays float64 for the
+        # bit-identity contract; execution reads the backend-dtype operand.
         self._diff = diff
+        self._exec = self.backend.asarray(diff)
+        self._layout = TileLayout(
+            tile_rows=self._tile_rows,
+            out_starts=self._out_starts,
+            out_lens=self._out_lens,
+            scales=self._scales,
+            span=self.peripherals.cell.g_max - self.peripherals.cell.g_min,
+            out_dim=out_dim,
+        )
         self.total_activations = 0
 
     # ------------------------------------------------------------------
@@ -522,43 +532,32 @@ class MonteCarloTiledMatrix:
                 f"expected inputs with last dimension {in_dim}, got {vectors.shape}"
             )
         batch = vectors.shape[-2]
-        result = np.zeros((self.trials, batch, out_dim))
         if not self._blocks:
-            return result
+            return self.backend.zeros((self.trials, batch, out_dim))
         rows = self.array.rows
         padded_in = self._row_tiles * rows
         if shared:
             # Input preparation (padding, slicing, DAC quantization) is shared
             # by every trial — done once, broadcast into the trial matmul.
-            x = np.zeros((batch, padded_in))
+            x = self.backend.zeros((batch, padded_in))
             x[:, :in_dim] = vectors
             x = x.reshape(batch, self._row_tiles, rows).transpose(1, 0, 2)
             if self.input_bits is not None:
                 x = self._quantize(x, self.input_bits)
-            x = x[self._tile_rows][None]  # (1, T, batch, rows), broadcast over trials
+            # (row_tiles, batch, rows): the executor broadcasts over trials.
         else:
-            x = np.zeros((self.trials, batch, padded_in))
+            x = self.backend.zeros((self.trials, batch, padded_in))
             x[:, :, :in_dim] = vectors
             x = x.reshape(self.trials, batch, self._row_tiles, rows).transpose(0, 2, 1, 3)
             if self.input_bits is not None:
                 x = self._quantize(x, self.input_bits)
-            x = x[:, self._tile_rows]  # (trials, T, batch, rows)
-        # Every (trial, tile, vector) MVM in one batched matmul:
-        # (trials, T, batch, rows) @ (trials, T, rows, cols).
-        outputs = np.matmul(x, self._diff)
-        cell = self.peripherals.cell
-        span = cell.g_max - cell.g_min
-        # Same in-place div-then-mul rounding order as the sequential path.
-        outputs /= span
-        outputs *= self._scales[None, :, None, None]
-        if self.output_bits is not None:
-            valid = np.arange(self.array.logical_cols)[None, :] < self._out_lens[:, None]
-            outputs = np.where(valid[None, :, None, :], outputs, 0.0)
-            outputs = self._quantize(outputs, self.output_bits)
-        for t in range(len(self._blocks)):
-            start = self._out_starts[t]
-            length = self._out_lens[t]
-            result[:, :, start : start + length] += outputs[:, t, :, :length]
+            # (trials, row_tiles, batch, rows): the executor gathers per trial.
+        # Every (trial, tile, vector) MVM runs through the backend's tile
+        # executor: gather, batched matmul, rescale, ADC quantization and
+        # allocation-order scatter-add per trial.
+        result = self.backend.tiled_mvm(
+            x, self._exec, self._layout, self.output_bits, self._quantize
+        )
         self.total_activations += self.trials * batch * len(self._blocks)
         return result
 

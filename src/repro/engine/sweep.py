@@ -24,6 +24,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..backend import using_backend
 from ..store import ExperimentStore, decode, encode, experiment_fingerprint
 
 __all__ = [
@@ -266,6 +267,7 @@ def run_experiments(
     overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute registered experiments and return ``{name: result}``.
 
@@ -273,7 +275,9 @@ def run_experiments(
     harness (e.g. ``{"fig6": {"array_sizes": (64, 128)}}``).  With
     ``parallel=True`` the experiments run concurrently in a thread pool; the
     shared workload / decomposition caches make this safe and keep the work
-    deduplicated.
+    deduplicated.  ``backend`` scopes the execution backend every harness
+    (and its fingerprint salting) runs under; ``None`` keeps the active
+    default.
     """
     registry = experiment_registry()
     if names is None:
@@ -288,7 +292,8 @@ def run_experiments(
     def run_one(name: str) -> Any:
         return registry[name].run(**dict(overrides.get(name, {})))
 
-    results = map_sweep(run_one, selected, parallel=parallel, max_workers=max_workers)
+    with using_backend(backend):
+        results = map_sweep(run_one, selected, parallel=parallel, max_workers=max_workers)
     return dict(zip(selected, results))
 
 

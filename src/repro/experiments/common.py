@@ -17,18 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
-from ..imc.energy import EnergyModel, NetworkEnergy
-from ..mapping.cycles import (
-    NetworkCycles,
-    aggregate,
-    im2col_cycles,
-    lowrank_cycles,
-    pairs_cycles,
-    pattern_pruning_cycles,
-    sdk_cycles,
-)
+from ..imc.energy import EnergyModel
+from ..mapping.cycles import im2col_cycles, lowrank_cycles, pairs_cycles, pattern_pruning_cycles
 from ..mapping.geometry import ArrayDims, ConvGeometry
 from ..training.proxy import AccuracyProxy
 from ..workloads import compressible_geometries, network_geometries

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
+from ..backend import using_backend
 from ..engine.sweep import (
     ExperimentSpec,
     ShardStats,
@@ -179,8 +180,13 @@ def run_fig6(
     parallel: bool = False,
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
 ) -> Union[Fig6Result, ShardStats]:
-    """Compute every Fig. 6 panel (incrementally / sharded when a store is given)."""
+    """Compute every Fig. 6 panel (incrementally / sharded when a store is given).
+
+    ``backend`` scopes the execution backend of the sweep; ``None`` keeps the
+    active default.
+    """
     points = [
         (network, size, tuple(group_counts), tuple(rank_divisors), tuple(pruning_entries))
         for network in networks
@@ -191,7 +197,8 @@ def run_fig6(
         if store is not None
         else None
     )
-    panels = map_sweep(_fig6_panel, points, parallel=parallel, cache=cache, shard=shard)
+    with using_backend(backend):
+        panels = map_sweep(_fig6_panel, points, parallel=parallel, cache=cache, shard=shard)
     if shard is not None:
         return panels
     return Fig6Result(panels=panels)

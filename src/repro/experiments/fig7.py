@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.plots import ascii_bars
 from ..analysis.tables import format_table
+from ..backend import using_backend
 from ..engine.sweep import (
     ExperimentSpec,
     ShardStats,
@@ -27,7 +28,6 @@ from ..mapping.geometry import ArrayDims
 from ..store import ExperimentStore
 from .common import (
     ARRAY_SIZES,
-    NetworkWorkload,
     baseline_energy,
     get_workload,
     lowrank_network_energy,
@@ -142,6 +142,7 @@ def run_fig7(
     parallel: bool = False,
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
 ) -> Union[Fig7Result, ShardStats]:
     """Compute the Fig. 7 energy comparison (incremental / sharded with a store)."""
     model = model if model is not None else EnergyModel()
@@ -155,7 +156,8 @@ def run_fig7(
         if store is not None
         else None
     )
-    bars = map_sweep(_fig7_bar, points, parallel=parallel, cache=cache, shard=shard)
+    with using_backend(backend):
+        bars = map_sweep(_fig7_bar, points, parallel=parallel, cache=cache, shard=shard)
     if shard is not None:
         return bars
     return Fig7Result(bars=bars)

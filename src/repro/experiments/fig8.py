@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
+from ..backend import using_backend
 from ..engine.sweep import (
     ExperimentSpec,
     ShardStats,
@@ -30,7 +31,6 @@ from .common import (
     QUANTIZATION_BITS,
     RANK_DIVISORS,
     MethodPoint,
-    NetworkWorkload,
     baseline_cycles,
     get_workload,
     lowrank_network_cycles,
@@ -150,6 +150,7 @@ def run_fig8(
     parallel: bool = False,
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
 ) -> Union[Fig8Result, ShardStats]:
     """Compute the Fig. 8 comparison for one network (ResNet-20 in the paper)."""
     points = [
@@ -161,7 +162,8 @@ def run_fig8(
         if store is not None
         else None
     )
-    panels = map_sweep(_fig8_panel, points, parallel=parallel, cache=cache, shard=shard)
+    with using_backend(backend):
+        panels = map_sweep(_fig8_panel, points, parallel=parallel, cache=cache, shard=shard)
     if shard is not None:
         return panels
     return Fig8Result(panels=panels)

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..analysis.pareto import pareto_front
 from ..analysis.plots import ascii_scatter
 from ..analysis.tables import format_cycles, format_table
+from ..backend import using_backend
 from ..engine.sweep import (
     ExperimentSpec,
     ShardStats,
@@ -29,7 +30,6 @@ from .common import (
     GROUP_COUNTS,
     RANK_DIVISORS,
     MethodPoint,
-    NetworkWorkload,
     baseline_cycles,
     get_workload,
     lowrank_network_cycles,
@@ -160,6 +160,7 @@ def run_fig9(
     parallel: bool = False,
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
 ) -> Union[Fig9Result, ShardStats]:
     """Compute the Fig. 9 comparison (incremental / sharded with a store)."""
     points = [
@@ -171,7 +172,8 @@ def run_fig9(
         if store is not None
         else None
     )
-    result_panels = map_sweep(_fig9_panel, points, parallel=parallel, cache=cache, shard=shard)
+    with using_backend(backend):
+        result_panels = map_sweep(_fig9_panel, points, parallel=parallel, cache=cache, shard=shard)
     if shard is not None:
         return result_panels
     return Fig9Result(panels=result_panels)

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..analysis.tables import format_energy_pj, format_table
+from ..backend import active_precision, using_backend
 from ..engine.context import MonteCarloResult
 from ..engine.sweep import (
     ExperimentSpec,
@@ -159,12 +160,16 @@ def _ideal_error(
     rank_divisor: int,
     groups: int,
     seed: int,
+    precision: str = "float64",
 ) -> float:
     """Reference error of a mapping on the ``ideal`` scenario (one trial).
 
     The degradation every noisy scenario reports is measured against this
     noise-free baseline of the *same* mapping, so it isolates the hardware
     contribution from the intentional low-rank approximation error.
+    ``precision`` carries the active backend policy into the memo key: a
+    process sweeping under both numpy64 and numpy32 must never serve one
+    precision's reference error to the other.
     """
     geometry = representative_layer(network)
     weight = _reference_weight(geometry, seed)
@@ -206,7 +211,8 @@ def _scenario_points(
     for mapping in MAPPINGS:
         result = results[mapping]
         ideal_error = _ideal_error(
-            network, mapping, array_size, batch, rank_divisor, groups, seed
+            network, mapping, array_size, batch, rank_divisor, groups, seed,
+            precision=active_precision(),
         )
         accuracy = proxy.lowrank_accuracy_from_error(result.mean_relative_error)
         ideal_accuracy = proxy.lowrank_accuracy_from_error(ideal_error)
@@ -268,12 +274,15 @@ def run_robustness(
     max_workers: Optional[int] = None,
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
 ) -> Union[RobustnessResult, ShardStats]:
     """Sweep scenario × mapping × network with batched Monte-Carlo trials.
 
     With ``store`` the (network, scenario) cells are incremental across runs;
     with ``shard`` only the owned cells are computed and a :class:`ShardStats`
-    summary is returned.
+    summary is returned.  ``backend`` scopes the execution backend of the
+    Monte-Carlo kernels (and the store fingerprint salt); ``None`` keeps the
+    active default.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -282,11 +291,6 @@ def run_robustness(
     )
     for name in scenario_seq:
         get_scenario(name)  # fail fast on unknown scenario names
-    if parallel:
-        # Warm the shared proxy calibration caches serially so concurrent
-        # sweep cells read them instead of racing to fill them.
-        for network in networks:
-            get_workload(network).proxy._calibration_curve()
     points = [
         (network, scenario, array_size, trials, batch, rank_divisor, groups, seed)
         for network in networks
@@ -297,14 +301,20 @@ def run_robustness(
         if store is not None
         else None
     )
-    cells = map_sweep(
-        _scenario_points,
-        points,
-        parallel=parallel,
-        max_workers=max_workers,
-        cache=cache,
-        shard=shard,
-    )
+    with using_backend(backend):
+        if parallel:
+            # Warm the shared proxy calibration caches serially so concurrent
+            # sweep cells read them instead of racing to fill them.
+            for network in networks:
+                get_workload(network).proxy._calibration_curve()
+        cells = map_sweep(
+            _scenario_points,
+            points,
+            parallel=parallel,
+            max_workers=max_workers,
+            cache=cache,
+            shard=shard,
+        )
     if shard is not None:
         return cells
     return RobustnessResult(

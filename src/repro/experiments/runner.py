@@ -17,22 +17,17 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
+from ..backend import using_backend
 from ..engine.cache import default_decomposition_cache
-from ..engine.sweep import (
-    ShardStats,
-    experiment_registry,
-    parse_shard,
-    run_experiments,
-    to_jsonable,
-)
+from ..engine.sweep import ShardStats, experiment_registry, parse_shard, run_experiments
 from ..store import ExperimentStore, open_store
 from .common import get_workload
-from .fig6 import Fig6Result, format_fig6, headline_metrics, run_fig6
-from .fig7 import Fig7Result, format_fig7, run_fig7
-from .fig8 import Fig8Result, format_fig8, quantization_speedup, run_fig8
-from .fig9 import Fig9Result, format_fig9, iso_accuracy_speedup, run_fig9
-from .robustness import RobustnessResult, format_robustness, run_robustness
-from .table1 import Table1Result, format_table1, run_table1
+from .fig6 import Fig6Result, format_fig6, headline_metrics
+from .fig7 import Fig7Result, format_fig7
+from .fig8 import Fig8Result, format_fig8, quantization_speedup
+from .fig9 import Fig9Result, format_fig9, iso_accuracy_speedup
+from .robustness import RobustnessResult, format_robustness
+from .table1 import Table1Result, format_table1
 
 __all__ = [
     "ExperimentSuite",
@@ -106,6 +101,7 @@ def run_all(
     max_workers: Optional[int] = None,
     robustness_trials: int = 8,
     store: Optional[ExperimentStore] = None,
+    backend: Optional[str] = None,
 ) -> ExperimentSuite:
     """Execute every registered harness with the paper's default sweeps.
 
@@ -116,6 +112,8 @@ def run_all(
     grid cells already materialized in the store are decoded instead of
     recomputed (a fully warm store makes this a pure assembly pass), and every
     fresh cell is persisted as it completes, so interrupted runs resume.
+    ``backend`` scopes the execution backend of the whole suite (``None``
+    keeps the active default).
     """
     overrides = _suite_overrides(include_fig6_arrays, robustness_trials, store, None)
     # Attach (or drop) the store's second-level SVD cache before any SVD runs,
@@ -125,17 +123,19 @@ def run_all(
         default_decomposition_cache.attach_store(store)
     else:
         default_decomposition_cache.detach_store()
-    # Warm the shared workload cache (and its proxy calibration SVDs) serially
-    # so concurrent harnesses read the caches instead of racing to fill them.
-    if parallel:
-        for network in ("resnet20", "wrn16_4"):
-            get_workload(network).proxy._calibration_curve()
-    results = run_experiments(
-        names=SUITE_EXPERIMENTS,
-        overrides=overrides,
-        parallel=parallel,
-        max_workers=max_workers,
-    )
+    with using_backend(backend):
+        # Warm the shared workload cache (and its proxy calibration SVDs)
+        # serially so concurrent harnesses read the caches instead of racing
+        # to fill them.
+        if parallel:
+            for network in ("resnet20", "wrn16_4"):
+                get_workload(network).proxy._calibration_curve()
+        results = run_experiments(
+            names=SUITE_EXPERIMENTS,
+            overrides=overrides,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
     return ExperimentSuite(**results)
 
 
@@ -146,6 +146,7 @@ def run_shard(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     robustness_trials: int = 8,
+    backend: Optional[str] = None,
 ) -> Dict[str, ShardStats]:
     """Execute one shard of the suite's grid cells into the shared store.
 
@@ -158,15 +159,16 @@ def run_shard(
     """
     overrides = _suite_overrides(include_fig6_arrays, robustness_trials, store, shard)
     default_decomposition_cache.attach_store(store)
-    if parallel:
-        for network in ("resnet20", "wrn16_4"):
-            get_workload(network).proxy._calibration_curve()
-    results = run_experiments(
-        names=SUITE_EXPERIMENTS,
-        overrides=overrides,
-        parallel=parallel,
-        max_workers=max_workers,
-    )
+    with using_backend(backend):
+        if parallel:
+            for network in ("resnet20", "wrn16_4"):
+                get_workload(network).proxy._calibration_curve()
+        results = run_experiments(
+            names=SUITE_EXPERIMENTS,
+            overrides=overrides,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
     return results
 
 
@@ -269,6 +271,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         "--shard", type=str, default="", metavar="K/N",
         help="compute only shard K of N grid cells into the store, then exit",
     )
+    parser.add_argument(
+        "--backend", type=str, default=None,
+        help="execution backend (default: $REPRO_BACKEND, else numpy64)",
+    )
     args = parser.parse_args(argv)
     store = open_store(args.store or None)
     if args.shard:
@@ -286,6 +292,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
             parallel=args.jobs > 1,
             max_workers=args.jobs if args.jobs > 1 else None,
             robustness_trials=args.trials,
+            backend=args.backend,
         )
         print(format_shard_summary(stats))
         return 0
@@ -295,6 +302,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         max_workers=args.jobs if args.jobs > 1 else None,
         robustness_trials=args.trials,
         store=store,
+        backend=args.backend,
     )
     report = format_report(suite, include_plots=args.plots)
     if args.output:

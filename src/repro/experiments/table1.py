@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.tables import format_cycles, format_table
+from ..backend import using_backend
 from ..engine.sweep import (
     ExperimentSpec,
     ShardStats,
@@ -107,12 +108,15 @@ def run_table1(
     parallel: bool = False,
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
 ) -> Union[Table1Result, ShardStats]:
     """Reproduce Table I: sweep groups × rank divisors for both networks.
 
     With ``store`` the sweep is incremental (cells already materialized are
     decoded, fresh rows persisted); with ``shard`` only the owned cells are
-    computed and a :class:`ShardStats` summary is returned.
+    computed and a :class:`ShardStats` summary is returned.  ``backend``
+    scopes the execution backend of the sweep (proxy SVDs and store
+    fingerprint salting included); ``None`` keeps the active default.
     """
     points = [
         (network, groups, divisor, tuple(array_sizes))
@@ -125,7 +129,8 @@ def run_table1(
         if store is not None
         else None
     )
-    rows = map_sweep(_table1_row, points, parallel=parallel, cache=cache, shard=shard)
+    with using_backend(backend):
+        rows = map_sweep(_table1_row, points, parallel=parallel, cache=cache, shard=shard)
     if shard is not None:
         return rows
     return Table1Result(rows=rows)

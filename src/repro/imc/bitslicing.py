@@ -18,7 +18,7 @@ crossbar simulator and the quantization substrate line up exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ noise sim" code path of the reproduction plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

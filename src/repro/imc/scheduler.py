@@ -26,7 +26,7 @@ latency, and the proposed compression reduces both).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..mapping.cycles import LayerCycles
 from ..mapping.geometry import ArrayDims, ceil_div

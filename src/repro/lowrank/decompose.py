@@ -14,7 +14,7 @@ live in :mod:`repro.lowrank.layers` and the model-level API in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

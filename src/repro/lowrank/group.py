@@ -21,11 +21,11 @@ which is how :class:`repro.lowrank.layers.GroupLowRankConv2d` realizes it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
-from .decompose import LowRankFactors, decompose, relative_error
+from .decompose import LowRankFactors, decompose
 
 __all__ = [
     "GroupLowRankFactors",

@@ -24,7 +24,6 @@ import numpy as np
 from ..nn import functional as F
 from ..nn.modules import Conv2d, Linear, Module, Parameter
 from ..nn.tensor import Tensor
-from .decompose import decompose
 from .group import GroupLowRankFactors, group_decompose
 
 __all__ = ["GroupLowRankConv2d", "LowRankConv2d", "GroupLowRankLinear", "LowRankLinear"]

@@ -21,8 +21,8 @@ available (the same convention as the accuracy proxy).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -23,13 +23,13 @@ the cycle/energy models and the crossbar simulator consume:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from ..mapping.sdk import SDKMapping
-from .decompose import LowRankFactors, decompose
-from .group import GroupLowRankFactors, group_decompose
+from .decompose import decompose
+from .group import group_decompose
 
 __all__ = [
     "SDKLowRankMapping",

@@ -11,7 +11,7 @@ extracts the Pareto-optimal set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..mapping.cycles import NetworkCycles, aggregate, lowrank_cycles
 from ..mapping.geometry import ArrayDims, ConvGeometry

@@ -9,9 +9,8 @@ geometry.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Tuple
 
 __all__ = ["ConvGeometry", "ArrayDims", "ceil_div"]
 

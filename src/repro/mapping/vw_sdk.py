@@ -11,7 +11,7 @@ pick the PW for the SDK-mapped low-rank factors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from .geometry import ArrayDims, ConvGeometry
 from .im2col import Im2colMapping

@@ -15,16 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import functional as F
-from ..modules import (
-    BatchNorm2d,
-    Conv2d,
-    GlobalAvgPool2d,
-    Identity,
-    Linear,
-    Module,
-    ReLU,
-    Sequential,
-)
+from ..modules import BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity, Linear, Module, Sequential
 from ..tensor import Tensor
 
 __all__ = ["BasicBlock", "ResNet", "resnet20", "resnet32", "resnet56"]

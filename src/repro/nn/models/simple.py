@@ -8,12 +8,10 @@ Linear) with the paper's networks.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from ..modules import (
-    AvgPool2d,
     BatchNorm2d,
     Conv2d,
     Flatten,

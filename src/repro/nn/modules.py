@@ -10,7 +10,7 @@ would use.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 

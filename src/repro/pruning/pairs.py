@@ -14,12 +14,12 @@ row count consumed by the cycle and energy models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..mapping.geometry import ArrayDims, ConvGeometry
-from ..mapping.sdk import ParallelWindow, SDKMapping
+from ..mapping.sdk import ParallelWindow
 from ..mapping.vw_sdk import search_parallel_window
 from ..nn.modules import Conv2d, Module
 from .pattern_pruning import PatternPrunedConv2d

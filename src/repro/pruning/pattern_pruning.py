@@ -12,14 +12,14 @@ the actual weight masking so accuracy and sparsity can be measured.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..nn import functional as F
 from ..nn.modules import Conv2d, Module, Parameter
 from ..nn.tensor import Tensor
-from .patterns import Pattern, assign_patterns, build_pattern_library
+from .patterns import assign_patterns, build_pattern_library
 
 __all__ = [
     "PatternPrunedConv2d",

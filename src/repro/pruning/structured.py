@@ -10,11 +10,11 @@ approaches, and so the ablation benches have simple reference points.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..nn.modules import Conv2d, Linear, Module
+from ..nn.modules import Conv2d, Module
 from .pattern_pruning import PatternPrunedConv2d
 
 __all__ = [

@@ -15,9 +15,9 @@ from typing import Optional
 import numpy as np
 
 from ..nn import functional as F
-from ..nn.modules import Conv2d, Linear, Module, Parameter
+from ..nn.modules import Conv2d, Linear, Module
 from ..nn.tensor import Tensor
-from ..lowrank.layers import GroupLowRankConv2d, GroupLowRankLinear
+from ..lowrank.layers import GroupLowRankConv2d
 from .quantizers import DoReFaActivationQuantizer, DoReFaWeightQuantizer, QuantizerBase, UniformQuantizer
 
 __all__ = [

@@ -9,8 +9,7 @@ models with a DoReFa quantizer.  The quantizers here operate on numpy arrays
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

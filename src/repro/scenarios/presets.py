@@ -118,8 +118,13 @@ class HardwareScenario:
         seed: int = 0,
         engine: str = "batched",
         base_peripherals: Optional[PeripheralSuite] = None,
+        backend=None,
     ) -> ExecutionContext:
-        """An execution context configured for this hardware corner."""
+        """An execution context configured for this hardware corner.
+
+        ``backend`` selects the execution backend (:mod:`repro.backend`);
+        ``None`` resolves to the active process default.
+        """
         return ExecutionContext(
             array=array,
             peripherals=self.peripherals(base_peripherals),
@@ -128,6 +133,7 @@ class HardwareScenario:
             output_bits=self.output_bits,
             seed=seed,
             engine=engine,
+            backend=backend,
         )
 
 

@@ -12,10 +12,12 @@ experiment store").
 from .codec import decode, encode
 from .fingerprint import (
     CODE_VERSION_SALT,
+    active_salt,
     canonical_json,
     canonicalize,
     code_version_salt,
     experiment_fingerprint,
+    valid_salts,
 )
 from .store import (
     STORE_ENV_VAR,
@@ -34,10 +36,12 @@ __all__ = [
     "ArtifactInfo",
     "ExperimentStore",
     "GcStats",
+    "active_salt",
     "canonical_json",
     "canonicalize",
     "code_version_salt",
     "decode",
+    "valid_salts",
     "default_store_root",
     "encode",
     "experiment_fingerprint",

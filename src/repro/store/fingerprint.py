@@ -30,13 +30,17 @@ import dataclasses
 import hashlib
 import json
 import os
-from typing import Any, Mapping, Optional
+from typing import Any, FrozenSet, Mapping, Optional
 
 import numpy as np
+
+from ..backend import active_salt_token, registered_salt_tokens
 
 __all__ = [
     "CODE_VERSION_SALT",
     "code_version_salt",
+    "active_salt",
+    "valid_salts",
     "canonicalize",
     "canonical_json",
     "experiment_fingerprint",
@@ -50,8 +54,35 @@ SALT_ENV_VAR = "REPRO_STORE_SALT"
 
 
 def code_version_salt() -> str:
-    """The active code-version salt (``REPRO_STORE_SALT`` overrides the built-in)."""
+    """The base code-version salt (``REPRO_STORE_SALT`` overrides the built-in)."""
     return os.environ.get(SALT_ENV_VAR) or CODE_VERSION_SALT
+
+
+def active_salt() -> str:
+    """The effective fingerprint salt: base salt + the active precision token.
+
+    The execution backend's precision policy is folded into the salt
+    (``repro-store-v1+float32`` under the ``numpy32`` backend), so warm
+    artifacts computed at different precisions can never collide.  The
+    bit-identical float64 family (``numpy64``, ``threaded``) contributes an
+    empty token and shares the base salt — and therefore shares artifacts.
+    """
+    token = active_salt_token()
+    base = code_version_salt()
+    return f"{base}+{token}" if token else base
+
+
+def valid_salts() -> FrozenSet[str]:
+    """Every salt a registered backend can currently write artifacts under.
+
+    ``ls``/``gc`` staleness is judged against this set rather than the single
+    active salt, so collecting garbage under ``numpy64`` never destroys the
+    ``numpy32`` half of a shared store (and vice versa).
+    """
+    base = code_version_salt()
+    return frozenset(
+        f"{base}+{token}" if token else base for token in registered_salt_tokens()
+    )
 
 
 def canonicalize(value: Any) -> Any:
@@ -110,12 +141,13 @@ def experiment_fingerprint(
 
     ``defaults`` is merged under ``config`` before hashing, so a configuration
     that omits a parameter fingerprints identically to one passing the default
-    value explicitly.  ``salt`` defaults to :func:`code_version_salt`.
+    value explicitly.  ``salt`` defaults to :func:`active_salt` — the base
+    code-version salt plus the active backend's precision token.
     """
     merged = dict(defaults) if defaults else {}
     merged.update(config)
     payload = json.dumps(
-        ["repro-fingerprint", kind, salt if salt is not None else code_version_salt(),
+        ["repro-fingerprint", kind, salt if salt is not None else active_salt(),
          canonicalize(merged)],
         separators=(",", ":"),
     )

@@ -38,13 +38,13 @@ import os
 import re
 import shutil
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from .fingerprint import code_version_salt
+from .fingerprint import active_salt, valid_salts
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -179,7 +179,7 @@ class ExperimentStore:
             "schema": STORE_SCHEMA_VERSION,
             "kind": kind,
             "fingerprint": fingerprint,
-            "salt": code_version_salt(),
+            "salt": active_salt(),
             "created": time.time(),
             "meta": dict(meta) if meta else {},
             "payload": payload,
@@ -241,7 +241,7 @@ class ExperimentStore:
     def ls(self) -> List[ArtifactInfo]:
         """Every artifact in the store, with its kind, size and staleness."""
         entries: List[ArtifactInfo] = []
-        salt = code_version_salt()
+        salts = valid_salts()
         for path in sorted(self._iter_artifacts()):
             stat = path.stat()
             kind = str(path.parent.parent.relative_to(self.version_root))
@@ -252,7 +252,7 @@ class ExperimentStore:
                     wrapper = json.loads(path.read_text(encoding="utf-8"))
                     artifact_salt = wrapper.get("salt")
                     kind = wrapper.get("kind", kind)
-                    stale = artifact_salt != salt
+                    stale = artifact_salt not in salts
                 except (ValueError, OSError):
                     stale = True
             entries.append(
@@ -293,7 +293,7 @@ class ExperimentStore:
                 shutil.rmtree(child, ignore_errors=True)
         if not self.version_root.exists():
             return stats
-        salt = code_version_salt()
+        salts = valid_salts()
         for path in list(self.version_root.rglob("*")):
             if not path.is_file():
                 continue
@@ -308,7 +308,7 @@ class ExperimentStore:
                     wrapper = json.loads(path.read_text(encoding="utf-8"))
                     keep = (
                         wrapper["schema"] == STORE_SCHEMA_VERSION
-                        and wrapper["salt"] == salt
+                        and wrapper["salt"] in salts
                         and wrapper["checksum"] == _payload_checksum(wrapper["payload"])
                     )
                 except (ValueError, KeyError, TypeError, OSError):

@@ -29,10 +29,11 @@ reproduced values machine-readably for side-by-side comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..backend import active_precision
 from ..engine.cache import cached_group_decompose
 from ..lowrank.group import group_relative_error
 from ..mapping.geometry import ConvGeometry
@@ -93,9 +94,13 @@ def _reference_matrix(geometry: ConvGeometry, seed: int) -> np.ndarray:
 
 
 #: Module-level caches shared by every proxy instance so repeated sweeps
-#: (benchmarks create many workload objects) do not redo the SVD work.
-_ERROR_CACHE: Dict[Tuple[str, int, int, int], float] = {}
-_CALIBRATION_CACHE: Dict[Tuple[str, int], Tuple[np.ndarray, np.ndarray]] = {}
+#: (benchmarks create many workload objects) do not redo the SVD work.  Keys
+#: carry the active execution precision (:func:`repro.backend.active_precision`)
+#: because the reconstruction errors flow through backend SVDs — a process
+#: that switches between numpy64 and numpy32 must never serve one precision's
+#: errors (or the calibration curve built from them) to the other.
+_ERROR_CACHE: Dict[Tuple[str, str, int, int, int], float] = {}
+_CALIBRATION_CACHE: Dict[Tuple[str, str, int], Tuple[np.ndarray, np.ndarray]] = {}
 
 
 @dataclass
@@ -113,8 +118,9 @@ class AccuracyProxy:
             )
         self._geometries = compressible_geometries(self.network)
         self._matrices = [_reference_matrix(g, self.seed) for g in self._geometries]
-        self._error_cache: Dict[Tuple[int, int], float] = {}
-        self._calibration: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Per-instance calibration memo, keyed by execution precision (the
+        # same proxy instance may serve sweeps under different backends).
+        self._calibration: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
         self._rng = np.random.default_rng(self.seed + 12345)
 
     # ------------------------------------------------------------------
@@ -130,7 +136,7 @@ class AccuracyProxy:
     # ------------------------------------------------------------------
     def mean_relative_error(self, rank_divisor: int, groups: int) -> float:
         """Mean per-layer relative reconstruction error of a (g, divisor) configuration."""
-        key = (self.network, self.seed, groups, rank_divisor)
+        key = (self.network, active_precision(), self.seed, groups, rank_divisor)
         if key in _ERROR_CACHE:
             return _ERROR_CACHE[key]
         errors: List[float] = []
@@ -155,12 +161,14 @@ class AccuracyProxy:
 
     def _calibration_curve(self) -> Tuple[np.ndarray, np.ndarray]:
         """Sorted (error, accuracy) anchor arrays with monotonicity enforced."""
-        if self._calibration is not None:
-            return self._calibration
-        cache_key = (self.network, self.seed)
+        precision = active_precision()
+        cached = self._calibration.get(precision)
+        if cached is not None:
+            return cached
+        cache_key = (self.network, precision, self.seed)
         if cache_key in _CALIBRATION_CACHE:
-            self._calibration = _CALIBRATION_CACHE[cache_key]
-            return self._calibration
+            self._calibration[precision] = _CALIBRATION_CACHE[cache_key]
+            return self._calibration[precision]
         anchors = TABLE1_ACCURACY[self.network]
         errors = []
         accuracies = []
@@ -175,9 +183,10 @@ class AccuracyProxy:
         # Accuracy must not increase with error: enforce a running maximum from
         # the high-error end so the interpolation is monotone non-increasing.
         acc_monotone = np.maximum.accumulate(acc_sorted[::-1])[::-1]
-        self._calibration = (errors_sorted, acc_monotone)
-        _CALIBRATION_CACHE[cache_key] = self._calibration
-        return self._calibration
+        curve = (errors_sorted, acc_monotone)
+        self._calibration[precision] = curve
+        _CALIBRATION_CACHE[cache_key] = curve
+        return curve
 
     def lowrank_accuracy_from_error(self, mean_relative_error: float) -> float:
         """Map a measured mean relative reconstruction error to an accuracy estimate."""

@@ -20,7 +20,7 @@ from ..data.loaders import DataLoader
 from ..nn import functional as F
 from ..nn.modules import Module
 from ..nn.optim import LRScheduler, Optimizer
-from ..nn.tensor import Tensor, no_grad
+from ..nn.tensor import Tensor
 from .evaluate import evaluate_accuracy
 
 __all__ = ["EpochStats", "TrainingHistory", "Trainer"]

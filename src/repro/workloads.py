@@ -18,7 +18,7 @@ Two views are provided per network:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List
 
 from .mapping.geometry import ConvGeometry
 

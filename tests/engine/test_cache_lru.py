@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backend import active_backend
 from repro.engine.cache import DEFAULT_SVD_CACHE_ENTRIES, DecompositionCache
 from repro.store import ExperimentStore
 
@@ -131,7 +132,7 @@ class TestStoreSpill:
             path.write_bytes(data[: len(data) // 2])
         cache.svd(second)                       # evict first
         u, s, vt = cache.svd(first)             # corrupt spill -> recompute
-        reference = np.linalg.svd(first, full_matrices=False)
+        reference = np.linalg.svd(active_backend().asarray(first), full_matrices=False)
         assert np.array_equal(u, reference[0])
 
     def test_detach_store_stops_spilling(self, tmp_path, rng):

@@ -25,6 +25,8 @@ from repro.imc.simulator import IMCSimulator
 from repro.imc.tiles import TiledMatrix
 from repro.mapping.geometry import ArrayDims
 
+from .precision_helpers import assert_outputs_match, assert_quantized_outputs_match
+
 NOISE_MODELS = {
     "typical": NoiseModel.typical(),
     "harsh": NoiseModel(conductance_sigma=0.3, stuck_at_rate=0.01, ir_drop_severity=0.1),
@@ -92,9 +94,7 @@ class TestTrialOutputs:
             sequential = BatchedTiledMatrix(
                 matrix, small_array, noise=noise, seed=mc.trial_seed(trial)
             )
-            np.testing.assert_allclose(
-                outputs[trial], sequential.mvm_batch(inputs), rtol=1e-10, atol=1e-12
-            )
+            assert_outputs_match(outputs[trial], sequential.mvm_batch(inputs))
 
     def test_quantized_paths_match_sequential(self, rng, small_array):
         """DAC/ADC quantization arithmetic is identical per (trial, tile, vector)."""
@@ -115,10 +115,7 @@ class TestTrialOutputs:
                 output_bits=6,
             )
             out_seq = sequential.mvm_batch(inputs)
-            diff = np.abs(outputs[trial] - out_seq)
-            step = np.abs(out_seq).max() / (2**6 - 1) + 1e-12
-            assert diff.max() <= step
-            assert (diff <= np.abs(out_seq).max() * 1e-9).mean() > 0.99
+            assert_quantized_outputs_match(outputs[trial], out_seq, output_bits=6)
 
     def test_per_trial_input_stacks(self, rng, small_array):
         """A (trials, batch, in) stack routes each trial its own inputs."""
@@ -131,9 +128,7 @@ class TestTrialOutputs:
             sequential = BatchedTiledMatrix(
                 matrix, small_array, noise=noise, seed=mc.trial_seed(trial)
             )
-            np.testing.assert_allclose(
-                outputs[trial], sequential.mvm_batch(stacked[trial]), rtol=1e-10, atol=1e-12
-            )
+            assert_outputs_match(outputs[trial], sequential.mvm_batch(stacked[trial]))
 
     def test_accounting_matches_sequential_totals(self, rng, small_array):
         matrix = rng.standard_normal((40, 70))
@@ -188,9 +183,7 @@ class TestMonteCarloPlans:
                 np.testing.assert_array_equal(
                     stage_mc.stored_matrix(trial), stage_seq.stored_matrix()
                 )
-            np.testing.assert_allclose(
-                result.outputs[trial], sequential.outputs, rtol=1e-10, atol=1e-12
-            )
+            assert_outputs_match(result.outputs[trial], sequential.outputs)
             np.testing.assert_array_equal(result.exact, sequential.exact)
             assert result.energy_pj == sequential.energy_pj
             assert result.allocated_tiles == sequential.allocated_tiles
@@ -251,9 +244,7 @@ class TestMonteCarloPlans:
                 noise=NoiseModel.typical(),
                 seed=6 + trial * TRIAL_SEED_STRIDE,
             ).run_dense(weight, inputs)
-            np.testing.assert_allclose(
-                mc.outputs[trial], sequential.outputs, rtol=1e-10, atol=1e-12
-            )
+            assert_outputs_match(mc.outputs[trial], sequential.outputs)
         lowrank = simulator.run_lowrank_trials(weight, inputs, trials=2, rank=6, groups=2)
         assert lowrank.outputs.shape == (2, 4, 24)
         assert lowrank.trials == 2

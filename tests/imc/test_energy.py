@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.imc.energy import EnergyModel, aggregate_energy
 from repro.imc.peripherals import PeripheralSuite
-from repro.mapping.cycles import im2col_cycles, lowrank_cycles, pattern_pruning_cycles
+from repro.mapping.cycles import im2col_cycles, lowrank_cycles
 from repro.mapping.geometry import ArrayDims, ConvGeometry
 
 

@@ -10,7 +10,7 @@ from repro.imc.peripherals import CellSpec, PeripheralSuite
 from repro.imc.simulator import IMCSimulator, im2col_columns
 from repro.lowrank.group import group_decompose
 from repro.mapping.cycles import tiles_for_matrix
-from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.geometry import ConvGeometry
 
 HIGH_PRECISION = PeripheralSuite(cell=CellSpec(conductance_levels=4096))
 

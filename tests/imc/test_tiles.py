@@ -9,7 +9,6 @@ from repro.imc.peripherals import CellSpec, PeripheralSuite
 from repro.imc.tiles import TiledMatrix
 from repro.lowrank.group import group_decompose
 from repro.mapping.cycles import tiles_for_block_diagonal, tiles_for_matrix
-from repro.mapping.geometry import ArrayDims
 
 HIGH_PRECISION = PeripheralSuite(cell=CellSpec(conductance_levels=4096))
 

@@ -15,7 +15,7 @@ from repro.lowrank.rank_allocation import (
     network_sensitivity,
 )
 from repro.mapping.cycles import lowrank_cycles
-from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.geometry import ConvGeometry
 from repro.nn.models import SimpleCNN
 from repro.nn.modules import Conv2d
 

@@ -16,7 +16,6 @@ from hypothesis import strategies as st
 from repro.lowrank.decompose import decompose
 from repro.lowrank.group import group_decompose
 from repro.lowrank.sdk_lowrank import (
-    SDKLowRankMapping,
     kron_identity,
     sdk_group_lowrank_factors,
     sdk_lowrank_factors,

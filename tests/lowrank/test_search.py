@@ -12,7 +12,7 @@ from repro.lowrank.search import (
     pareto_front,
     sweep_configurations,
 )
-from repro.mapping.geometry import ArrayDims, ConvGeometry
+from repro.mapping.geometry import ConvGeometry
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ geometries, not just the catalogued networks.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.mapping.geometry import ArrayDims, ConvGeometry
-from repro.mapping.sdk import ParallelWindow, SDKMapping, build_padding_matrix, sdk_operator
+from repro.mapping.sdk import ParallelWindow, SDKMapping, build_padding_matrix
 
 
 def naive_conv_outputs(inputs: np.ndarray, weight: np.ndarray, padding: int) -> np.ndarray:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.mapping.geometry import ArrayDims, ConvGeometry
 from repro.mapping.im2col import Im2colMapping

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn.modules import Conv2d, Linear
+from repro.nn.modules import Conv2d
 from repro.nn.models import MLP, SimpleCNN, TinyConvNet, resnet20, wrn16_4
 from repro.nn.models.resnet import ResNet
 from repro.nn.models.wide_resnet import WideResNet
@@ -39,7 +39,6 @@ class TestResNet20:
         """The workload catalogue must agree with the instantiated network."""
         model = resnet20()
         model_convs = {}
-        hw = {"conv1": 32}
         geometries = {g.name: g for g in resnet20_geometries()}
         for name, module in model.named_modules():
             if isinstance(module, Conv2d):

@@ -17,7 +17,6 @@ from repro.nn.modules import (
     Linear,
     MaxPool2d,
     Module,
-    Parameter,
     ReLU,
     Sequential,
 )

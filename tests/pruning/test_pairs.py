@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.mapping.geometry import ArrayDims, ConvGeometry
 from repro.mapping.sdk import ParallelWindow
 from repro.nn.models import SimpleCNN
 from repro.pruning.pairs import (

@@ -7,7 +7,6 @@ import pytest
 
 from repro.lowrank.compress import CompressionSpec, compress_model
 from repro.nn.models import SimpleCNN
-from repro.nn.modules import Conv2d, Linear
 from repro.nn.tensor import Tensor
 from repro.quantization.config import QuantizationConfig, apply_qat, quantized_layers
 from repro.quantization.qat import QATConv2d, QATGroupLowRankConv2d, QATLinear
@@ -35,7 +34,6 @@ class TestApplyQAT:
     def test_wraps_all_but_first_conv_and_last_linear(self):
         model = SimpleCNN(num_classes=5, widths=(4, 8, 8), seed=0)
         report = apply_qat(model, QuantizationConfig())
-        convs = [name for name, m in model.named_modules() if isinstance(m, Conv2d)]
         assert report.quantized
         # The stem conv remains a bare Conv2d reachable directly (not via a QAT wrapper path).
         wrappers = quantized_layers(model)
@@ -61,7 +59,7 @@ class TestApplyQAT:
         """QAT wraps the group low-rank layers of a compressed model (the paper's pipeline)."""
         model = SimpleCNN(num_classes=5, widths=(8, 8, 16), seed=0)
         compress_model(model, CompressionSpec(rank_divisor=4, groups=2))
-        report = apply_qat(model, QuantizationConfig())
+        apply_qat(model, QuantizationConfig())
         wrappers = quantized_layers(model)
         assert any(isinstance(w, QATGroupLowRankConv2d) for w in wrappers.values())
         out = model(Tensor(rng.standard_normal((1, 3, 12, 12))))

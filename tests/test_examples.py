@@ -11,7 +11,6 @@ import runpy
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 

@@ -8,7 +8,7 @@ import pytest
 from repro.data.loaders import DataLoader
 from repro.data.synthetic import make_tiny_dataset
 from repro.nn.models import TinyConvNet
-from repro.nn.modules import Linear, Module
+from repro.nn.modules import Module
 from repro.nn.tensor import Tensor
 from repro.training.evaluate import confusion_matrix, evaluate_accuracy, evaluate_topk, predict_logits
 
