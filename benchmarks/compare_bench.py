@@ -26,7 +26,10 @@ A kernel regresses when its metric degrades by more than ``--tolerance``
 (default 1.25x, overridable via ``$BENCH_TOLERANCE``).  Kernels present in
 the baseline but missing from the current run fail; new kernels are reported
 but pass (commit a refreshed baseline to start gating them).  The markdown
-delta summary is written for CI to upload as an artifact.
+delta summary is written for CI to upload as an artifact — and, when the run
+is a GitHub Actions job (``$GITHUB_STEP_SUMMARY`` is set), appended to the
+job summary so a regression is readable straight from the run page without
+downloading anything.
 """
 
 from __future__ import annotations
@@ -238,6 +241,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = render_markdown(deltas, args.tolerance)
     if args.markdown:
         Path(args.markdown).write_text(report, encoding="utf-8")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        # Append (never truncate): other steps of the same job may have
+        # written their own sections already.
+        try:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        except OSError as error:
+            print(f"cannot write job summary: {error}", file=sys.stderr)
     print(report)
     failures = [delta for delta in deltas if delta.failed]
     for delta in failures:

@@ -284,6 +284,83 @@ def bench_backends(repeats: int) -> List[Dict[str, object]]:
     return [large_sweep, monte_carlo]
 
 
+#: Monte-Carlo trial count of the parallel large-sweep benchmark grid.  Sized
+#: so the serial run is long enough (~15-25 s) that 4 worker processes can
+#: amortize their fixed costs (interpreter start, registry import, per-worker
+#: proxy calibration) and demonstrate near-linear scaling on >= 4 cores.
+PARALLEL_BENCH_TRIALS = 128
+
+#: Worker-process count of the parallel benchmark's measured side.
+PARALLEL_BENCH_WORKERS = 4
+
+
+def bench_parallel(repeats: int) -> Dict[str, object]:
+    """Process-parallel sweep (``--workers 4``) vs. the serial runner.
+
+    Both sides run the *same* end-to-end CLI invocation — a cold
+    ``repro report --json`` over the full experiment grid with an enlarged
+    robustness Monte-Carlo sweep (the "large-sweep grid") into a fresh store —
+    differing only in ``--workers``.  ``byte_identical`` asserts the
+    parallel executor's headline contract: the 4-worker report must match the
+    1-worker report byte for byte.  ``speedup`` is the wall-clock ratio; it is
+    hardware-dependent by nature (the workload description records the host's
+    CPU count — a single-core container cannot scale, a >=4-core CI runner
+    shows near-linear scaling), which is why the regression gate compares
+    speedup ratios against a baseline from the same class of host.
+
+    The measurement is end-to-end (interpreter start and store writes
+    included) and multi-second, so a single round is taken regardless of
+    ``repeats`` — workload length, not repetition, amortizes the noise.
+    """
+    import os
+    import shutil
+    import subprocess
+    import tempfile
+
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    env.pop("REPRO_WORKERS", None)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-parallel-"))
+
+    def timed_report(workers: int) -> float:
+        store = workdir / f"store-w{workers}"
+        target = workdir / f"report-w{workers}.json"
+        start = time.perf_counter()
+        subprocess.run(
+            [
+                sys.executable, "-m", "repro", "--store", str(store),
+                "report", "--trials", str(PARALLEL_BENCH_TRIALS),
+                "--json", str(target), "--workers", str(workers),
+            ],
+            check=True, env=env, cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL,
+        )
+        return time.perf_counter() - start
+
+    try:
+        serial = timed_report(1)
+        parallel = timed_report(PARALLEL_BENCH_WORKERS)
+        byte_identical = (
+            (workdir / "report-w1.json").read_bytes()
+            == (workdir / f"report-w{PARALLEL_BENCH_WORKERS}.json").read_bytes()
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "kernel": "parallel_sweep_workers",
+        "workload": (
+            f"full suite, robustness trials={PARALLEL_BENCH_TRIALS}, cold store, "
+            f"end-to-end CLI: {PARALLEL_BENCH_WORKERS} workers vs 1 "
+            f"(host cpu_count={os.cpu_count()})"
+        ),
+        "engine_seconds": parallel,
+        "reference_seconds": serial,
+        "speedup": serial / parallel if parallel > 0 else None,
+        "workers": PARALLEL_BENCH_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "byte_identical": byte_identical,
+    }
+
+
 def bench_window_search(repeats: int) -> Dict[str, object]:
     geometry = ConvGeometry(64, 64, 3, 3, 16, 16, stride=1, padding=1, name="bench-conv")
     array = ArrayDims.square(64)
@@ -314,6 +391,7 @@ BENCHMARKS = (
     ("window_search", bench_window_search),
     ("store", bench_store),
     ("backends", bench_backends),
+    ("parallel", bench_parallel),
 )
 
 

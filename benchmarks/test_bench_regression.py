@@ -16,6 +16,12 @@ import pytest
 from benchmarks import compare_bench, kernel_timings
 
 
+@pytest.fixture(autouse=True)
+def isolate_job_summary(monkeypatch):
+    """Comparator runs inside the test suite must never touch a real job summary."""
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+
+
 def entry(kernel, engine=0.010, reference=None, speedup=None, **flags):
     payload = {"kernel": kernel, "engine_seconds": engine}
     if reference is not None:
@@ -131,6 +137,34 @@ class TestMainAndMarkdown:
         code = compare_bench.main(["--baseline", str(tmp_path / "nope.json"), "--current", str(cur)])
         assert code == 2
         capsys.readouterr()
+
+    def test_delta_appended_to_github_step_summary(self, tmp_path, monkeypatch, capsys):
+        """Regressions must be visible on the job page, not only in an artifact."""
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self._write(base, document(entry("a", speedup=4.0)))
+        self._write(cur, document(entry("a", speedup=1.0)))
+        summary = tmp_path / "summary.md"
+        summary.write_text("# Earlier step\n", encoding="utf-8")
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        code = compare_bench.main(["--baseline", str(base), "--current", str(cur)])
+        capsys.readouterr()
+        assert code == 1
+        text = summary.read_text()
+        # Appended after the earlier step's section, never truncating it.
+        assert text.startswith("# Earlier step")
+        assert "Verdict: FAIL" in text and "| a | speedup |" in text
+
+    def test_unwritable_step_summary_does_not_break_the_gate(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self._write(base, document(entry("a", speedup=2.0)))
+        self._write(cur, document(entry("a", speedup=2.0)))
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(tmp_path / "no" / "such" / "dir" / "s.md"))
+        code = compare_bench.main(["--baseline", str(base), "--current", str(cur)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cannot write job summary" in captured.err
 
     def test_tolerance_env_default(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("BENCH_TOLERANCE", "3.0")

@@ -7,7 +7,9 @@ This walks the full pipeline of the paper on a laptop-sized problem:
 3. quantize the compressed model with 4-bit QAT (the paper's setting),
 4. map every compressed layer onto IMC crossbars and count computing cycles
    with and without the proposed SDK factor mapping (Theorem 2),
-5. print an energy estimate against the uncompressed im2col baseline.
+5. print an energy estimate against the uncompressed im2col baseline,
+6. point at the full paper reproduction — including the process-parallel
+   ``--workers`` mode that spreads the sweep grids across local cores.
 
 Run with:  python examples/quickstart.py
 """
@@ -131,6 +133,19 @@ def main() -> None:
         },
         title="summary",
     ))
+
+    # ------------------------------------------------------------------
+    # 6. Scaling up: the full paper reproduction, across all local cores
+    # ------------------------------------------------------------------
+    print()
+    print(
+        "next step — reproduce every table and figure of the paper, spreading\n"
+        "the sweep grids over 4 worker processes (store-shard work stealing;\n"
+        "output is byte-identical to --workers 1, and the warm store makes\n"
+        "reruns assembly-only):\n"
+        "    python -m repro --store .repro-store report --workers 4\n"
+        "or, equivalently, REPRO_WORKERS=4 python -m repro report"
+    )
 
 
 if __name__ == "__main__":

@@ -14,6 +14,8 @@ The package is organized by subsystem (see DESIGN.md for the full inventory):
 * :mod:`repro.experiments`  — one harness per paper table / figure,
 * :mod:`repro.store`        — persistent experiment store (canonical fingerprints,
   content-addressed artifacts; makes sweeps incremental, resumable, shardable),
+* :mod:`repro.parallel`     — process-parallel sweep execution with store-shard
+  work stealing (``--workers N`` / ``$REPRO_WORKERS``),
 * :mod:`repro.workloads`    — layer-geometry catalogues of ResNet-20 and WRN16-4.
 
 Quick start::

@@ -35,6 +35,16 @@ precision policy; its store artifacts are salted separately)::
     python -m repro --backend threaded report
     REPRO_BACKEND=numpy32 python -m repro robustness --trials 16
 
+``--workers N`` (or ``$REPRO_WORKERS``) runs any experiment sweep in ``N``
+worker processes: the grid is partitioned into fingerprint-hash store shards,
+workers claim shards through crash-safe leases (work stealing — a shard whose
+worker died is re-claimed after its lease expires), and the report is
+assembled from the shared store, byte-identical to a ``--workers 1`` run::
+
+    python -m repro --store .repro-store --workers 4 report --json out.json
+
+Without ``--store`` the workers share an ephemeral store for the run.
+
 Every subcommand prints plain text; ``--output FILE`` writes it to a file too.
 """
 
@@ -61,6 +71,7 @@ from .experiments.runner import (
 from .experiments.table1 import format_table1, run_table1
 from .imc.reports import MethodSpec, compare_methods
 from .mapping.geometry import ArrayDims
+from .parallel import resolve_workers
 from .scenarios import scenario_names
 from .store import ExperimentStore, open_store
 from .workloads import compressible_geometries
@@ -70,7 +81,10 @@ __all__ = ["build_parser", "main"]
 
 def _fig6_text(args: argparse.Namespace, store: Optional[ExperimentStore]) -> str:
     networks = (args.network,) if args.network else ("resnet20", "wrn16_4")
-    return format_fig6(run_fig6(networks=networks, store=store), include_plots=args.plots)
+    return format_fig6(
+        run_fig6(networks=networks, store=store, workers=args.workers),
+        include_plots=args.plots,
+    )
 
 
 def _format_size(size_bytes: int) -> str:
@@ -139,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
              f"(one of: {', '.join(backend_names())}; "
              "default: $REPRO_BACKEND, else numpy64)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run experiment sweeps in N worker processes with store-shard "
+             "work stealing (default: $REPRO_WORKERS, else 1; "
+             "--workers 4 output is byte-identical to --workers 1)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("table1", help="reproduce Table I")
@@ -174,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute only shard K of N grid cells into the store, then exit "
              "(requires --store; run a final un-sharded report to assemble)",
     )
+    # SUPPRESS keeps the subcommand-position flag from clobbering the global
+    # one with its default when absent (argparse subparser-default semantics).
+    report.add_argument(
+        "--workers", type=int, dest="workers", default=argparse.SUPPRESS, metavar="N",
+        help="same as the global --workers, accepted after the subcommand too",
+    )
 
     robustness = subparsers.add_parser(
         "robustness",
@@ -202,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default="", dest="json_path",
         help="also write the machine-readable robustness result to this file",
     )
+    robustness.add_argument(
+        "--workers", type=int, dest="workers", default=argparse.SUPPRESS, metavar="N",
+        help="same as the global --workers, accepted after the subcommand too",
+    )
 
     store = subparsers.add_parser(
         "store", help="inspect or maintain the persistent experiment store"
@@ -229,6 +259,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         backend = resolve_backend(args.backend)
     except ValueError as error:
         parser.error(str(error))
+    try:
+        # Same for the worker count (--workers 0, a non-integer $REPRO_WORKERS).
+        # Whether the count was an explicit flag (vs. $REPRO_WORKERS) matters
+        # to --shard: an env default must not reject an external partition.
+        args.workers_explicit = args.workers is not None
+        args.workers = resolve_workers(args.workers)
+    except ValueError as error:
+        parser.error(str(error))
     store = open_store(args.store or None)
     if store is not None:
         # Two-level decomposition caching: SVDs spill to / refill from the store.
@@ -246,15 +284,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) -> str:
     if args.command == "table1":
-        text = format_table1(run_table1(store=store))
+        text = format_table1(run_table1(store=store, workers=args.workers))
     elif args.command == "fig6":
         text = _fig6_text(args, store)
     elif args.command == "fig7":
-        text = format_fig7(run_fig7(store=store), include_plots=False)
+        text = format_fig7(run_fig7(store=store, workers=args.workers), include_plots=False)
     elif args.command == "fig8":
-        text = format_fig8(run_fig8(store=store), include_plots=False)
+        text = format_fig8(run_fig8(store=store, workers=args.workers), include_plots=False)
     elif args.command == "fig9":
-        text = format_fig9(run_fig9(store=store), include_plots=False)
+        text = format_fig9(run_fig9(store=store, workers=args.workers), include_plots=False)
     elif args.command == "report" and args.shard:
         if store is None:
             parser.error("--shard requires --store (or $REPRO_STORE)")
@@ -262,6 +300,14 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) 
             parser.error(
                 "--shard computes grid cells without assembling a report; "
                 "run the final un-sharded `report --json/--plots` to emit it"
+            )
+        if args.workers_explicit and args.workers > 1:
+            # Only an *explicit* flag conflicts: a fleet-wide $REPRO_WORKERS
+            # default must not break the documented --shard K/N pattern (the
+            # sharded compute path ignores env workers for the same reason).
+            parser.error(
+                "--shard is one slice of an externally-partitioned run; "
+                "use --workers without --shard for in-process partitioning"
             )
         try:
             shard = parse_shard(args.shard)
@@ -283,6 +329,7 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) 
             max_workers=args.jobs if args.jobs > 1 else None,
             robustness_trials=args.trials,
             store=store,
+            workers=args.workers,
         )
         text = format_report(suite, include_plots=args.plots)
         if args.json_path:
@@ -300,6 +347,7 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) 
             parallel=args.jobs > 1,
             max_workers=args.jobs if args.jobs > 1 else None,
             store=store,
+            workers=args.workers,
         )
         text = format_robustness(result)
         if args.json_path:

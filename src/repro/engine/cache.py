@@ -95,11 +95,32 @@ class DecompositionCache:
         self.store_hits = 0
 
     def attach_store(self, store) -> None:
-        """Spill to / refill from a persistent ``repro.store.ExperimentStore``."""
+        """Spill to / refill from a persistent ``repro.store.ExperimentStore``.
+
+        In a process-parallel sweep (:mod:`repro.parallel`) every worker
+        attaches the shared store to its process-local cache: the first
+        worker to need an SVD computes and spills it, the siblings refill
+        bit-identically instead of recomputing — the store turns N per-process
+        caches into one shared second level.
+        """
         self._store = store
 
     def detach_store(self) -> None:
         self._store = None
+
+    @property
+    def store_attached(self) -> bool:
+        """Whether a persistent second level is currently attached."""
+        return self._store is not None
+
+    def counters(self) -> "dict[str, int]":
+        """Hit/miss/eviction/refill counters (worker summaries report these)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "store_hits": self.store_hits,
+        }
 
     def svd(
         self, matrix: np.ndarray, backend: Union[str, Backend, None] = None

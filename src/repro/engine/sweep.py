@@ -268,6 +268,7 @@ def run_experiments(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Execute registered experiments and return ``{name: result}``.
 
@@ -278,6 +279,13 @@ def run_experiments(
     deduplicated.  ``backend`` scopes the execution backend every harness
     (and its fingerprint salting) runs under; ``None`` keeps the active
     default.
+
+    ``workers`` (default: ``$REPRO_WORKERS``, else 1) scales the run across
+    worker *processes* instead: the grids are partitioned into
+    fingerprint-hash shards, workers claim shards through store leases
+    (:mod:`repro.parallel`), and the results are assembled from the shared
+    store — byte-identical to a serial run.  Process parallelism subsumes the
+    thread pool (``parallel``/``max_workers`` are ignored with ``workers > 1``).
     """
     registry = experiment_registry()
     if names is None:
@@ -288,6 +296,19 @@ def run_experiments(
             raise KeyError(f"unknown experiments {unknown}; registered: {sorted(registry)}")
         selected = list(names)
     overrides = overrides or {}
+
+    from ..parallel import resolve_workers
+
+    # An embedded shard means the caller is one shard of a wider partition
+    # (``repro report --shard K/N``) — explicitly single-process work that a
+    # global $REPRO_WORKERS must not re-partition.
+    sharded = any(dict(overrides.get(name, {})).get("shard") for name in selected)
+    if not sharded and resolve_workers(workers) > 1:
+        from ..parallel import run_experiments_parallel
+
+        return run_experiments_parallel(
+            selected, overrides, workers=resolve_workers(workers), backend=backend
+        )
 
     def run_one(name: str) -> Any:
         return registry[name].run(**dict(overrides.get(name, {})))

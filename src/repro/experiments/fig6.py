@@ -181,12 +181,32 @@ def run_fig6(
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Union[Fig6Result, ShardStats]:
     """Compute every Fig. 6 panel (incrementally / sharded when a store is given).
 
     ``backend`` scopes the execution backend of the sweep; ``None`` keeps the
-    active default.
+    active default.  ``workers > 1`` (default ``$REPRO_WORKERS``) computes the
+    panels in worker processes with store-shard work stealing.
     """
+    from ..parallel import resolve_workers
+
+    if shard is None and resolve_workers(workers) > 1:
+        from ..parallel import run_experiment_parallel
+
+        return run_experiment_parallel(
+            "fig6",
+            {
+                "networks": tuple(networks),
+                "array_sizes": tuple(array_sizes),
+                "group_counts": tuple(group_counts),
+                "rank_divisors": tuple(rank_divisors),
+                "pruning_entries": tuple(pruning_entries),
+            },
+            store=store,
+            workers=resolve_workers(workers),
+            backend=backend,
+        )
     points = [
         (network, size, tuple(group_counts), tuple(rank_divisors), tuple(pruning_entries))
         for network in networks

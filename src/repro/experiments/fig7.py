@@ -143,8 +143,37 @@ def run_fig7(
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Union[Fig7Result, ShardStats]:
-    """Compute the Fig. 7 energy comparison (incremental / sharded with a store)."""
+    """Compute the Fig. 7 energy comparison (incremental / sharded with a store).
+
+    ``workers > 1`` (default ``$REPRO_WORKERS``) computes the bars in worker
+    processes with store-shard work stealing.
+    """
+    from ..parallel import resolve_workers
+
+    if shard is None and resolve_workers(workers) > 1:
+        from ..parallel import run_experiment_parallel
+
+        overrides = {
+            "networks": tuple(networks),
+            "array_sizes": tuple(array_sizes),
+            "groups": groups,
+            "rank_divisor": rank_divisor,
+            "pattern_entries": pattern_entries,
+        }
+        if model is not None:
+            # A custom energy model travels to the workers by pickle; the
+            # default stays None so every worker builds its own (identical)
+            # EnergyModel instead of shipping one around.
+            overrides["model"] = model
+        return run_experiment_parallel(
+            "fig7",
+            overrides,
+            store=store,
+            workers=resolve_workers(workers),
+            backend=backend,
+        )
     model = model if model is not None else EnergyModel()
     points = [
         (network, size, groups, rank_divisor, pattern_entries, model)

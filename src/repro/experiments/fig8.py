@@ -151,8 +151,31 @@ def run_fig8(
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Union[Fig8Result, ShardStats]:
-    """Compute the Fig. 8 comparison for one network (ResNet-20 in the paper)."""
+    """Compute the Fig. 8 comparison for one network (ResNet-20 in the paper).
+
+    ``workers > 1`` (default ``$REPRO_WORKERS``) computes the panels in worker
+    processes with store-shard work stealing.
+    """
+    from ..parallel import resolve_workers
+
+    if shard is None and resolve_workers(workers) > 1:
+        from ..parallel import run_experiment_parallel
+
+        return run_experiment_parallel(
+            "fig8",
+            {
+                "network": network,
+                "array_sizes": tuple(array_sizes),
+                "bits": tuple(bits),
+                "group_counts": tuple(group_counts),
+                "rank_divisors": tuple(rank_divisors),
+            },
+            store=store,
+            workers=resolve_workers(workers),
+            backend=backend,
+        )
     points = [
         (network, size, tuple(bits), tuple(group_counts), tuple(rank_divisors))
         for size in array_sizes

@@ -161,8 +161,29 @@ def run_fig9(
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Union[Fig9Result, ShardStats]:
-    """Compute the Fig. 9 comparison (incremental / sharded with a store)."""
+    """Compute the Fig. 9 comparison (incremental / sharded with a store).
+
+    ``workers > 1`` (default ``$REPRO_WORKERS``) computes the panels in worker
+    processes with store-shard work stealing.
+    """
+    from ..parallel import resolve_workers
+
+    if shard is None and resolve_workers(workers) > 1:
+        from ..parallel import run_experiment_parallel
+
+        return run_experiment_parallel(
+            "fig9",
+            {
+                "panels": tuple(tuple(panel) for panel in panels),
+                "group_counts": tuple(group_counts),
+                "rank_divisors": tuple(rank_divisors),
+            },
+            store=store,
+            workers=resolve_workers(workers),
+            backend=backend,
+        )
     points = [
         (network, size, tuple(group_counts), tuple(rank_divisors))
         for network, size in panels

@@ -275,6 +275,7 @@ def run_robustness(
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Union[RobustnessResult, ShardStats]:
     """Sweep scenario × mapping × network with batched Monte-Carlo trials.
 
@@ -282,7 +283,9 @@ def run_robustness(
     with ``shard`` only the owned cells are computed and a :class:`ShardStats`
     summary is returned.  ``backend`` scopes the execution backend of the
     Monte-Carlo kernels (and the store fingerprint salt); ``None`` keeps the
-    active default.
+    active default.  ``workers > 1`` (default ``$REPRO_WORKERS``) computes the
+    (network, scenario) cells in worker processes with store-shard work
+    stealing (:mod:`repro.parallel`).
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -291,6 +294,27 @@ def run_robustness(
     )
     for name in scenario_seq:
         get_scenario(name)  # fail fast on unknown scenario names
+    from ..parallel import resolve_workers
+
+    if shard is None and resolve_workers(workers) > 1:
+        from ..parallel import run_experiment_parallel
+
+        return run_experiment_parallel(
+            "robustness",
+            {
+                "networks": tuple(networks),
+                "scenarios": scenario_seq,
+                "trials": trials,
+                "array_size": array_size,
+                "batch": batch,
+                "rank_divisor": rank_divisor,
+                "groups": groups,
+                "seed": seed,
+            },
+            store=store,
+            workers=resolve_workers(workers),
+            backend=backend,
+        )
     points = [
         (network, scenario, array_size, trials, batch, rank_divisor, groups, seed)
         for network in networks

@@ -7,7 +7,9 @@ plain-text report it can emit a machine-readable JSON document
 (``--json FILE``) with every reproduced number, restrict the Fig. 6 array
 sweep (``--arrays 64 128``) and run the harnesses concurrently
 (``--jobs N``); the shared workload and decomposition caches keep the
-concurrent sweeps deduplicated.
+concurrent sweeps deduplicated.  ``--workers N`` (or ``$REPRO_WORKERS``)
+scales the sweep across worker *processes* with store-shard work stealing
+(:mod:`repro.parallel`); the report is byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -102,6 +104,7 @@ def run_all(
     robustness_trials: int = 8,
     store: Optional[ExperimentStore] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentSuite:
     """Execute every registered harness with the paper's default sweeps.
 
@@ -114,7 +117,16 @@ def run_all(
     fresh cell is persisted as it completes, so interrupted runs resume.
     ``backend`` scopes the execution backend of the whole suite (``None``
     keeps the active default).
+
+    ``workers`` (the CLI's global ``--workers``, default ``$REPRO_WORKERS``,
+    else 1) runs the suite's grid cells in worker *processes* with
+    store-shard work stealing (:mod:`repro.parallel`); the assembled suite is
+    byte-identical to a serial run.  Without a ``store`` the workers share an
+    ephemeral one for the duration of the run.
     """
+    from ..parallel import resolve_workers
+
+    process_parallel = resolve_workers(workers) > 1
     overrides = _suite_overrides(include_fig6_arrays, robustness_trials, store, None)
     # Attach (or drop) the store's second-level SVD cache before any SVD runs,
     # so the warm-up below spills/refills through it too — and a storeless
@@ -126,8 +138,9 @@ def run_all(
     with using_backend(backend):
         # Warm the shared workload cache (and its proxy calibration SVDs)
         # serially so concurrent harnesses read the caches instead of racing
-        # to fill them.
-        if parallel:
+        # to fill them.  Process workers warm their own copies (the first
+        # spills the SVDs through the shared store; siblings refill).
+        if parallel and not process_parallel:
             for network in ("resnet20", "wrn16_4"):
                 get_workload(network).proxy._calibration_curve()
         results = run_experiments(
@@ -135,6 +148,7 @@ def run_all(
             overrides=overrides,
             parallel=parallel,
             max_workers=max_workers,
+            workers=workers,
         )
     return ExperimentSuite(**results)
 
@@ -275,6 +289,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         "--backend", type=str, default=None,
         help="execution backend (default: $REPRO_BACKEND, else numpy64)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the sweep grid cells in N worker processes with store-shard "
+             "work stealing (default: $REPRO_WORKERS, else 1)",
+    )
     args = parser.parse_args(argv)
     store = open_store(args.store or None)
     if args.shard:
@@ -284,6 +303,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
             parser.error(
                 "--shard computes grid cells without assembling a report; "
                 "run the final un-sharded invocation to emit --json/--output"
+            )
+        if args.workers is not None and args.workers > 1:
+            parser.error(
+                "--shard is one slice of an externally-partitioned run; "
+                "use --workers without --shard for in-process partitioning"
             )
         stats = run_shard(
             parse_shard(args.shard),
@@ -303,6 +327,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         robustness_trials=args.trials,
         store=store,
         backend=args.backend,
+        workers=args.workers,
     )
     report = format_report(suite, include_plots=args.plots)
     if args.output:

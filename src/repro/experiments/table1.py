@@ -109,6 +109,7 @@ def run_table1(
     store: Optional[ExperimentStore] = None,
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Union[Table1Result, ShardStats]:
     """Reproduce Table I: sweep groups × rank divisors for both networks.
 
@@ -117,7 +118,26 @@ def run_table1(
     computed and a :class:`ShardStats` summary is returned.  ``backend``
     scopes the execution backend of the sweep (proxy SVDs and store
     fingerprint salting included); ``None`` keeps the active default.
+    ``workers > 1`` (default ``$REPRO_WORKERS``) computes the grid in worker
+    processes with store-shard work stealing (:mod:`repro.parallel`).
     """
+    from ..parallel import resolve_workers
+
+    if shard is None and resolve_workers(workers) > 1:
+        from ..parallel import run_experiment_parallel
+
+        return run_experiment_parallel(
+            "table1",
+            {
+                "networks": tuple(networks),
+                "array_sizes": tuple(array_sizes),
+                "group_counts": tuple(group_counts),
+                "rank_divisors": tuple(rank_divisors),
+            },
+            store=store,
+            workers=resolve_workers(workers),
+            backend=backend,
+        )
     points = [
         (network, groups, divisor, tuple(array_sizes))
         for network in networks

@@ -19,6 +19,13 @@ from .fingerprint import (
     experiment_fingerprint,
     valid_salts,
 )
+from .leases import (
+    DEFAULT_LEASE_TTL,
+    LEASE_TTL_ENV_VAR,
+    LeaseBoard,
+    LeaseInfo,
+    resolve_lease_ttl,
+)
 from .store import (
     STORE_ENV_VAR,
     STORE_SCHEMA_VERSION,
@@ -31,6 +38,11 @@ from .store import (
 
 __all__ = [
     "CODE_VERSION_SALT",
+    "DEFAULT_LEASE_TTL",
+    "LEASE_TTL_ENV_VAR",
+    "LeaseBoard",
+    "LeaseInfo",
+    "resolve_lease_ttl",
     "STORE_ENV_VAR",
     "STORE_SCHEMA_VERSION",
     "ArtifactInfo",

@@ -1,0 +1,288 @@
+"""Shard leases: crash-safe work claiming over the shared experiment store.
+
+A process-parallel sweep (:mod:`repro.parallel`) partitions its grid into
+``N`` fingerprint-hash shards and lets every worker process *claim* shards
+dynamically instead of being assigned a fixed slice — a work-stealing queue
+with the store directory as the only shared medium.  The coordination state
+lives under ``<store root>/leases/<namespace>/`` as two kinds of marker file
+per shard:
+
+``shard-K.lease``
+    Held by exactly one live worker.  Created atomically with
+    ``O_CREAT | O_EXCL`` (the filesystem arbitrates racing claimants: exactly
+    one ``open`` succeeds), carrying the owner id and an expiry timestamp.
+    A worker renews its lease between experiments; a lease whose expiry has
+    passed is *reclaimable* — some worker crashed or stalled mid-shard.
+``shard-K.done``
+    Permanent completion marker, written after every grid cell of the shard
+    has been persisted to the store.  Done markers survive the run, so a
+    crashed sweep rerun skips completed shards without recomputing anything
+    (the cells themselves are already content-addressed in the store).
+
+Correctness properties the test battery pins:
+
+* **At most one winner** — concurrent :meth:`LeaseBoard.claim` calls on one
+  shard never both succeed: fresh claims are arbitrated by ``O_EXCL``
+  creation, and expired-lease takeovers by an atomic ``os.rename`` (only one
+  renamer of the same source wins; the loser sees ``FileNotFoundError``)
+  followed by another ``O_EXCL`` creation.
+* **Expired leases are reclaimable** — a lease past its expiry (or an
+  unreadable, torn lease file older than the TTL, judged by mtime) can be
+  taken over by exactly one new claimant.
+* **Completion is monotonic** — once ``mark_done`` returns, every future
+  :meth:`claim` of that shard returns ``False``, across processes and reruns.
+
+Losing a lease race is never incorrect, merely redundant: cells are
+content-addressed and writes are atomic last-writer-wins, so two workers
+computing the same shard produce identical artifacts.  The lease protocol
+exists to make that duplication rare, not to make it unsafe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from .store import atomic_write_bytes
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "LEASE_TTL_ENV_VAR",
+    "LeaseInfo",
+    "LeaseBoard",
+    "resolve_lease_ttl",
+]
+
+#: How long a claimed shard stays protected without a renewal.  Must exceed
+#: the longest single experiment-shard computation (renewals happen between
+#: experiments), with slack for slow CI machines.
+DEFAULT_LEASE_TTL = 120.0
+
+#: Environment override for the lease TTL (seconds), e.g. a crash-recovery CI
+#: job that wants dead workers' shards stolen within seconds.
+LEASE_TTL_ENV_VAR = "REPRO_LEASE_TTL"
+
+_NAMESPACE_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def resolve_lease_ttl(ttl: Optional[float] = None) -> float:
+    """An explicit TTL, else ``$REPRO_LEASE_TTL``, else the default."""
+    if ttl is None:
+        env = os.environ.get(LEASE_TTL_ENV_VAR)
+        if not env:
+            return DEFAULT_LEASE_TTL
+        try:
+            ttl = float(env)
+        except ValueError as error:
+            raise ValueError(
+                f"${LEASE_TTL_ENV_VAR} must be a number of seconds, got {env!r}"
+            ) from error
+    ttl = float(ttl)
+    if ttl <= 0:
+        raise ValueError(f"lease TTL must be positive, got {ttl}")
+    return ttl
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """One decoded lease file."""
+
+    shard: int
+    owner: str
+    acquired: float
+    expires: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires
+
+
+class LeaseBoard:
+    """The lease + done markers of one sweep's shards, under a store root.
+
+    ``namespace`` scopes the board to one (experiment selection, overrides,
+    shard count, salt) plan — see :func:`repro.parallel.plan_namespace` — so
+    markers from a differently-configured sweep can never be mistaken for
+    this one's.  ``clock`` is injectable for deterministic expiry tests.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        namespace: str,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.ttl = resolve_lease_ttl(ttl)
+        self.clock = clock
+        self.namespace = _NAMESPACE_SANITIZER.sub("_", namespace)
+        self.directory = Path(root) / "leases" / self.namespace
+        self.claims = 0
+        self.steals = 0
+        self.lost_races = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def lease_path(self, shard: int) -> Path:
+        return self.directory / f"shard-{shard}.lease"
+
+    def done_path(self, shard: int) -> Path:
+        return self.directory / f"shard-{shard}.done"
+
+    # ------------------------------------------------------------------
+    # Claiming
+    # ------------------------------------------------------------------
+    def claim(self, shard: int, owner: str) -> bool:
+        """Try to take the shard's lease; True means this caller now owns it.
+
+        A completed shard is never claimable.  A live lease held by someone
+        else fails the claim; an expired one is taken over atomically (the
+        rename arbitration guarantees a single winner even when several
+        workers spot the expiry simultaneously).
+        """
+        if self.is_done(shard):
+            return False
+        path = self.lease_path(shard)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self._create_exclusive(path, shard, owner):
+            self.claims += 1
+            return True
+        holder = self.read(shard)
+        now = self.clock()
+        if holder is not None and not holder.expired(now):
+            return False
+        if holder is None and not self._torn_lease_expired(path, now):
+            # Unreadable lease younger than the TTL: a claimant between its
+            # O_EXCL create and its payload write.  Treat as held.
+            return False
+        # Takeover: atomically remove the expired lease.  os.rename of one
+        # source path succeeds in exactly one of any number of racing
+        # processes; the losers see FileNotFoundError and report failure.
+        stale = path.with_name(f"{path.name}.stale-{os.getpid()}-{os.urandom(4).hex()}")
+        try:
+            os.rename(path, stale)
+        except FileNotFoundError:
+            self.lost_races += 1
+            return False
+        try:
+            stale.unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        # The slot is vacant again; arbitration falls back to O_EXCL creation
+        # (a third claimant may legitimately slip in between).
+        if self._create_exclusive(path, shard, owner):
+            self.claims += 1
+            self.steals += 1
+            return True
+        self.lost_races += 1
+        return False
+
+    def renew(self, shard: int, owner: str) -> bool:
+        """Extend the lease's expiry; False when the caller no longer owns it."""
+        holder = self.read(shard)
+        if holder is None or holder.owner != owner:
+            return False
+        self._write_atomic(self.lease_path(shard), self._payload(shard, owner))
+        return True
+
+    def release(self, shard: int, owner: str) -> None:
+        """Give the lease back (only if still owned by the caller)."""
+        holder = self.read(shard)
+        if holder is not None and holder.owner == owner:
+            try:
+                self.lease_path(shard).unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def mark_done(self, shard: int, owner: str) -> None:
+        """Persist the shard's completion marker and release the lease."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"shard": shard, "owner": owner, "completed": self.clock()},
+            separators=(",", ":"),
+        )
+        self._write_atomic(self.done_path(shard), payload)
+        self.release(shard, owner)
+
+    def is_done(self, shard: int) -> bool:
+        return self.done_path(shard).exists()
+
+    def pending(self, nshards: int) -> List[int]:
+        """Shards (1-based) whose completion marker is absent."""
+        return [shard for shard in range(1, nshards + 1) if not self.is_done(shard)]
+
+    def all_done(self, nshards: int) -> bool:
+        return not self.pending(nshards)
+
+    # ------------------------------------------------------------------
+    # Inspection / maintenance
+    # ------------------------------------------------------------------
+    def read(self, shard: int) -> Optional[LeaseInfo]:
+        """The decoded live lease of a shard, or None (vacant or torn)."""
+        try:
+            raw = self.lease_path(shard).read_text(encoding="utf-8")
+            data = json.loads(raw)
+            return LeaseInfo(
+                shard=int(data["shard"]),
+                owner=str(data["owner"]),
+                acquired=float(data["acquired"]),
+                expires=float(data["expires"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def purge(self) -> None:
+        """Remove every marker of this namespace (after a successful merge)."""
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _payload(self, shard: int, owner: str) -> str:
+        now = self.clock()
+        return json.dumps(
+            {"shard": shard, "owner": owner, "acquired": now, "expires": now + self.ttl},
+            separators=(",", ":"),
+        )
+
+    def _create_exclusive(self, path: Path, shard: int, owner: str) -> bool:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self._payload(shard, owner))
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - disk failure mid-claim
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False
+        return True
+
+    def _torn_lease_expired(self, path: Path, now: float) -> bool:
+        """Expiry of an unreadable lease, judged by its mtime plus the TTL.
+
+        Covers a claimant that died between the exclusive create and the
+        payload write: the empty/partial file has no embedded expiry, so its
+        modification time stands in.
+        """
+        try:
+            return now >= path.stat().st_mtime + self.ttl
+        except OSError:
+            return False
+
+    def _write_atomic(self, path: Path, payload: str) -> None:
+        atomic_write_bytes(path, payload.encode("utf-8"))

@@ -52,6 +52,7 @@ __all__ = [
     "ArtifactInfo",
     "GcStats",
     "ExperimentStore",
+    "atomic_write_bytes",
     "default_store_root",
     "open_store",
 ]
@@ -102,6 +103,31 @@ class GcStats:
 def _payload_checksum(payload: Any) -> str:
     data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.blake2b(data.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Publish ``data`` at ``path`` atomically (tmp + fsync + rename).
+
+    The one durability recipe every store-adjacent writer shares (artifacts
+    here, lease/done markers in :mod:`repro.store.leases`): a same-directory
+    uniquely-named temporary file, fsynced, then ``os.replace``-d into place,
+    so racing writers leave exactly one valid file and a reader never
+    observes a partial write under the final name.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{os.urandom(4).hex()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 
 class ExperimentStore:
@@ -330,12 +356,14 @@ class ExperimentStore:
     def clear(self) -> int:
         """Remove every artifact; returns how many files were deleted.
 
-        Only the store's own ``v<digits>`` layout trees are removed — never
-        the root directory itself, which the user may share with other data.
+        Only the store's own ``v<digits>`` layout trees and the ``leases``
+        coordination tree (:mod:`repro.store.leases`) are removed — never the
+        root directory itself, which the user may share with other data.
         """
         removed = sum(1 for _ in self._iter_artifacts())
         for child in self._version_trees():
             shutil.rmtree(child, ignore_errors=True)
+        shutil.rmtree(self.root / "leases", ignore_errors=True)
         return removed
 
     def stats(self, entries: Optional[List[ArtifactInfo]] = None) -> Dict[str, Tuple[int, int]]:
@@ -365,20 +393,7 @@ class ExperimentStore:
         return target.with_name(f"{target.name}.tmp-{os.getpid()}-{token}")
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self._tmp_path(path)
-        try:
-            with open(tmp, "wb") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
+        atomic_write_bytes(path, data)
 
     def _drop_corrupt(self, path: Path) -> None:
         self.corrupt_dropped += 1

@@ -59,3 +59,40 @@ class TestBars:
     def test_zero_values_handled(self):
         text = ascii_bars({"a": 0.0, "b": 0.0})
         assert "0.000" in text
+
+
+class TestScatterEdgeCases:
+    def test_degenerate_spans_use_unit_fallback(self):
+        """All points identical: both spans are zero and must not divide by zero."""
+        text = ascii_scatter({"a": [(3.0, 7.0), (3.0, 7.0)]})
+        assert "top=7.00, bottom=7.00" in text
+        assert "left=3, right=3" in text
+
+    def test_markers_cycle_past_the_palette(self):
+        series = {f"s{i}": [(i, i)] for i in range(10)}
+        text = ascii_scatter(series)
+        legend = text.splitlines()[0]
+        # Ninth and tenth series reuse the first two markers.
+        assert "o=s0" in legend and "o=s8" in legend and "x=s9" in legend
+
+    def test_later_series_overwrite_overlapping_points(self):
+        text = ascii_scatter({"first": [(0, 0), (1, 1)], "second": [(0, 0)]})
+        grid = [line for line in text.splitlines() if line.startswith("|")]
+        bottom_left = grid[-1][1]
+        assert bottom_left == "x", "the last-drawn series wins the shared cell"
+
+
+class TestBarsEdgeCases:
+    def test_custom_value_format(self):
+        text = ascii_bars({"a": 0.125}, value_format="{:.1%}")
+        assert "12.5%" in text
+
+    def test_non_positive_maximum_normalizes_to_unit(self):
+        text = ascii_bars({"a": -1.0, "b": -2.0})
+        assert "-1.000" in text and "-2.000" in text
+        assert "#" not in text  # negative bars render empty, not inverted
+
+    def test_labels_are_aligned(self):
+        text = ascii_bars({"short": 1.0, "a much longer label": 0.5})
+        positions = {line.index("|") for line in text.splitlines()}
+        assert len(positions) == 1

@@ -66,3 +66,31 @@ class TestAugmentationPipeline:
         a = Augmentation(seed=5)(images)
         b = Augmentation(seed=5)(images)
         np.testing.assert_allclose(a, b)
+
+
+class TestDefaultRngPaths:
+    """The rng=None branches construct their own generator (coverage backfill)."""
+
+    def test_flip_without_rng(self):
+        images = np.arange(2 * 1 * 2 * 2, dtype=float).reshape(2, 1, 2, 2)
+        flipped = random_horizontal_flip(images)  # default rng
+        assert flipped.shape == images.shape
+        for index in range(2):
+            original, out = images[index], flipped[index]
+            assert np.array_equal(out, original) or np.array_equal(out, original[:, :, ::-1])
+
+    def test_crop_without_rng(self):
+        images = np.random.default_rng(3).standard_normal((2, 1, 6, 6))
+        out = random_crop(images, padding=1)  # default rng
+        assert out.shape == images.shape
+
+    def test_probability_boundaries_accepted(self):
+        images = np.zeros((1, 1, 2, 2))
+        random_horizontal_flip(images, probability=0.0)
+        random_horizontal_flip(images, probability=1.0)
+
+    def test_augmentation_streams_advance(self):
+        """One Augmentation's rng is a single stream: repeated calls differ."""
+        images = np.random.default_rng(0).standard_normal((4, 1, 8, 8))
+        augment = Augmentation(crop_padding=2, flip_probability=0.5, seed=9)
+        assert not np.allclose(augment(images), augment(images))

@@ -142,3 +142,47 @@ class TestStoreSpill:
         cache.detach_store()
         cache.svd(rng.standard_normal((4, 4)))
         assert store.puts == 0
+
+
+class TestCacheIntrospection:
+    """Counters + attachment state the parallel worker summaries report."""
+
+    def test_counters_mirror_the_attributes(self, tmp_path, rng):
+        store = ExperimentStore(tmp_path / "store")
+        cache = DecompositionCache(maxsize=1)
+        cache.attach_store(store)
+        first, second = matrices(2, rng)
+        cache.svd(first)
+        cache.svd(first)
+        cache.svd(second)   # evicts first
+        cache.svd(first)    # refills from the store
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 2,
+            "evictions": 2,
+            "store_hits": 1,
+        }
+
+    def test_store_attached_property(self, tmp_path):
+        cache = DecompositionCache()
+        assert not cache.store_attached
+        cache.attach_store(ExperimentStore(tmp_path / "store"))
+        assert cache.store_attached
+        cache.detach_store()
+        assert not cache.store_attached
+
+    def test_execution_context_attach_store_spills_its_cache(self, tmp_path, rng):
+        from repro.engine.context import ExecutionContext
+        from repro.mapping.geometry import ArrayDims
+
+        store = ExperimentStore(tmp_path / "store")
+        context = ExecutionContext(
+            array=ArrayDims.square(32), decompositions=DecompositionCache()
+        )
+        assert context.attach_store(store) is context
+        context.lowrank_plan(rng.standard_normal((12, 9)), rank=3)
+        assert store.puts > 0, "the context's private cache must spill through the store"
+        puts = store.puts
+        assert context.detach_store() is context
+        context.lowrank_plan(rng.standard_normal((8, 8)), rank=2)
+        assert store.puts == puts

@@ -118,7 +118,9 @@ class TestRunnerIntegration:
         """`--arrays` reaches the Fig. 6 harness as its array_sizes override."""
         captured = {}
 
-        def fake_run_experiments(names=None, overrides=None, parallel=False, max_workers=None):
+        def fake_run_experiments(
+            names=None, overrides=None, parallel=False, max_workers=None, workers=None
+        ):
             captured.update(overrides or {})
             return {name: None for name in names}
 

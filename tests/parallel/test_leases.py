@@ -1,0 +1,339 @@
+"""Lease-protocol correctness: single-winner claims, expiry, reclamation.
+
+The invariants the process-parallel executor stands on (see
+``src/repro/store/leases.py``):
+
+* concurrent claimants of one shard never both win — neither on a vacant
+  slot, nor when racing to take over an expired lease;
+* an expired (or torn) lease is reclaimable by exactly one new claimant;
+* completion markers are permanent: a done shard is never claimable again.
+
+The hypothesis suite drives randomized operation schedules against a fake
+clock (deterministic expiry); the thread and fork batteries race *real*
+claimants through the same filesystem arbitration the production workers use.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.leases import (
+    DEFAULT_LEASE_TTL,
+    LEASE_TTL_ENV_VAR,
+    LeaseBoard,
+    resolve_lease_ttl,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def board(tmp_path, clock):
+    return LeaseBoard(tmp_path / "store", "unit", ttl=30.0, clock=clock)
+
+
+class TestResolveLeaseTtl:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(LEASE_TTL_ENV_VAR, "5")
+        assert resolve_lease_ttl(7.5) == 7.5
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(LEASE_TTL_ENV_VAR, "5")
+        assert resolve_lease_ttl() == 5.0
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(LEASE_TTL_ENV_VAR, raising=False)
+        assert resolve_lease_ttl() == DEFAULT_LEASE_TTL
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(LEASE_TTL_ENV_VAR, "soon")
+        with pytest.raises(ValueError, match="REPRO_LEASE_TTL"):
+            resolve_lease_ttl()
+
+    @pytest.mark.parametrize("ttl", [0, -1.0])
+    def test_non_positive_rejected(self, ttl):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_lease_ttl(ttl)
+
+
+class TestClaimLifecycle:
+    def test_vacant_shard_is_claimable_once(self, board):
+        assert board.claim(1, "alice")
+        assert not board.claim(1, "bob")
+        info = board.read(1)
+        assert info.owner == "alice" and info.shard == 1
+
+    def test_release_makes_the_shard_claimable_again(self, board):
+        assert board.claim(1, "alice")
+        board.release(1, "alice")
+        assert board.claim(1, "bob")
+
+    def test_release_by_non_owner_is_a_noop(self, board):
+        assert board.claim(1, "alice")
+        board.release(1, "bob")
+        assert board.read(1).owner == "alice"
+
+    def test_live_lease_blocks_until_expiry(self, board, clock):
+        assert board.claim(2, "alice")
+        clock.advance(29.9)
+        assert not board.claim(2, "bob")
+        clock.advance(0.2)
+        assert board.claim(2, "bob")
+        assert board.read(2).owner == "bob"
+        assert board.steals == 1
+
+    def test_renew_extends_the_expiry(self, board, clock):
+        assert board.claim(3, "alice")
+        clock.advance(25.0)
+        assert board.renew(3, "alice")
+        clock.advance(25.0)  # 50s after claim, 25s after renewal
+        assert not board.claim(3, "bob")
+
+    def test_renew_fails_after_losing_the_lease(self, board, clock):
+        assert board.claim(4, "alice")
+        clock.advance(31.0)
+        assert board.claim(4, "bob")
+        assert not board.renew(4, "alice")
+
+    def test_renew_on_vacant_shard_fails(self, board):
+        assert not board.renew(9, "alice")
+
+    def test_done_shard_is_never_claimable(self, board, clock):
+        assert board.claim(5, "alice")
+        board.mark_done(5, "alice")
+        assert board.is_done(5)
+        assert not board.claim(5, "bob")
+        clock.advance(1e6)
+        assert not board.claim(5, "bob")
+        # mark_done released the lease file; only the done marker remains.
+        assert board.read(5) is None
+
+    def test_pending_and_all_done(self, board):
+        assert board.pending(3) == [1, 2, 3]
+        board.claim(2, "alice")
+        board.mark_done(2, "alice")
+        assert board.pending(3) == [1, 3]
+        for shard in (1, 3):
+            board.claim(shard, "alice")
+            board.mark_done(shard, "alice")
+        assert board.all_done(3)
+
+    def test_purge_removes_all_markers(self, board):
+        board.claim(1, "alice")
+        board.mark_done(1, "alice")
+        board.purge()
+        assert not board.directory.exists()
+        assert not board.is_done(1)
+
+    def test_torn_lease_blocks_until_mtime_expiry(self, board, clock, tmp_path):
+        """A claimant that died between create and payload write."""
+        path = board.lease_path(7)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("")  # unreadable: no embedded expiry
+        assert not board.claim(7, "bob")
+        # Age the file past the TTL (the mtime stands in for the expiry).
+        old = clock() - 31.0
+        os.utime(path, (old, old))
+        clock.now = 1000.0
+        assert board.claim(7, "bob")
+        assert board.read(7).owner == "bob"
+
+    def test_lease_file_is_valid_json_with_expiry(self, board, clock):
+        board.claim(1, "alice")
+        data = json.loads(board.lease_path(1).read_text())
+        assert data["expires"] == pytest.approx(clock() + 30.0)
+        assert data["owner"] == "alice"
+
+    def test_namespaces_are_isolated(self, tmp_path, clock):
+        one = LeaseBoard(tmp_path / "store", "plan-a", ttl=30.0, clock=clock)
+        two = LeaseBoard(tmp_path / "store", "plan-b", ttl=30.0, clock=clock)
+        assert one.claim(1, "alice")
+        assert two.claim(1, "bob")
+        one.mark_done(1, "alice")
+        assert not two.is_done(1)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: randomized schedules against the single-winner model
+# ----------------------------------------------------------------------
+OWNERS = ("w0", "w1", "w2", "w3")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=st.lists(
+        st.one_of(
+            st.tuples(st.just("claim"), st.sampled_from(OWNERS)),
+            st.tuples(st.just("release"), st.sampled_from(OWNERS)),
+            st.tuples(st.just("renew"), st.sampled_from(OWNERS)),
+            st.tuples(st.just("advance"), st.floats(min_value=0.0, max_value=25.0)),
+        ),
+        max_size=40,
+    )
+)
+def test_schedules_never_admit_two_live_owners(tmp_path_factory, steps):
+    """Model-based check: whatever the schedule, at most one claim is live.
+
+    The model tracks who must own the lease; claim/renew/release results must
+    match it exactly, including expiry-driven ownership loss.
+    """
+    root = tmp_path_factory.mktemp("hyp")
+    clock = FakeClock()
+    board = LeaseBoard(root / "store", "hyp", ttl=10.0, clock=clock)
+    owner_of_record = None
+    expiry = None
+    for action, value in steps:
+        expired = expiry is not None and clock() >= expiry
+        if action == "advance":
+            clock.advance(value)
+        elif action == "claim":
+            won = board.claim(1, value)
+            if owner_of_record is None or expired:
+                assert won, "a vacant/expired slot must be claimable"
+                owner_of_record, expiry = value, clock() + 10.0
+            elif value == owner_of_record:
+                # Re-claiming one's own live lease fails (it is held).
+                assert not won
+            else:
+                assert not won, "a live lease must never be double-claimed"
+        elif action == "renew":
+            renewed = board.renew(1, value)
+            if owner_of_record == value and not expired:
+                assert renewed
+                expiry = clock() + 10.0
+            elif owner_of_record != value:
+                assert not renewed
+            # An expired-but-unstolen lease may still renew (the owner beat
+            # the thieves to it) — both outcomes are legal; trust the board.
+            elif renewed:
+                expiry = clock() + 10.0
+        elif action == "release":
+            board.release(1, value)
+            if owner_of_record == value:
+                owner_of_record, expiry = None, None
+
+
+@settings(max_examples=15, deadline=None)
+@given(claimants=st.integers(min_value=2, max_value=8), expired=st.booleans())
+def test_concurrent_claimants_never_both_win(tmp_path_factory, claimants, expired):
+    """Racing threads — through the real filesystem arbitration — yield one winner.
+
+    ``expired=True`` pre-seeds the shard with a dead worker's expired lease,
+    so the race is over the takeover path (rename arbitration) rather than
+    the vacant path (O_EXCL arbitration); both must admit exactly one winner.
+    """
+    root = tmp_path_factory.mktemp("race")
+    clock = FakeClock()
+    board = LeaseBoard(root / "store", "race", ttl=10.0, clock=clock)
+    if expired:
+        assert board.claim(1, "dead-worker")
+        clock.advance(11.0)
+    with ThreadPoolExecutor(max_workers=claimants) as pool:
+        wins = list(pool.map(lambda i: board.claim(1, f"claimant-{i}"), range(claimants)))
+    assert sum(wins) == 1
+    winner = board.read(1)
+    assert winner is not None and winner.owner.startswith("claimant-")
+
+
+# ----------------------------------------------------------------------
+# Real multi-process races (the production arbitration end to end)
+# ----------------------------------------------------------------------
+def _claim_once(root: str, shard: int, owner: str, barrier, results) -> None:
+    board = LeaseBoard(root, "mp", ttl=5.0)
+    barrier.wait()
+    results.put((owner, board.claim(shard, owner)))
+
+
+@pytest.fixture
+def mp_context():
+    # fork keeps the children on the test process's sys.path (src layout).
+    return multiprocessing.get_context("fork")
+
+
+class TestMultiProcessClaims:
+    @pytest.mark.parametrize("processes", [2, 4])
+    def test_exactly_one_process_wins_a_vacant_shard(self, tmp_path, mp_context, processes):
+        barrier = mp_context.Barrier(processes)
+        results = mp_context.Queue()
+        workers = [
+            mp_context.Process(
+                target=_claim_once,
+                args=(str(tmp_path / "store"), 1, f"proc-{index}", barrier, results),
+            )
+            for index in range(processes)
+        ]
+        for proc in workers:
+            proc.start()
+        outcomes = [results.get(timeout=60) for _ in workers]
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        assert sum(won for _, won in outcomes) == 1
+        board = LeaseBoard(tmp_path / "store", "mp", ttl=5.0)
+        winner = board.read(1)
+        assert winner is not None
+        assert (winner.owner, True) in outcomes
+
+    def test_expired_lease_reclaimed_by_exactly_one_process(self, tmp_path, mp_context):
+        clock = FakeClock()
+        seed = LeaseBoard(tmp_path / "store", "mp", ttl=5.0, clock=clock)
+        assert seed.claim(1, "crashed-worker")
+        # Rewind the lease so the children (on the real clock) see it expired.
+        path = seed.lease_path(1)
+        stale = json.loads(path.read_text())
+        stale["expires"] = 0.0
+        path.write_text(json.dumps(stale))
+
+        barrier = mp_context.Barrier(3)
+        results = mp_context.Queue()
+        workers = [
+            mp_context.Process(
+                target=_claim_once,
+                args=(str(tmp_path / "store"), 1, f"thief-{index}", barrier, results),
+            )
+            for index in range(3)
+        ]
+        for proc in workers:
+            proc.start()
+        outcomes = [results.get(timeout=60) for _ in workers]
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        assert sum(won for _, won in outcomes) == 1
+        new_owner = LeaseBoard(tmp_path / "store", "mp", ttl=5.0).read(1)
+        assert new_owner.owner.startswith("thief-")
+
+
+class TestStoreIntegration:
+    def test_store_clear_removes_lease_state(self, tmp_path):
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path / "store")
+        store.put("k", "ab" * 16, {"v": 1})
+        board = LeaseBoard(store.root, "plan", ttl=30.0)
+        board.claim(1, "alice")
+        board.mark_done(2, "alice")
+        store.clear()
+        assert not (store.root / "leases").exists()
+        assert store.get("k", "ab" * 16) is None

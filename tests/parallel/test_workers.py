@@ -1,0 +1,346 @@
+"""Process-parallel sweep execution: equivalence, accounting, crash recovery.
+
+The headline contract: ``--workers N`` produces output byte-identical to
+``--workers 1`` (the workers only *compute cells into the store*; assembly is
+the ordinary warm path), resumes for free from a partially-warm store, and
+survives worker death through lease expiry + work stealing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.cache import default_decomposition_cache
+from repro.engine.sweep import run_experiments
+from repro.experiments.runner import SUITE_EXPERIMENTS, run_all, suite_to_json
+from repro.parallel import (
+    WORKERS_ENV_VAR,
+    WorkerStats,
+    _scan_order,
+    default_shard_count,
+    format_worker_summary,
+    plan_namespace,
+    resolve_workers,
+    run_cells_parallel,
+    run_experiments_parallel,
+)
+from repro.store import ExperimentStore, LeaseBoard
+
+RESTRICTED_OVERRIDES = {"fig6": {"array_sizes": (32,)}, "robustness": {"trials": 2}}
+
+
+@pytest.fixture(autouse=True)
+def detach_store_after():
+    yield
+    default_decomposition_cache.detach_store()
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "8")
+        assert resolve_workers(2) == 2
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert resolve_workers() == 3
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    @pytest.mark.parametrize("count", [0, -2])
+    def test_non_positive_rejected(self, count):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(count)
+
+
+class TestPlanShape:
+    def test_shard_count_oversubscribes_workers(self):
+        assert default_shard_count(4) > 4
+        assert default_shard_count(1) >= 1
+
+    def test_scan_order_is_a_permutation_with_distinct_starts(self):
+        orders = [_scan_order(8, worker) for worker in range(3)]
+        for order in orders:
+            assert sorted(order) == list(range(1, 9))
+        assert len({order[0] for order in orders}) > 1
+
+    def test_namespace_is_stable_for_identical_plans(self):
+        a = plan_namespace(["table1"], {"table1": {"networks": ("resnet20",)}}, 8)
+        b = plan_namespace(["table1"], {"table1": {"networks": ("resnet20",)}}, 8)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            (["table1"], {"table1": {"networks": ("wrn16_4",)}}, 8, None),
+            (["fig7"], {}, 8, None),
+            (["table1"], {"table1": {"networks": ("resnet20",)}}, 4, None),
+            (["table1"], {"table1": {"networks": ("resnet20",)}}, 8, "numpy32"),
+        ],
+    )
+    def test_namespace_distinguishes_plans(self, other):
+        base = plan_namespace(["table1"], {"table1": {"networks": ("resnet20",)}}, 8)
+        assert plan_namespace(*other) != base
+
+    def test_namespace_accepts_non_canonical_override_values(self):
+        """A pickled stand-in keeps e.g. a custom EnergyModel fingerprintable."""
+        from repro.imc.energy import EnergyModel
+
+        first = plan_namespace(["fig7"], {"fig7": {"model": EnergyModel()}}, 8)
+        second = plan_namespace(["fig7"], {"fig7": {"model": EnergyModel()}}, 8)
+        bare = plan_namespace(["fig7"], {}, 8)
+        assert first == second, "identical models must resolve to one namespace"
+        assert first != bare
+
+    def test_worker_summary_lists_totals(self):
+        stats = [
+            WorkerStats(worker_id=0, shards=[1, 3], stolen=1, computed=5, resumed=2),
+            WorkerStats(worker_id=1, shards=[2], computed=4),
+        ]
+        text = format_worker_summary(stats)
+        assert "worker 0" in text and "stolen 1" in text
+        assert "workers total: 3 shards, computed 9, resumed 2" in text
+
+
+class TestGuards:
+    def test_embedded_shard_override_rejected(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="shard"):
+            run_experiments_parallel(
+                ["table1"], {"table1": {"shard": (1, 2)}}, store=store, workers=2
+            )
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            run_experiments_parallel(["nope"], {}, workers=2)
+
+    def test_run_experiments_ignores_workers_for_sharded_overrides(self, tmp_path, monkeypatch):
+        """$REPRO_WORKERS must not re-partition an explicit --shard slice."""
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        store = ExperimentStore(tmp_path / "store")
+        results = run_experiments(
+            names=["fig7"],
+            overrides={"fig7": {"store": store, "shard": (1, 2), "array_sizes": (32,)}},
+        )
+        # A ShardStats summary, not an assembled figure: the serial shard path ran.
+        assert results["fig7"].shard == (1, 2)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """The restricted suite, serial and storeless — the byte-identity oracle."""
+    suite = run_all(include_fig6_arrays=(32,), robustness_trials=2)
+    return json.dumps(suite_to_json(suite))
+
+
+@pytest.fixture(scope="module")
+def parallel_cells(tmp_path_factory):
+    """One two-worker cell-computation pass into a fresh store."""
+    root = tmp_path_factory.mktemp("parallel") / "store"
+    store = ExperimentStore(root)
+    stats = run_cells_parallel(
+        SUITE_EXPERIMENTS, RESTRICTED_OVERRIDES, store, workers=2, nshards=6
+    )
+    return store, stats
+
+
+class TestParallelExecution:
+    def test_every_cell_computed_exactly_once_cold(self, parallel_cells):
+        store, stats = parallel_cells
+        assert sum(len(stat.shards) for stat in stats) == 6
+        assert sum(stat.computed for stat in stats) > 0
+        assert sum(stat.resumed for stat in stats) == 0
+        assert store.path_for("svd", "x").parent.parent.exists(), "SVDs must spill"
+
+    def test_leases_are_purged_after_success(self, parallel_cells):
+        store, _ = parallel_cells
+        assert not list((store.root / "leases").glob("*"))
+
+    def test_warm_assembly_is_byte_identical_to_serial(
+        self, parallel_cells, serial_reference
+    ):
+        store, _ = parallel_cells
+        results = run_experiments_parallel(
+            SUITE_EXPERIMENTS, RESTRICTED_OVERRIDES, store=store, workers=2
+        )
+        suite = run_all(
+            include_fig6_arrays=(32,), robustness_trials=2, store=store, workers=1
+        )
+        assert json.dumps(suite_to_json(suite)) == serial_reference
+        assert set(results) == set(SUITE_EXPERIMENTS)
+
+    def test_second_parallel_run_resumes_everything(self, parallel_cells):
+        store, _ = parallel_cells
+        stats = run_cells_parallel(
+            SUITE_EXPERIMENTS, RESTRICTED_OVERRIDES, store, workers=2, nshards=6
+        )
+        assert sum(stat.computed for stat in stats) == 0
+        assert sum(stat.resumed for stat in stats) > 0
+
+    def test_ephemeral_store_run_matches_serial(self, serial_reference):
+        suite = run_all(include_fig6_arrays=(32,), robustness_trials=2, workers=2)
+        assert json.dumps(suite_to_json(suite)) == serial_reference
+
+
+class TestBackendPinning:
+    def test_cli_scoped_backend_reaches_the_workers(self, tmp_path, capsys):
+        """`--backend numpy32 --workers 2` must compute cells under numpy32.
+
+        The CLI installs its backend as an ambient using_backend scope and
+        passes backend=None downstream; scopes do not cross process
+        boundaries, so the executor pins the *active* backend name into the
+        worker specs.  Regression: unpinned workers computed (and salted)
+        every cell under the default backend, and the numpy32 assembly pass
+        missed all of them.
+        """
+        from repro.cli import main
+
+        store_root = tmp_path / "store"
+        assert main([
+            "--store", str(store_root), "--backend", "numpy32",
+            "report", "--arrays", "32", "--trials", "2", "--workers", "2",
+        ]) == 0
+        capsys.readouterr()
+        wrappers = [
+            json.loads(path.read_text())
+            for path in store_root.rglob("*.json")
+            if "svd" not in str(path)
+        ]
+        assert wrappers, "the workers must have materialized grid cells"
+        assert all(w["salt"].endswith("+float32") for w in wrappers), (
+            "every cell must carry the numpy32 precision salt"
+        )
+
+    def test_env_workers_do_not_reject_an_explicit_shard(self, tmp_path, capsys, monkeypatch):
+        """A fleet-wide $REPRO_WORKERS default must not break --shard K/N."""
+        from repro.cli import main
+
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        assert main([
+            "--store", str(tmp_path / "store"),
+            "report", "--arrays", "32", "--trials", "2", "--shard", "1/2",
+        ]) == 0
+        assert "shard 1/2" in capsys.readouterr().out
+
+    def test_ephemeral_run_restores_the_callers_spill_store(self, tmp_path):
+        """run_fig7(workers=2) without a store must not clobber an attached one."""
+        from repro.experiments.fig7 import run_fig7
+
+        mine = ExperimentStore(tmp_path / "mine")
+        default_decomposition_cache.attach_store(mine)
+        run_fig7(array_sizes=(32,), workers=2)
+        assert default_decomposition_cache._store is mine
+
+
+class TestCrashRecovery:
+    def test_expired_lease_of_a_dead_worker_is_stolen_and_completed(self, tmp_path):
+        """A lease with no live owner must not wedge the sweep.
+
+        Simulates a worker that died mid-shard: its lease exists, is expired,
+        and its shard has no completion marker.  A fresh single-worker run
+        must steal the shard, compute the missing cells, and finish.
+        """
+        store = ExperimentStore(tmp_path / "store")
+        names = ["fig7"]
+        overrides = {"fig7": {"array_sizes": (32, 64)}}
+        nshards = 4
+        # run_cells_parallel pins the unresolved backend to the active one
+        # before deriving the namespace; mirror that here.
+        namespace = plan_namespace(names, overrides, nshards, "numpy64")
+        board = LeaseBoard(store.root, namespace, ttl=30.0, clock=lambda: 0.0)
+        for shard in range(1, nshards + 1):
+            assert board.claim(shard, "dead-worker")  # all expired on the real clock
+
+        stats = run_cells_parallel(
+            names, overrides, store, workers=1, nshards=nshards, lease_ttl=30.0
+        )
+        assert sum(stat.stolen for stat in stats) == nshards
+        assert sum(len(stat.shards) for stat in stats) == nshards
+
+    def test_killed_worker_run_recovers_end_to_end(self, tmp_path):
+        """SIGKILL one worker of a live CLI run; the report must still emerge.
+
+        Either the surviving worker steals the dead worker's shards after the
+        (shortened) lease TTL and the first invocation completes, or the
+        first invocation fails and the rerun resumes from the completion
+        markers + store — both paths must end in a report byte-identical to
+        the serial reference.
+        """
+        repo_root = Path(__file__).resolve().parents[2]
+        env = {
+            **os.environ,
+            "PYTHONPATH": str(repo_root / "src"),
+            "REPRO_LEASE_TTL": "3",
+        }
+        env.pop(WORKERS_ENV_VAR, None)
+        base = [
+            sys.executable, "-m", "repro", "--store", str(tmp_path / "store"),
+            "report", "--arrays", "32", "--trials", "2",
+        ]
+        reference = tmp_path / "reference.json"
+        subprocess.run(
+            [*base, "--json", str(reference), "--workers", "1"],
+            check=True, env=env, cwd=repo_root, capture_output=True,
+        )
+        subprocess.run(
+            ["rm", "-rf", str(tmp_path / "store")], check=True
+        )
+
+        target = tmp_path / "parallel.json"
+        victim_run = subprocess.Popen(
+            [*base, "--json", str(target), "--workers", "2"],
+            env=env, cwd=repo_root,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        victim = self._wait_for_spawned_worker(victim_run.pid, timeout=60.0)
+        if victim is not None:
+            os.kill(victim, signal.SIGKILL)
+        first_rc = victim_run.wait(timeout=300)
+
+        if first_rc != 0 or not target.exists():
+            rerun = subprocess.run(
+                [*base, "--json", str(target), "--workers", "2"],
+                env=env, cwd=repo_root, capture_output=True,
+            )
+            assert rerun.returncode == 0, rerun.stderr.decode()
+        assert target.read_bytes() == reference.read_bytes()
+
+    @staticmethod
+    def _wait_for_spawned_worker(parent_pid: int, timeout: float):
+        """The pid of a spawned worker child of ``parent_pid``, or None.
+
+        Identified by the multiprocessing spawn bootstrap in the command line
+        (the resource tracker is explicitly excluded — killing it would not
+        exercise lease recovery).
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for entry in Path("/proc").iterdir():
+                if not entry.name.isdigit():
+                    continue
+                try:
+                    stat = (entry / "stat").read_text()
+                    ppid = int(stat.rsplit(")", 1)[1].split()[1])
+                    if ppid != parent_pid:
+                        continue
+                    cmdline = (entry / "cmdline").read_bytes().replace(b"\0", b" ")
+                except (OSError, ValueError, IndexError):
+                    continue
+                if b"spawn_main" in cmdline and b"resource_tracker" not in cmdline:
+                    return int(entry.name)
+            time.sleep(0.05)
+        return None

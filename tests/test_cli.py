@@ -200,3 +200,33 @@ class TestStoreCli:
             } == mtimes
         finally:
             default_decomposition_cache.detach_store()
+
+
+class TestWorkersCli:
+    """The global --workers flag: validation, placement, shard interplay."""
+
+    def test_workers_accepted_globally_and_after_subcommand(self):
+        parser = build_parser()
+        assert parser.parse_args(["--workers", "4", "report"]).workers == 4
+        assert parser.parse_args(["report", "--workers", "4"]).workers == 4
+        # The subcommand-position flag must not clobber the global one.
+        assert parser.parse_args(["--workers", "4", "robustness"]).workers == 4
+
+    def test_workers_zero_rejected_eagerly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--workers", "0", "table1"])
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_invalid_env_workers_rejected_eagerly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(SystemExit):
+            main(["table1"])
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
+    def test_shard_with_workers_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "--store", str(tmp_path / "s"), "--workers", "2",
+                "report", "--shard", "1/2",
+            ])
+        assert "--workers" in capsys.readouterr().err
