@@ -44,6 +44,15 @@ assembled from the shared store, byte-identical to a ``--workers 1`` run::
     python -m repro --store .repro-store --workers 4 report --json out.json
 
 Without ``--store`` the workers share an ephemeral store for the run.
+``repro workers status`` inspects an in-flight (or abandoned) parallel sweep:
+the live shard leases, per-worker heartbeat ages, done-marker progress and
+steal/lost-race counters of every lease namespace under the store::
+
+    python -m repro --store .repro-store workers status
+
+``$REPRO_STORE_DRIVER`` selects the store's filesystem-semantics driver:
+``local`` (default) for a single machine, ``nfs`` for a store root shared by
+workers on several hosts (NFS-safe claim arbitration).
 
 Every subcommand prints plain text; ``--output FILE`` writes it to a file too.
 """
@@ -71,7 +80,7 @@ from .experiments.runner import (
 from .experiments.table1 import format_table1, run_table1
 from .imc.reports import MethodSpec, compare_methods
 from .mapping.geometry import ArrayDims
-from .parallel import resolve_workers
+from .parallel import collect_workers_status, format_workers_status, resolve_workers
 from .scenarios import scenario_names
 from .store import ExperimentStore, open_store
 from .workloads import compressible_geometries
@@ -241,6 +250,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="ls: list artifacts; gc: drop stale/corrupt artifacts; clear: remove everything",
     )
 
+    workers = subparsers.add_parser(
+        "workers", help="inspect the parallel workers coordinating through the store"
+    )
+    workers.add_argument(
+        "action", choices=("status",),
+        help="status: live shard leases, worker heartbeats, done-marker progress "
+             "and steal/lost-race counters per lease namespace",
+    )
+    workers.add_argument(
+        "--namespace", type=str, default=None, metavar="NAME",
+        help="restrict to one lease namespace (default: every namespace in the store)",
+    )
+
     compare = subparsers.add_parser("compare", help="deployment-style method comparison")
     compare.add_argument("--network", choices=("resnet20", "wrn16_4"), default="resnet20")
     compare.add_argument("--array", type=int, choices=(32, 64, 128), default=64)
@@ -360,6 +382,13 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) 
         if store is None:
             parser.error("the store command requires --store DIR (or $REPRO_STORE)")
         text = _store_text(args, store)
+    elif args.command == "workers":
+        if store is None:
+            parser.error("the workers command requires --store DIR (or $REPRO_STORE)")
+        text = (
+            f"store {store.root} — "
+            + format_workers_status(collect_workers_status(store, args.namespace))
+        )
     elif args.command == "compare":
         text = _compare_text(args)
     else:  # pragma: no cover - argparse enforces the choices

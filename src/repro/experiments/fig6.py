@@ -182,12 +182,13 @@ def run_fig6(
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    lease_ttl: Optional[float] = None,
 ) -> Union[Fig6Result, ShardStats]:
     """Compute every Fig. 6 panel (incrementally / sharded when a store is given).
 
     ``backend`` scopes the execution backend of the sweep; ``None`` keeps the
     active default.  ``workers > 1`` (default ``$REPRO_WORKERS``) computes the
-    panels in worker processes with store-shard work stealing.
+    panels in worker processes with store-shard work stealing.  ``lease_ttl`` overrides the shard-lease TTL of such a parallel run (an explicit value beats ``$REPRO_LEASE_TTL``).
     """
     from ..parallel import resolve_workers
 
@@ -206,6 +207,7 @@ def run_fig6(
             store=store,
             workers=resolve_workers(workers),
             backend=backend,
+            lease_ttl=lease_ttl,
         )
     points = [
         (network, size, tuple(group_counts), tuple(rank_divisors), tuple(pruning_entries))

@@ -144,11 +144,12 @@ def run_fig7(
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    lease_ttl: Optional[float] = None,
 ) -> Union[Fig7Result, ShardStats]:
     """Compute the Fig. 7 energy comparison (incremental / sharded with a store).
 
     ``workers > 1`` (default ``$REPRO_WORKERS``) computes the bars in worker
-    processes with store-shard work stealing.
+    processes with store-shard work stealing.  ``lease_ttl`` overrides the shard-lease TTL of such a parallel run (an explicit value beats ``$REPRO_LEASE_TTL``).
     """
     from ..parallel import resolve_workers
 
@@ -173,6 +174,7 @@ def run_fig7(
             store=store,
             workers=resolve_workers(workers),
             backend=backend,
+            lease_ttl=lease_ttl,
         )
     model = model if model is not None else EnergyModel()
     points = [

@@ -152,11 +152,12 @@ def run_fig8(
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    lease_ttl: Optional[float] = None,
 ) -> Union[Fig8Result, ShardStats]:
     """Compute the Fig. 8 comparison for one network (ResNet-20 in the paper).
 
     ``workers > 1`` (default ``$REPRO_WORKERS``) computes the panels in worker
-    processes with store-shard work stealing.
+    processes with store-shard work stealing.  ``lease_ttl`` overrides the shard-lease TTL of such a parallel run (an explicit value beats ``$REPRO_LEASE_TTL``).
     """
     from ..parallel import resolve_workers
 
@@ -175,6 +176,7 @@ def run_fig8(
             store=store,
             workers=resolve_workers(workers),
             backend=backend,
+            lease_ttl=lease_ttl,
         )
     points = [
         (network, size, tuple(bits), tuple(group_counts), tuple(rank_divisors))

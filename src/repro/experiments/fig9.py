@@ -162,11 +162,12 @@ def run_fig9(
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    lease_ttl: Optional[float] = None,
 ) -> Union[Fig9Result, ShardStats]:
     """Compute the Fig. 9 comparison (incremental / sharded with a store).
 
     ``workers > 1`` (default ``$REPRO_WORKERS``) computes the panels in worker
-    processes with store-shard work stealing.
+    processes with store-shard work stealing.  ``lease_ttl`` overrides the shard-lease TTL of such a parallel run (an explicit value beats ``$REPRO_LEASE_TTL``).
     """
     from ..parallel import resolve_workers
 
@@ -183,6 +184,7 @@ def run_fig9(
             store=store,
             workers=resolve_workers(workers),
             backend=backend,
+            lease_ttl=lease_ttl,
         )
     points = [
         (network, size, tuple(group_counts), tuple(rank_divisors))

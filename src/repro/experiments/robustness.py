@@ -276,6 +276,7 @@ def run_robustness(
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    lease_ttl: Optional[float] = None,
 ) -> Union[RobustnessResult, ShardStats]:
     """Sweep scenario × mapping × network with batched Monte-Carlo trials.
 
@@ -285,7 +286,9 @@ def run_robustness(
     Monte-Carlo kernels (and the store fingerprint salt); ``None`` keeps the
     active default.  ``workers > 1`` (default ``$REPRO_WORKERS``) computes the
     (network, scenario) cells in worker processes with store-shard work
-    stealing (:mod:`repro.parallel`).
+    stealing (:mod:`repro.parallel`).  ``lease_ttl`` overrides the
+    shard-lease TTL of such a parallel run (an explicit value beats
+    ``$REPRO_LEASE_TTL``).
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -314,6 +317,7 @@ def run_robustness(
             store=store,
             workers=resolve_workers(workers),
             backend=backend,
+            lease_ttl=lease_ttl,
         )
     points = [
         (network, scenario, array_size, trials, batch, rank_divisor, groups, seed)

@@ -110,6 +110,7 @@ def run_table1(
     shard: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    lease_ttl: Optional[float] = None,
 ) -> Union[Table1Result, ShardStats]:
     """Reproduce Table I: sweep groups × rank divisors for both networks.
 
@@ -119,7 +120,7 @@ def run_table1(
     scopes the execution backend of the sweep (proxy SVDs and store
     fingerprint salting included); ``None`` keeps the active default.
     ``workers > 1`` (default ``$REPRO_WORKERS``) computes the grid in worker
-    processes with store-shard work stealing (:mod:`repro.parallel`).
+    processes with store-shard work stealing (:mod:`repro.parallel`).  ``lease_ttl`` overrides the shard-lease TTL of such a parallel run (an explicit value beats ``$REPRO_LEASE_TTL``).
     """
     from ..parallel import resolve_workers
 
@@ -137,6 +138,7 @@ def run_table1(
             store=store,
             workers=resolve_workers(workers),
             backend=backend,
+            lease_ttl=lease_ttl,
         )
     points = [
         (network, groups, divisor, tuple(array_sizes))

@@ -47,7 +47,9 @@ from .engine.cache import default_decomposition_cache
 from .engine.sweep import ShardStats, experiment_registry
 from .store import (
     ExperimentStore,
+    HeartbeatInfo,
     LeaseBoard,
+    LeaseInfo,
     canonicalize,
     experiment_fingerprint,
     resolve_lease_ttl,
@@ -58,6 +60,7 @@ __all__ = [
     "DEFAULT_SHARDS_PER_WORKER",
     "WorkerSpec",
     "WorkerStats",
+    "NamespaceStatus",
     "resolve_workers",
     "default_shard_count",
     "plan_namespace",
@@ -65,6 +68,8 @@ __all__ = [
     "run_experiments_parallel",
     "run_experiment_parallel",
     "format_worker_summary",
+    "collect_workers_status",
+    "format_workers_status",
 ]
 
 #: Environment variable naming the default worker-process count.
@@ -165,6 +170,7 @@ class WorkerSpec:
     names: Tuple[str, ...]
     overrides: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]
     backend: Optional[str] = None
+    driver: Optional[str] = None
 
     def experiment_overrides(self, name: str) -> Dict[str, Any]:
         for experiment, items in self.overrides:
@@ -183,6 +189,8 @@ class WorkerStats:
     computed: int = 0
     resumed: int = 0
     svd_store_hits: int = 0
+    lost_races: int = 0
+    abandoned: int = 0
 
 
 def _freeze_overrides(
@@ -215,13 +223,29 @@ def _worker_main(spec: WorkerSpec) -> WorkerStats:
 
     from .backend import using_backend
 
-    store = ExperimentStore(spec.store_root)
+    store = ExperimentStore(spec.store_root, driver=spec.driver)
     default_decomposition_cache.attach_store(store)
-    board = LeaseBoard(store.root, spec.namespace, ttl=spec.lease_ttl)
+    board = LeaseBoard(
+        store.root, spec.namespace, ttl=spec.lease_ttl, driver=store.driver
+    )
     owner = f"worker-{spec.worker_id}-pid{os.getpid()}"
     stats = WorkerStats(worker_id=spec.worker_id)
     registry = experiment_registry()
+
+    def beat() -> None:
+        board.beat(
+            owner,
+            worker_id=spec.worker_id,
+            shards=list(stats.shards),
+            stolen=stats.stolen,
+            computed=stats.computed,
+            resumed=stats.resumed,
+            abandoned=stats.abandoned,
+            **board.counters(),
+        )
+
     try:
+        beat()
         with using_backend(spec.backend):
             while True:
                 claimed: Optional[int] = None
@@ -237,8 +261,11 @@ def _worker_main(spec: WorkerSpec) -> WorkerStats:
                 if claimed is None:
                     if board.all_done(spec.nshards):
                         break
+                    beat()  # idle, but alive: keep the liveness record fresh
                     time.sleep(_POLL_INTERVAL)
                     continue
+                beat()
+                abandoned = False
                 for name in spec.names:
                     result = registry[name].run(
                         store=store,
@@ -249,12 +276,24 @@ def _worker_main(spec: WorkerSpec) -> WorkerStats:
                         stats.computed += result.computed
                         stats.resumed += result.resumed
                     # A renewal between experiments keeps a long shard from
-                    # expiring under its own worker.
-                    board.renew(claimed, owner)
-                board.mark_done(claimed, owner)
-                stats.shards.append(claimed)
+                    # expiring under its own worker.  A fenced refusal means
+                    # the lease was stolen (this worker stalled past the
+                    # TTL): ownership is gone for good, so the shard must be
+                    # abandoned — the thief recomputes only the cells the
+                    # store does not already hold, and writing our done
+                    # marker for work the thief now owns would be a lie.
+                    if not board.renew(claimed, owner):
+                        stats.abandoned += 1
+                        abandoned = True
+                        break
+                    beat()
+                if not abandoned:
+                    board.mark_done(claimed, owner)
+                    stats.shards.append(claimed)
+                beat()
     finally:
         default_decomposition_cache.detach_store()
+    stats.lost_races = board.lost_races
     stats.svd_store_hits = default_decomposition_cache.store_hits
     return stats
 
@@ -310,6 +349,21 @@ def run_cells_parallel(
     ttl = resolve_lease_ttl(lease_ttl)
     backend_name = _pinned_backend_name(backend)
     namespace = plan_namespace(names, overrides, nshards, backend_name)
+    # Publish the plan manifest before spawning so `repro workers status`
+    # can tell an operator what this namespace is running and how far the
+    # done markers have progressed.
+    plan_board = LeaseBoard(store.root, namespace, ttl=ttl, driver=store.driver)
+    plan_board.write_plan(
+        {
+            "names": list(names),
+            "nshards": nshards,
+            "backend": backend_name,
+            "workers": workers,
+            "lease_ttl": ttl,
+            "driver": store.driver.name,
+            "started": time.time(),
+        }
+    )
     specs = [
         WorkerSpec(
             worker_id=worker_id,
@@ -320,6 +374,7 @@ def run_cells_parallel(
             names=tuple(names),
             overrides=_freeze_overrides(names, overrides),
             backend=backend_name,
+            driver=store.driver.name,
         )
         for worker_id in range(workers)
     ]
@@ -342,7 +397,7 @@ def run_cells_parallel(
             if process.is_alive():  # pragma: no cover - only on interrupt
                 process.terminate()
                 process.join()
-    board = LeaseBoard(store.root, namespace, ttl=ttl)
+    board = LeaseBoard(store.root, namespace, ttl=ttl, driver=store.driver)
     undone = board.pending(nshards)
     if undone:
         exit_codes = {p.pid: p.exitcode for p in processes}
@@ -470,10 +525,13 @@ def format_worker_summary(stats: Sequence[WorkerStats]) -> str:
     """One line per worker of a parallel run's shard/cell accounting."""
     lines = []
     for stat in stats:
+        extra = ""
+        if stat.lost_races or stat.abandoned:
+            extra = f", lost races {stat.lost_races}, abandoned {stat.abandoned}"
         lines.append(
             f"worker {stat.worker_id}: shards {stat.shards or '-'} "
             f"(stolen {stat.stolen}), computed {stat.computed}, "
-            f"resumed {stat.resumed}, svd refills {stat.svd_store_hits}"
+            f"resumed {stat.resumed}, svd refills {stat.svd_store_hits}{extra}"
         )
     totals = (
         sum(len(s.shards) for s in stats),
@@ -483,4 +541,120 @@ def format_worker_summary(stats: Sequence[WorkerStats]) -> str:
     lines.append(
         f"workers total: {totals[0]} shards, computed {totals[1]}, resumed {totals[2]}"
     )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Observability: `repro workers status`
+# ----------------------------------------------------------------------
+@dataclass
+class NamespaceStatus:
+    """Everything `repro workers status` knows about one lease namespace."""
+
+    namespace: str
+    plan: Optional[Dict[str, Any]]
+    nshards: Optional[int]
+    done: List[int]
+    leases: List[Tuple[int, Optional[LeaseInfo]]]
+    heartbeats: List[HeartbeatInfo]
+
+
+def collect_workers_status(
+    store: ExperimentStore, namespace: Optional[str] = None
+) -> List[NamespaceStatus]:
+    """The live lease/heartbeat/progress state of every namespace in a store.
+
+    Scans ``<root>/leases/``; a namespace that finished successfully was
+    purged, so anything listed is either in flight or abandoned.  The shard
+    total comes from the plan manifest when present, else from the highest
+    shard index any marker mentions.
+    """
+    leases_root = store.root / "leases"
+    statuses: List[NamespaceStatus] = []
+    for child in store.driver.listdir(leases_root):
+        if not child.is_dir() or (namespace is not None and child.name != namespace):
+            continue
+        board = LeaseBoard(store.root, child.name, driver=store.driver)
+        plan = board.read_plan()
+        done = board.done_shards()
+        live = board.live_leases()
+        nshards: Optional[int] = None
+        if plan is not None and isinstance(plan.get("nshards"), int):
+            nshards = plan["nshards"]
+        elif done or live:
+            nshards = max([*done, *(shard for shard, _ in live)])
+        statuses.append(
+            NamespaceStatus(
+                namespace=child.name,
+                plan=plan,
+                nshards=nshards,
+                done=done,
+                leases=live,
+                heartbeats=board.heartbeats(),
+            )
+        )
+    return statuses
+
+
+def format_workers_status(
+    statuses: Sequence[NamespaceStatus], now: Optional[float] = None
+) -> str:
+    """Render namespace progress, live leases and worker heartbeats."""
+    now = time.time() if now is None else now
+    if not statuses:
+        return "no active lease namespaces (finished sweeps purge their markers)"
+    lines: List[str] = [f"{len(statuses)} active namespace(s)"]
+    for status in statuses:
+        total = f"/{status.nshards}" if status.nshards is not None else ""
+        lines.append(
+            f"namespace {status.namespace} — {len(status.done)}{total} shards done, "
+            f"{len(status.leases)} leased"
+        )
+        if status.plan:
+            names = ",".join(status.plan.get("names", [])) or "?"
+            lines.append(
+                f"  plan: experiments {names}"
+                f" · backend {status.plan.get('backend', '?')}"
+                f" · workers {status.plan.get('workers', '?')}"
+                f" · driver {status.plan.get('driver', 'local')}"
+                f" · ttl {status.plan.get('lease_ttl', '?')}s"
+            )
+        for shard, info in status.leases:
+            if info is None:
+                lines.append(f"  shard {shard:3d}  torn lease (claimant died mid-write)")
+                continue
+            remaining = info.expires - now
+            state = (
+                f"expires in {remaining:6.1f}s"
+                if remaining > 0
+                else f"EXPIRED {-remaining:.1f}s ago (reclaimable)"
+            )
+            lines.append(
+                f"  shard {shard:3d}  leased by {info.owner}  {state}"
+                f"  token {info.token[:8] or '-'}"
+            )
+        for beat in status.heartbeats:
+            info = beat.info
+            counters = " ".join(
+                f"{key} {info[key]}"
+                for key in ("claims", "steals", "lost_races", "abandoned")
+                if key in info
+            )
+            shards_done = info.get("shards", [])
+            lines.append(
+                f"  {beat.owner}  heartbeat {beat.age(now):6.1f}s ago"
+                f"  host {info.get('host', '?')}"
+                f"  shards done {len(shards_done)}"
+                f"  computed {info.get('computed', '?')}"
+                f"  {counters}".rstrip()
+            )
+        totals = {
+            key: sum(int(beat.info.get(key, 0)) for beat in status.heartbeats)
+            for key in ("claims", "steals", "lost_races", "abandoned")
+        }
+        if status.heartbeats:
+            lines.append(
+                "  totals: "
+                + " · ".join(f"{key.replace('_', ' ')} {value}" for key, value in totals.items())
+            )
     return "\n".join(lines)

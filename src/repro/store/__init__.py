@@ -10,6 +10,16 @@ experiment store").
 """
 
 from .codec import decode, encode
+from .driver import (
+    DRIVER_ENV_VAR,
+    LocalStoreDriver,
+    NfsSafeStoreDriver,
+    StoreDriver,
+    atomic_write_bytes,
+    driver_names,
+    register_driver,
+    resolve_driver,
+)
 from .fingerprint import (
     CODE_VERSION_SALT,
     active_salt,
@@ -22,6 +32,7 @@ from .fingerprint import (
 from .leases import (
     DEFAULT_LEASE_TTL,
     LEASE_TTL_ENV_VAR,
+    HeartbeatInfo,
     LeaseBoard,
     LeaseInfo,
     resolve_lease_ttl,
@@ -39,9 +50,18 @@ from .store import (
 __all__ = [
     "CODE_VERSION_SALT",
     "DEFAULT_LEASE_TTL",
+    "DRIVER_ENV_VAR",
     "LEASE_TTL_ENV_VAR",
+    "HeartbeatInfo",
     "LeaseBoard",
     "LeaseInfo",
+    "LocalStoreDriver",
+    "NfsSafeStoreDriver",
+    "StoreDriver",
+    "atomic_write_bytes",
+    "driver_names",
+    "register_driver",
+    "resolve_driver",
     "resolve_lease_ttl",
     "STORE_ENV_VAR",
     "STORE_SCHEMA_VERSION",

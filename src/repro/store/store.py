@@ -44,6 +44,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .driver import StoreDriver, atomic_write_bytes, resolve_driver
 from .fingerprint import active_salt, valid_salts
 
 __all__ = [
@@ -105,36 +106,23 @@ def _payload_checksum(payload: Any) -> str:
     return hashlib.blake2b(data.encode("utf-8"), digest_size=16).hexdigest()
 
 
-def atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Publish ``data`` at ``path`` atomically (tmp + fsync + rename).
-
-    The one durability recipe every store-adjacent writer shares (artifacts
-    here, lease/done markers in :mod:`repro.store.leases`): a same-directory
-    uniquely-named temporary file, fsynced, then ``os.replace``-d into place,
-    so racing writers leave exactly one valid file and a reader never
-    observes a partial write under the final name.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{os.urandom(4).hex()}")
-    try:
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-
-
 class ExperimentStore:
-    """Content-addressed artifact store shared by processes via the filesystem."""
+    """Content-addressed artifact store shared by processes via the filesystem.
 
-    def __init__(self, root: "str | os.PathLike[str]") -> None:
+    ``driver`` selects the filesystem-semantics implementation
+    (:mod:`repro.store.driver`): ``local`` for a directory on one machine,
+    ``nfs`` for a store root shared by workers on several hosts.  Lease
+    boards opened on this store inherit the driver, so claim arbitration and
+    artifact publishing run under the same atomicity model.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        driver: "str | StoreDriver | None" = None,
+    ) -> None:
         self.root = Path(root)
+        self.driver = resolve_driver(driver)
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -393,7 +381,7 @@ class ExperimentStore:
         return target.with_name(f"{target.name}.tmp-{os.getpid()}-{token}")
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
-        atomic_write_bytes(path, data)
+        self.driver.write_atomic(path, data)
 
     def _drop_corrupt(self, path: Path) -> None:
         self.corrupt_dropped += 1

@@ -1,0 +1,59 @@
+"""Repetition stress battery for the lease takeover protocol.
+
+The historical two-winner TOCTOU (read-then-rename takeover) only
+surfaced intermittently — a thread had to complete a full steal inside
+another thread's read/rename window.  This module hammers exactly that
+window in a loop so CI can run it hundreds of times per job.
+
+``REPRO_LEASE_STRESS_ROUNDS`` scales the repetition count (default 20
+for local runs; the dedicated CI job raises it to 200).  Every round
+must produce *exactly one* winner: two winners is the original TOCTOU,
+zero winners is the vacancy window a naive rename-away fix would have
+introduced.
+"""
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from threading import Barrier
+
+import pytest
+
+from repro.store.leases import LeaseBoard
+
+ROUNDS = int(os.environ.get("REPRO_LEASE_STRESS_ROUNDS", "20"))
+CLAIMANTS = 16
+
+
+def _race_one_round(root, namespace: str, seed_expired: bool) -> int:
+    """Race CLAIMANTS threads at a single shard; return the win count."""
+    if seed_expired:
+        seed = LeaseBoard(root, namespace, ttl=5.0)
+        assert seed.claim(0, "crashed-worker")
+        path = seed.lease_path(0)
+        stale = json.loads(path.read_text())
+        stale["expires"] = 0.0
+        path.write_text(json.dumps(stale))
+
+    barrier = Barrier(CLAIMANTS)
+
+    def claimant(index: int) -> bool:
+        board = LeaseBoard(root, namespace, ttl=30.0)
+        barrier.wait()
+        return board.claim(0, f"claimant-{index}")
+
+    with ThreadPoolExecutor(max_workers=CLAIMANTS) as pool:
+        wins = list(pool.map(claimant, range(CLAIMANTS)))
+    return sum(wins)
+
+
+@pytest.mark.parametrize("seed_expired", [False, True], ids=["vacant", "expired-seed"])
+def test_repeated_claim_races_have_exactly_one_winner(tmp_path, seed_expired):
+    for round_no in range(ROUNDS):
+        namespace = f"stress-{'e' if seed_expired else 'v'}-{round_no}"
+        wins = _race_one_round(tmp_path / "store", namespace, seed_expired)
+        assert wins == 1, (
+            f"round {round_no}: {wins} winners "
+            f"({'two-winner TOCTOU' if wins > 1 else 'vacancy window'})"
+        )

@@ -240,8 +240,9 @@ def test_concurrent_claimants_never_both_win(tmp_path_factory, claimants, expire
     """Racing threads — through the real filesystem arbitration — yield one winner.
 
     ``expired=True`` pre-seeds the shard with a dead worker's expired lease,
-    so the race is over the takeover path (rename arbitration) rather than
-    the vacant path (O_EXCL arbitration); both must admit exactly one winner.
+    so the race is over the takeover path (mutex-serialized in-place
+    replacement) rather than the vacant path (exclusive-create arbitration);
+    both must admit exactly one winner.
     """
     root = tmp_path_factory.mktemp("race")
     clock = FakeClock()
@@ -254,6 +255,138 @@ def test_concurrent_claimants_never_both_win(tmp_path_factory, claimants, expire
     assert sum(wins) == 1
     winner = board.read(1)
     assert winner is not None and winner.owner.startswith("claimant-")
+
+
+# ----------------------------------------------------------------------
+# Deterministic steal interleavings via the pause-point seam
+#
+# Each test pins one read-check-write window the un-fenced protocol left
+# open: the pause hook fires inside the victim's window, a thief board
+# (no hook) completes a full steal there, and the fenced protocol must
+# detect it — claim reports a lost race, renew refuses to resurrect,
+# release refuses to unlink the thief's live lease.
+# ----------------------------------------------------------------------
+class TestFencedInterleavings:
+    def _boards(self, tmp_path, clock, hooks):
+        """A victim board wired to the pause seam, and a hook-free thief."""
+        def pause(label):
+            action = hooks.pop(label, None)
+            if action is not None:
+                action()
+
+        victim = LeaseBoard(tmp_path / "store", "seam", ttl=30.0, clock=clock, pause=pause)
+        thief = LeaseBoard(tmp_path / "store", "seam", ttl=30.0, clock=clock)
+        return victim, thief
+
+    def test_steal_during_claim_takeover_is_a_lost_race(self, tmp_path, clock):
+        """Regression: the two-winner TOCTOU of the rename-by-path takeover.
+
+        The victim observes an expired lease; before it can take over, a
+        thief completes a full takeover and holds a *fresh* lease at the
+        same path.  The old protocol renamed that fresh lease away and won
+        anyway (two winners); the fenced protocol must re-validate expiry
+        under the shard mutex and report a lost race.
+        """
+        hooks = {}
+        victim, thief = self._boards(tmp_path, clock, hooks)
+        seed = LeaseBoard(tmp_path / "store", "seam", ttl=30.0, clock=clock)
+        assert seed.claim(1, "dead-worker")
+        clock.advance(31.0)
+        hooks["claim:pre-takeover"] = lambda: thief.claim(1, "thief") or pytest.fail(
+            "the thief's takeover must succeed inside the victim's window"
+        )
+        assert not victim.claim(1, "victim"), "acting on the stale read must lose"
+        assert victim.lost_races == 1
+        holder = victim.read(1)
+        assert holder.owner == "thief", "the thief's fresh lease must survive intact"
+        assert thief.renew(1, "thief"), "the thief must still own its acquisition"
+
+    def test_takeover_attempt_against_a_held_mutex_loses(self, tmp_path, clock):
+        """While one claimant is inside the takeover critical section, a
+        racing claimant cannot interleave — it reports a lost race."""
+        hooks = {}
+        victim, thief = self._boards(tmp_path, clock, hooks)
+        seed = LeaseBoard(tmp_path / "store", "seam", ttl=30.0, clock=clock)
+        assert seed.claim(1, "dead-worker")
+        clock.advance(31.0)
+        outcomes = {}
+        hooks["claim:locked"] = lambda: outcomes.setdefault("thief", thief.claim(1, "thief"))
+        assert victim.claim(1, "victim"), "the mutex holder completes its takeover"
+        assert outcomes == {"thief": False}, "the serialized thief must lose"
+        assert victim.read(1).owner == "victim"
+        assert thief.lost_races == 1
+
+    def test_steal_during_renew_cannot_resurrect_the_lease(self, tmp_path, clock):
+        """Regression: the renew() lost-update.
+
+        The victim's pre-lock ownership check passes; a thief then steals
+        the (expired) lease inside the window before the victim's write.
+        The un-fenced renewal overwrote the thief's lease — resurrecting a
+        dead acquisition and leaving two workers computing one shard.  The
+        fenced renewal re-reads under the mutex, sees the thief's token,
+        returns False, and the victim must abandon the shard.
+        """
+        hooks = {}
+        victim, thief = self._boards(tmp_path, clock, hooks)
+        assert victim.claim(3, "victim")
+        clock.advance(31.0)  # expired: the thief's steal is legitimate
+        hooks["renew:pre-lock"] = lambda: thief.claim(3, "thief") or pytest.fail(
+            "the thief's steal must succeed inside the renew window"
+        )
+        assert not victim.renew(3, "victim"), "a stolen lease must not be resurrected"
+        assert victim.fenced_renewals == 1
+        assert victim.read(3).owner == "thief", "the thief's lease must survive"
+        # The refusal is final: the victim's token is gone, so even a renew
+        # with no interleaving stays refused.
+        assert not victim.renew(3, "victim")
+
+    def test_steal_during_release_cannot_unlink_the_thiefs_lease(self, tmp_path, clock):
+        """Regression: release() unlinking a thief's live lease.
+
+        Same window as the renew lost-update, on the release path: the
+        victim's pre-lock check passes, the thief steals, and the un-fenced
+        release then unlinked the thief's *live* lease — reopening the
+        shard to a second claimant while the thief computed it.  The fenced
+        release verifies the token under the mutex and leaves it alone.
+        """
+        hooks = {}
+        victim, thief = self._boards(tmp_path, clock, hooks)
+        assert victim.claim(5, "victim")
+        clock.advance(31.0)
+        hooks["release:pre-lock"] = lambda: thief.claim(5, "thief") or pytest.fail(
+            "the thief's steal must succeed inside the release window"
+        )
+        victim.release(5, "victim")
+        holder = victim.read(5)
+        assert holder is not None and holder.owner == "thief", (
+            "the thief's live lease must not be unlinked"
+        )
+        assert victim.fenced_releases == 1
+        assert thief.renew(5, "thief")
+
+    def test_fence_token_outlives_owner_name_collisions(self, tmp_path, clock):
+        """Ownership is the (owner, token) acquisition, not the owner string.
+
+        A lease re-acquired under the *same* owner id by a different board
+        (a restarted worker process reusing its name) carries a new token;
+        the stale board's renew/release must be refused even though the
+        owner strings match.
+        """
+        stale = LeaseBoard(tmp_path / "store", "seam", ttl=30.0, clock=clock)
+        assert stale.claim(1, "worker-0")
+        clock.advance(31.0)
+        reborn = LeaseBoard(tmp_path / "store", "seam", ttl=30.0, clock=clock)
+        assert reborn.claim(1, "worker-0"), "the restarted process re-acquires"
+        assert not stale.renew(1, "worker-0"), "the old acquisition is fenced out"
+        stale.release(1, "worker-0")
+        assert reborn.read(1) is not None, "the new acquisition must survive"
+        assert reborn.renew(1, "worker-0")
+
+    def test_lease_files_carry_the_fence_token(self, board):
+        assert board.claim(1, "alice")
+        data = json.loads(board.lease_path(1).read_text())
+        assert data["token"] and len(data["token"]) == 16
+        assert board.read(1).token == data["token"]
 
 
 # ----------------------------------------------------------------------
@@ -323,6 +456,100 @@ class TestMultiProcessClaims:
         assert sum(won for _, won in outcomes) == 1
         new_owner = LeaseBoard(tmp_path / "store", "mp", ttl=5.0).read(1)
         assert new_owner.owner.startswith("thief-")
+
+
+def _churn_worker(root: str, nshards: int, rounds: int, owner: str, barrier, results) -> None:
+    """Claim/compute/release churn over every shard, recording mutual-exclusion
+    violations via an O_EXCL critical-section marker next to each shard."""
+    board = LeaseBoard(root, "churn", ttl=10.0)
+    violations = 0
+    wins = 0
+    barrier.wait()
+    for round_no in range(rounds):
+        for shard in range(nshards):
+            if not board.claim(shard, owner):
+                continue
+            wins += 1
+            marker = board.directory / f"shard-{shard}.busy"
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                violations += 1
+            else:
+                os.close(fd)
+                if not board.renew(shard, owner):
+                    violations += 1  # a held, unexpired lease must renew
+                os.unlink(marker)
+            board.release(shard, owner)
+    results.put((owner, wins, violations))
+
+
+class TestMultiProcessStress:
+    def test_churn_never_admits_two_holders(self, tmp_path, mp_context):
+        """Four processes churn claim/renew/release over four shards; the
+        O_EXCL busy-marker proves at most one holder per shard at any time,
+        and every held lease renews successfully."""
+        nprocs, nshards, rounds = 4, 4, 15
+        barrier = mp_context.Barrier(nprocs)
+        results = mp_context.Queue()
+        workers = [
+            mp_context.Process(
+                target=_churn_worker,
+                args=(str(tmp_path / "store"), nshards, rounds, f"proc-{index}", barrier, results),
+            )
+            for index in range(nprocs)
+        ]
+        for proc in workers:
+            proc.start()
+        outcomes = [results.get(timeout=120) for _ in workers]
+        for proc in workers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        assert sum(violations for _, _, violations in outcomes) == 0
+        assert sum(wins for _, wins, _ in outcomes) > 0, "the churn must make progress"
+
+    def test_expired_seeds_stolen_exactly_once_per_shard(self, tmp_path, mp_context):
+        """Every shard starts with an expired lease; a posse of processes
+        races to steal all of them at once.  Each shard must end with
+        exactly one winner — no two-winner takeovers, no vacant shards."""
+        nshards, nprocs = 3, 4
+        seed = LeaseBoard(tmp_path / "store", "mp", ttl=5.0)
+        for shard in range(nshards):
+            assert seed.claim(shard, "crashed-worker")
+            path = seed.lease_path(shard)
+            stale = json.loads(path.read_text())
+            stale["expires"] = 0.0
+            path.write_text(json.dumps(stale))
+
+        def steal_all(root, owner, barrier, results):
+            board = LeaseBoard(root, "mp", ttl=5.0)
+            barrier.wait()
+            won = [shard for shard in range(nshards) if board.claim(shard, owner)]
+            results.put((owner, won))
+
+        barrier = mp_context.Barrier(nprocs)
+        results = mp_context.Queue()
+        workers = [
+            mp_context.Process(
+                target=steal_all,
+                args=(str(tmp_path / "store"), f"thief-{index}", barrier, results),
+            )
+            for index in range(nprocs)
+        ]
+        for proc in workers:
+            proc.start()
+        outcomes = [results.get(timeout=120) for _ in workers]
+        for proc in workers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        winners_per_shard = {shard: 0 for shard in range(nshards)}
+        for _, won in outcomes:
+            for shard in won:
+                winners_per_shard[shard] += 1
+        assert winners_per_shard == {shard: 1 for shard in range(nshards)}
+        board = LeaseBoard(tmp_path / "store", "mp", ttl=5.0)
+        for shard in range(nshards):
+            assert board.read(shard).owner.startswith("thief-")
 
 
 class TestStoreIntegration:

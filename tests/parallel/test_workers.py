@@ -344,3 +344,49 @@ class TestCrashRecovery:
                     return int(entry.name)
             time.sleep(0.05)
         return None
+
+
+class TestObservability:
+    """Heartbeats, the plan manifest, and the workers-status view."""
+
+    def test_run_leaves_plan_and_heartbeats_until_purge(self, tmp_path, monkeypatch):
+        from repro.parallel import collect_workers_status, format_workers_status
+
+        # Keep the namespace's markers alive past the run so the status
+        # view can be asserted against real worker output.
+        monkeypatch.setattr(LeaseBoard, "purge", lambda self: None)
+        store = ExperimentStore(tmp_path / "store")
+        stats = run_cells_parallel(
+            ["fig7"], {"fig7": {"array_sizes": (32,)}}, store, workers=2, nshards=4
+        )
+        statuses = collect_workers_status(store)
+        assert len(statuses) == 1
+        status = statuses[0]
+        assert status.plan is not None
+        assert status.plan["names"] == ["fig7"]
+        assert status.plan["workers"] == 2
+        assert status.plan["driver"] == "local"
+        assert status.nshards == 4
+        assert len(status.done) == 4, "every shard must carry a done marker"
+        owners = sorted(beat.owner for beat in status.heartbeats)
+        assert len(owners) == 2
+        assert owners[0].startswith("worker-0") and owners[1].startswith("worker-1")
+        for beat in status.heartbeats:
+            assert beat.info["pid"] > 0
+            assert "computed" in beat.info
+        text = format_workers_status(statuses)
+        assert "4/4 shards done" in text
+        assert "worker-0" in text and "worker-1" in text
+        assert sum(stat.computed for stat in stats) > 0
+
+    def test_worker_stats_carry_race_accounting(self):
+        stats = WorkerStats(worker_id=0, shards=[1], computed=2)
+        assert stats.lost_races == 0 and stats.abandoned == 0
+        text = format_worker_summary(
+            [WorkerStats(worker_id=0, shards=[1], computed=2, lost_races=3, abandoned=1)]
+        )
+        assert "lost races 3" in text and "abandoned 1" in text
+
+    def test_clean_runs_do_not_mention_race_accounting(self):
+        text = format_worker_summary([WorkerStats(worker_id=0, shards=[1], computed=2)])
+        assert "lost races" not in text and "abandoned" not in text

@@ -230,3 +230,61 @@ class TestWorkersCli:
                 "report", "--shard", "1/2",
             ])
         assert "--workers" in capsys.readouterr().err
+
+
+class TestWorkersStatusCli:
+    """End-to-end coverage of ``repro workers status``."""
+
+    def _seed_namespace(self, store_dir):
+        from repro.store.leases import LeaseBoard
+
+        board = LeaseBoard(store_dir, "report", ttl=300.0)
+        board.write_plan({
+            "names": ["fig6", "fig7"],
+            "nshards": 4,
+            "backend": "numpy",
+            "workers": 2,
+            "lease_ttl": 300.0,
+            "driver": "local",
+        })
+        assert board.claim(0, "worker-0")
+        assert board.claim(2, "worker-1")
+        board.mark_done(1, "worker-0")
+        board.beat("worker-0", shards=[1], computed=3, stolen=0)
+        board.beat("worker-1", shards=[], computed=0, stolen=1)
+        return board
+
+    def test_status_renders_leases_heartbeats_and_progress(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        self._seed_namespace(store_dir)
+        assert main(["--store", store_dir, "workers", "status"]) == 0
+        out = capsys.readouterr().out
+        assert "namespace report" in out
+        assert "plan:" in out and "backend numpy" in out and "workers 2" in out
+        assert "shard   0" in out and "worker-0" in out
+        assert "shard   2" in out and "worker-1" in out
+        assert "1/4 shards done" in out
+        assert "heartbeat" in out
+
+    def test_status_namespace_filter(self, tmp_path, capsys):
+        from repro.store.leases import LeaseBoard
+
+        store_dir = str(tmp_path / "store")
+        self._seed_namespace(store_dir)
+        other = LeaseBoard(store_dir, "fig9", ttl=300.0)
+        assert other.claim(0, "solo")
+        assert main(["--store", store_dir, "workers", "status", "--namespace", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "namespace fig9" in out
+        assert "namespace report" not in out
+
+    def test_status_with_no_lease_state(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["--store", store_dir, "workers", "status"]) == 0
+        assert "no active lease namespaces" in capsys.readouterr().out
+
+    def test_status_requires_a_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit):
+            main(["workers", "status"])
+        assert "--store" in capsys.readouterr().err
