@@ -144,7 +144,12 @@ def main() -> None:
         "output is byte-identical to --workers 1, and the warm store makes\n"
         "reruns assembly-only):\n"
         "    python -m repro --store .repro-store report --workers 4\n"
-        "or, equivalently, REPRO_WORKERS=4 python -m repro report"
+        "or, equivalently, REPRO_WORKERS=4 python -m repro report\n"
+        "\n"
+        "to share the sweep machinery over HTTP instead (deduplicated jobs,\n"
+        "reports byte-identical to the CLI's --json output):\n"
+        "    python -m repro --store .repro-store serve --port 8321\n"
+        "    curl -X POST localhost:8321/sweeps -d '{\"workers\": 4}'"
     )
 
 

@@ -9,4 +9,12 @@ package can be installed editable in fully offline environments where the
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # The HTTP experiment service (repro.server) runs without these —
+        # `repro serve` falls back to a stdlib HTTP server — but the FastAPI
+        # app factory and uvicorn deployment path need them:
+        #     pip install -e .[server]
+        "server": ["fastapi>=0.100", "uvicorn>=0.23"],
+    }
+)

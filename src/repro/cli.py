@@ -54,6 +54,14 @@ steal/lost-race counters of every lease namespace under the store::
 ``local`` (default) for a single machine, ``nfs`` for a store root shared by
 workers on several hosts (NFS-safe claim arbitration).
 
+``repro serve`` runs the HTTP experiment service (:mod:`repro.server`) over
+the store: ``POST /sweeps`` deduplicates identical sweep specs into one job,
+``GET /jobs/<id>/report`` serves the report byte-identical to
+``repro report --json``, and ``GET /workers`` is this status view as JSON.
+Configure with ``$REPRO_SERVER_*`` (see ENGINE.md, "Experiment service")::
+
+    python -m repro --store .repro-store serve --port 8321
+
 Every subcommand prints plain text; ``--output FILE`` writes it to a file too.
 """
 
@@ -119,9 +127,14 @@ def _store_text(args: argparse.Namespace, store: ExperimentStore) -> str:
         return "\n".join(lines)
     if args.action == "gc":
         stats = store.gc()
+        heartbeats = (
+            f", pruned {stats.heartbeats_pruned} stale worker heartbeats"
+            if stats.heartbeats_pruned
+            else ""
+        )
         return (
             f"store {store.root} — gc removed {stats.removed} artifacts "
-            f"({_format_size(stats.freed_bytes)}), kept {stats.kept}"
+            f"({_format_size(stats.freed_bytes)}), kept {stats.kept}{heartbeats}"
         )
     if args.action == "clear":
         removed = store.clear()
@@ -263,6 +276,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to one lease namespace (default: every namespace in the store)",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP experiment service (repro.server)"
+    )
+    serve.add_argument(
+        "--host", type=str, default=None,
+        help="bind address (default: $REPRO_SERVER_HOST, else 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default: $REPRO_SERVER_PORT, else 8321)",
+    )
+
     compare = subparsers.add_parser("compare", help="deployment-style method comparison")
     compare.add_argument("--network", choices=("resnet20", "wrn16_4"), default="resnet20")
     compare.add_argument("--array", type=int, choices=(32, 64, 128), default=64)
@@ -389,6 +414,23 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) 
             f"store {store.root} — "
             + format_workers_status(collect_workers_status(store, args.namespace))
         )
+    elif args.command == "serve":
+        from .server import ServerConfig, serve as run_server
+
+        try:
+            config = ServerConfig.from_env(
+                host=args.host,
+                port=args.port,
+                store_root=str(store.root) if store is not None else None,
+                backend=args.backend,
+                job_workers=args.workers
+                if (args.workers_explicit or args.workers > 1)
+                else None,
+            )
+        except ValueError as error:
+            parser.error(str(error))
+        run_server(config, store=store)
+        text = "server stopped"
     elif args.command == "compare":
         text = _compare_text(args)
     else:  # pragma: no cover - argparse enforces the choices

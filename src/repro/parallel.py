@@ -46,6 +46,7 @@ from .backend import Backend, active_backend
 from .engine.cache import default_decomposition_cache
 from .engine.sweep import ShardStats, experiment_registry
 from .store import (
+    DEFAULT_LEASE_TTL,
     ExperimentStore,
     HeartbeatInfo,
     LeaseBoard,
@@ -387,16 +388,26 @@ def run_cells_parallel(
     for process in processes:
         process.start()
     collected: List[WorkerStats] = []
+    interrupted = False
     try:
-        for process in processes:
-            process.join()
-        while not results.empty():
-            collected.append(results.get())
+        collected = _collect_worker_results(processes, results)
+    except BaseException:
+        # Ctrl-C (or any parent-side failure) is about to terminate workers
+        # that never got to release their leases.
+        interrupted = True
+        raise
     finally:
         for process in processes:
             if process.is_alive():  # pragma: no cover - only on interrupt
                 process.terminate()
                 process.join()
+        if interrupted:
+            # Fast-expire whatever the dead workers still held, so an
+            # immediate rerun claims those shards instead of stalling a
+            # full TTL before it may steal them.
+            _expire_abandoned_leases(
+                LeaseBoard(store.root, namespace, ttl=ttl, driver=store.driver)
+            )
     board = LeaseBoard(store.root, namespace, ttl=ttl, driver=store.driver)
     undone = board.pending(nshards)
     if undone:
@@ -408,6 +419,37 @@ def run_cells_parallel(
         )
     board.purge()
     return sorted(collected, key=lambda stats: stats.worker_id)
+
+
+def _collect_worker_results(
+    processes: Sequence["multiprocessing.Process"],
+    results: "multiprocessing.SimpleQueue",
+) -> List[WorkerStats]:
+    """Join every worker and drain the stats queue (module-level for tests:
+    the interrupt-teardown battery injects a KeyboardInterrupt here)."""
+    for process in processes:
+        process.join()
+    collected: List[WorkerStats] = []
+    while not results.empty():
+        collected.append(results.get())
+    return collected
+
+
+def _expire_abandoned_leases(board: LeaseBoard) -> int:
+    """Fast-expire every live lease of a namespace whose workers are dead.
+
+    Part of the parent's interrupt teardown: the workers were just
+    terminated, so their leases can only stall a rerun.  Expiry is a nudge,
+    not a revocation — the lease keeps its owner and fence token in place,
+    so a worker that somehow survived simply re-extends it on its next
+    (fenced, still-valid) renewal, while a genuinely dead worker's shard is
+    immediately claimable.  Returns how many leases were expired.
+    """
+    expired = 0
+    for shard, _ in board.live_leases():
+        if board.expire_lease(shard):
+            expired += 1
+    return expired
 
 
 def run_experiments_parallel(
@@ -452,9 +494,11 @@ def run_experiments_parallel(
         worker_overrides[name] = cleaned
 
     ephemeral_root: Optional[str] = None
-    # The assembly pass attaches the (possibly ephemeral) store to the
-    # process-wide decomposition cache; remember what the caller had attached
-    # so an ephemeral run restores it instead of clobbering it.
+    # The assembly pass attaches the run's store to the process-wide
+    # decomposition cache; remember what the caller had attached so *every*
+    # exit path restores it.  (This restoration used to happen only for
+    # ephemeral stores, so a caller-supplied store permanently clobbered a
+    # previously attached spill target.)
     previous_spill = default_decomposition_cache._store
     if store is None:
         ephemeral_root = tempfile.mkdtemp(prefix="repro-parallel-")
@@ -485,13 +529,15 @@ def run_experiments_parallel(
             workers=1,
         )
     finally:
+        # Restore whatever spill target the caller had (or none) — for an
+        # ephemeral store because it is about to vanish, for a caller-
+        # supplied store because attaching it was this call's own plumbing,
+        # not a contract with the caller.
+        if previous_spill is not None:
+            default_decomposition_cache.attach_store(previous_spill)
+        else:
+            default_decomposition_cache.detach_store()
         if ephemeral_root is not None:
-            # The temp store is about to vanish: restore whatever spill
-            # target the caller had (or none), never leave a dead one.
-            if previous_spill is not None:
-                default_decomposition_cache.attach_store(previous_spill)
-            else:
-                default_decomposition_cache.detach_store()
             shutil.rmtree(ephemeral_root, ignore_errors=True)
 
 
@@ -557,6 +603,9 @@ class NamespaceStatus:
     done: List[int]
     leases: List[Tuple[int, Optional[LeaseInfo]]]
     heartbeats: List[HeartbeatInfo]
+    #: Lease TTL the namespace runs under (plan manifest, else the default) —
+    #: the yardstick a heartbeat's age is judged stale against.
+    ttl: float = DEFAULT_LEASE_TTL
 
 
 def collect_workers_status(
@@ -583,6 +632,9 @@ def collect_workers_status(
             nshards = plan["nshards"]
         elif done or live:
             nshards = max([*done, *(shard for shard, _ in live)])
+        ttl = board.ttl
+        if plan is not None and isinstance(plan.get("lease_ttl"), (int, float)):
+            ttl = float(plan["lease_ttl"])
         statuses.append(
             NamespaceStatus(
                 namespace=child.name,
@@ -591,6 +643,7 @@ def collect_workers_status(
                 done=done,
                 leases=live,
                 heartbeats=board.heartbeats(),
+                ttl=ttl,
             )
         )
     return statuses
@@ -641,12 +694,22 @@ def format_workers_status(
                 if key in info
             )
             shards_done = info.get("shards", [])
+            # A worker renews its heartbeat at least once per lease TTL; a
+            # record older than that belongs to a dead (or wedged) worker.
+            stale = (
+                f"  STALE (no beat for {beat.age(now):.0f}s > ttl {status.ttl:.0f}s)"
+                if beat.age(now) > status.ttl
+                else ""
+            )
             lines.append(
-                f"  {beat.owner}  heartbeat {beat.age(now):6.1f}s ago"
-                f"  host {info.get('host', '?')}"
-                f"  shards done {len(shards_done)}"
-                f"  computed {info.get('computed', '?')}"
-                f"  {counters}".rstrip()
+                (
+                    f"  {beat.owner}  heartbeat {beat.age(now):6.1f}s ago"
+                    f"  host {info.get('host', '?')}"
+                    f"  shards done {len(shards_done)}"
+                    f"  computed {info.get('computed', '?')}"
+                    f"  {counters}"
+                ).rstrip()
+                + stale
             )
         totals = {
             key: sum(int(beat.info.get(key, 0)) for beat in status.heartbeats)

@@ -1,0 +1,46 @@
+"""HTTP experiment service: the store + parallel executor behind a REST API.
+
+``repro.server`` turns the content-addressed experiment store and the
+process-parallel sweep machinery into a shared compute-and-cache service:
+``POST /sweeps`` validates a sweep specification, reduces it to a canonical
+fingerprint (the job id), and launches the sweep in background worker
+processes — identical specifications from any number of concurrent clients
+dedupe to *one* computation whose report every client reads back
+byte-identical to the CLI's ``repro report --json``.
+
+The service core (:mod:`repro.server.core`) is framework-agnostic: it speaks
+``(method, path, body) -> (status, headers, body)`` and is fronted either by
+a FastAPI application (:func:`repro.server.app.create_app`, when the optional
+``repro[server]`` extra is installed) or by a dependency-free stdlib HTTP
+server (:func:`repro.server.app.serve` falls back to it automatically), so
+the full endpoint surface — and its test battery — works without fastapi.
+"""
+
+from .app import StdlibServer, create_app, create_core, serve, start_stdlib_server
+from .config import SERVER_ENV_PREFIX, ServerConfig
+from .core import Response, ServerCore
+from .queue import Job, JobQueue, JobState, execute_sweep
+from .ratelimit import RateLimiter, TokenBucket
+from .schemas import SweepSpec, SweepSpecError, parse_sweep_spec, spec_fingerprint
+
+__all__ = [
+    "SERVER_ENV_PREFIX",
+    "ServerConfig",
+    "ServerCore",
+    "Response",
+    "StdlibServer",
+    "create_app",
+    "create_core",
+    "serve",
+    "start_stdlib_server",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "execute_sweep",
+    "RateLimiter",
+    "TokenBucket",
+    "SweepSpec",
+    "SweepSpecError",
+    "parse_sweep_spec",
+    "spec_fingerprint",
+]

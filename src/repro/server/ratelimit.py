@@ -1,0 +1,80 @@
+"""Per-client token-bucket rate limiting for sweep submissions.
+
+A sweep is the service's only expensive verb, so the limiter guards
+``POST /sweeps`` specifically: each client key (the peer address, or a
+deployment-provided identity header) owns one token bucket of
+``burst`` capacity refilled at ``rate`` tokens per minute.  A submission
+spends one token; an empty bucket yields HTTP 429 with a ``Retry-After``
+telling the client exactly when the next token lands.
+
+The clock is injectable so the refill arithmetic is tested without
+sleeping, and the whole structure is lock-protected — the stdlib fallback
+server is threading-based and FastAPI's default executor is a thread pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Tuple
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """One client's bucket: ``capacity`` tokens, refilled at ``rate``/minute."""
+
+    def __init__(self, rate_per_minute: float, capacity: int, now: float) -> None:
+        if rate_per_minute <= 0:
+            raise ValueError(f"refill rate must be positive, got {rate_per_minute}")
+        if capacity < 1:
+            raise ValueError(f"bucket capacity must be >= 1, got {capacity}")
+        self.rate = rate_per_minute / 60.0  # tokens per second
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self.updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Spend one token; ``(allowed, seconds-until-next-token)``."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets keyed by client id; ``rate_per_minute=0`` disables."""
+
+    def __init__(
+        self,
+        rate_per_minute: float,
+        burst: int,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.rate_per_minute = float(rate_per_minute)
+        self.burst = int(burst)
+        self.clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_minute > 0
+
+    def check(self, client: str) -> Tuple[bool, float]:
+        """Account one request from ``client``: ``(allowed, retry-after-seconds)``."""
+        if not self.enabled:
+            return True, 0.0
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_per_minute, self.burst, now)
+                self._buckets[client] = bucket
+            return bucket.take(now)

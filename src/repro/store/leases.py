@@ -361,6 +361,45 @@ class LeaseBoard:
             self._release_mutex(shard)
             self._tokens.pop((shard, owner), None)
 
+    def expire_lease(self, shard: int) -> bool:
+        """Force a live lease to an immediately-reclaimable expiry.
+
+        The parent of a parallel sweep calls this after *terminating* its
+        workers (Ctrl-C teardown): the dead workers' leases would otherwise
+        stall an immediate rerun for up to a full TTL before they could be
+        stolen.  The lease is rewritten in place — owner and fence token
+        preserved, expiry pulled back to now — under the shard's mutation
+        lock, so this composes with the fencing rules: a worker that is in
+        fact still alive revalidates ownership on its next renewal (the
+        token still matches) and simply re-extends, while a dead worker's
+        shard becomes claimable at once.  Returns True when a lease was
+        expired (or already carried a past expiry).
+        """
+        path = self.lease_path(shard)
+        if not self._acquire_mutex(shard, attempts=5):
+            return False
+        try:
+            holder = self.read(shard)
+            if holder is None:
+                return False
+            now = self.clock()
+            if holder.expired(now):
+                return True
+            payload = json.dumps(
+                {
+                    "shard": holder.shard,
+                    "owner": holder.owner,
+                    "token": holder.token,
+                    "acquired": holder.acquired,
+                    "expires": now,
+                },
+                separators=(",", ":"),
+            )
+            self.driver.replace(path, payload.encode("utf-8"))
+            return True
+        finally:
+            self._release_mutex(shard)
+
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
@@ -427,6 +466,37 @@ class LeaseBoard:
             except (ValueError, KeyError, TypeError):
                 continue
         return sorted(records, key=lambda record: record.owner)
+
+    def prune_heartbeats(self, max_age: Optional[float] = None) -> int:
+        """Drop heartbeat records older than ``max_age`` (default: the TTL).
+
+        A live worker refreshes its heartbeat at least once per lease TTL
+        (renewals and idle polls both beat), so any record older than that
+        belongs to a dead worker of this run or a past one — without
+        pruning they accumulate on disk and haunt ``repro workers status``
+        forever.  Pruning a slow-but-alive worker's record is harmless: its
+        next beat simply rewrites it.  Unreadable (torn) records are judged
+        by file mtime.  Returns how many records were removed.
+        """
+        limit = self.ttl if max_age is None else float(max_age)
+        now = self.clock()
+        pruned = 0
+        for path in self.driver.listdir(self.directory):
+            if not path.name.endswith(".heartbeat"):
+                continue
+            beat: Optional[float] = None
+            raw = self.driver.read_bytes(path)
+            if raw is not None:
+                try:
+                    beat = float(json.loads(raw.decode("utf-8"))["beat"])
+                except (ValueError, KeyError, TypeError):
+                    beat = None
+            if beat is None:
+                beat = self.driver.mtime(path)
+            if beat is not None and now - beat > limit:
+                self.driver.unlink(path)
+                pruned += 1
+        return pruned
 
     def write_plan(self, plan: Mapping[str, Any]) -> None:
         """Publish the sweep plan manifest (parent-side, before spawning)."""

@@ -99,6 +99,8 @@ class GcStats:
     removed: int = 0
     freed_bytes: int = 0
     kept: int = 0
+    #: Stale worker heartbeat records dropped from lease namespaces.
+    heartbeats_pruned: int = 0
 
 
 def _payload_checksum(payload: Any) -> str:
@@ -306,6 +308,10 @@ class ExperimentStore:
                 )
                 shutil.rmtree(child, ignore_errors=True)
         if not self.version_root.exists():
+            # Still a useful pass: a store holding only coordination debris
+            # (e.g. after `store clear`, or a crashed run that never put an
+            # artifact) must shed its dead workers' heartbeats too.
+            stats.heartbeats_pruned = self._prune_stale_heartbeats()
             return stats
         salts = valid_salts()
         for path in list(self.version_root.rglob("*")):
@@ -339,7 +345,39 @@ class ExperimentStore:
                 stats.removed += 1
                 stats.freed_bytes += path.stat().st_size
                 self._drop_corrupt(path)
+        stats.heartbeats_pruned = self._prune_stale_heartbeats()
         return stats
+
+    def _prune_stale_heartbeats(self) -> int:
+        """Drop dead workers' heartbeat records from every lease namespace.
+
+        Successful sweeps purge their whole namespace, but a crashed or
+        interrupted one leaves its heartbeats behind; without gc they
+        accumulate forever and clutter ``repro workers status``.  Each
+        namespace's staleness yardstick is its own lease TTL (from the plan
+        manifest when present).  A namespace left completely empty is
+        removed outright.
+        """
+        from .leases import LeaseBoard
+
+        leases_root = self.root / "leases"
+        if not leases_root.is_dir():
+            return 0
+        pruned = 0
+        for child in sorted(leases_root.iterdir()):
+            if not child.is_dir():
+                continue
+            board = LeaseBoard(self.root, child.name, driver=self.driver)
+            plan = board.read_plan()
+            if plan is not None and isinstance(plan.get("lease_ttl"), (int, float)):
+                if plan["lease_ttl"] > 0:
+                    board.ttl = float(plan["lease_ttl"])
+            pruned += board.prune_heartbeats()
+            try:
+                child.rmdir()  # only succeeds when nothing else remains
+            except OSError:
+                pass
+        return pruned
 
     def clear(self) -> int:
         """Remove every artifact; returns how many files were deleted.

@@ -564,3 +564,71 @@ class TestStoreIntegration:
         store.clear()
         assert not (store.root / "leases").exists()
         assert store.get("k", "ab" * 16) is None
+
+
+class TestExpireLease:
+    """Parent-side fast expiry after terminating workers (interrupt teardown)."""
+
+    def test_live_lease_becomes_immediately_claimable(self, board, clock):
+        assert board.claim(1, "worker-a")
+        assert not board.claim(1, "worker-b")
+        assert board.expire_lease(1)
+        assert board.claim(1, "worker-b")
+
+    def test_expiry_preserves_owner_and_fence_token(self, board, clock):
+        # A nudge, not a revocation: only the expiry moves, so the fencing
+        # rules still apply to whoever acts on the lease next.
+        board.claim(2, "worker-a")
+        before = board.read(2)
+        clock.advance(1.0)
+        assert board.expire_lease(2)
+        after = board.read(2)
+        assert after.owner == before.owner
+        assert after.token == before.token
+        assert after.acquired == before.acquired
+        assert after.expires == clock.now
+
+    def test_vacant_shard_reports_false(self, board):
+        assert board.expire_lease(3) is False
+
+    def test_already_expired_lease_reports_true(self, board, clock):
+        board.claim(4, "worker-a")
+        clock.advance(board.ttl + 1.0)
+        assert board.expire_lease(4) is True
+
+    def test_surviving_owner_still_renews_after_expiry(self, board, clock):
+        # A worker that was NOT actually dead re-extends on its next fenced
+        # renewal — expiry must not have invalidated its token.
+        board.claim(5, "worker-a")
+        assert board.expire_lease(5)
+        assert board.renew(5, "worker-a")
+        assert not board.claim(5, "worker-b")
+
+
+class TestHeartbeatPruning:
+    def test_stale_records_pruned_fresh_ones_kept(self, board, clock):
+        board.beat("old-worker", computed=3)
+        clock.advance(board.ttl + 1.0)
+        board.beat("live-worker", computed=5)
+        assert board.prune_heartbeats() == 1
+        assert [beat.owner for beat in board.heartbeats()] == ["live-worker"]
+
+    def test_records_younger_than_the_ttl_survive(self, board, clock):
+        board.beat("w")
+        clock.advance(board.ttl - 1.0)
+        assert board.prune_heartbeats() == 0
+        assert [beat.owner for beat in board.heartbeats()] == ["w"]
+
+    def test_explicit_max_age_overrides_the_ttl(self, board, clock):
+        board.beat("w")
+        clock.advance(10.0)
+        assert board.prune_heartbeats(max_age=5.0) == 1
+        assert board.heartbeats() == []
+
+    def test_torn_record_is_judged_by_file_mtime(self, board, clock):
+        board.directory.mkdir(parents=True, exist_ok=True)
+        torn = board.heartbeat_path("torn")
+        torn.write_text("{not json")
+        os.utime(torn, (clock.now - 100.0, clock.now - 100.0))
+        assert board.prune_heartbeats() == 1
+        assert not torn.exists()

@@ -245,6 +245,22 @@ class TestBackendPinning:
         run_fig7(array_sizes=(32,), workers=2)
         assert default_decomposition_cache._store is mine
 
+    def test_caller_store_run_restores_the_callers_spill_store(self, tmp_path):
+        """A caller-supplied store must not clobber an attached spill target.
+
+        Regression: the restoration in run_experiments_parallel's teardown
+        only ran on the ephemeral-store path, so a run *with* a store left
+        that store attached to the process-wide decomposition cache —
+        silently redirecting every later spill of the caller's session.
+        """
+        mine = ExperimentStore(tmp_path / "mine")
+        shared = ExperimentStore(tmp_path / "shared")
+        default_decomposition_cache.attach_store(mine)
+        run_experiments_parallel(
+            ["fig7"], {"fig7": {"array_sizes": (32,)}}, store=shared, workers=2
+        )
+        assert default_decomposition_cache._store is mine
+
 
 class TestCrashRecovery:
     def test_expired_lease_of_a_dead_worker_is_stolen_and_completed(self, tmp_path):
@@ -345,6 +361,52 @@ class TestCrashRecovery:
             time.sleep(0.05)
         return None
 
+    def test_interrupt_teardown_expires_abandoned_leases(self, tmp_path, monkeypatch):
+        """Ctrl-C in the parent must not leave live leases stalling a rerun.
+
+        Regression: the parent terminated its workers on KeyboardInterrupt
+        without touching their leases, so an immediate rerun had to sit out
+        up to a full TTL before it could steal the orphaned shards.  The
+        teardown now fast-expires whatever the dead workers held.
+        """
+        store = ExperimentStore(tmp_path / "store")
+        ttl = 300.0
+        held = []
+
+        def interrupt(processes, results):
+            # What a worker holds at the moment the operator hits Ctrl-C.
+            namespace = next((store.root / "leases").iterdir()).name
+            board = LeaseBoard(store.root, namespace, ttl=ttl)
+            for shard in range(1, 5):
+                if board.claim(shard, "doomed-worker"):
+                    held.append((namespace, shard))
+                    break
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.parallel._collect_worker_results", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            run_cells_parallel(
+                ["fig7"],
+                {"fig7": {"array_sizes": (32,)}},
+                store,
+                workers=1,
+                nshards=4,
+                lease_ttl=ttl,
+            )
+        assert held, "the interrupt hook must have claimed a shard"
+        namespace, shard = held[0]
+        board = LeaseBoard(store.root, namespace, ttl=ttl)
+        now = time.time()
+        for _, info in board.live_leases():
+            assert info is None or info.expired(now), (
+                "no lease may outlive the interrupt teardown"
+            )
+        # The owner and token survive expiry (fencing still applies), but a
+        # rerun's worker claims the shard immediately instead of stalling.
+        info = board.read(shard)
+        assert info is not None and info.owner == "doomed-worker"
+        assert board.claim(shard, "rerun-worker")
+
 
 class TestObservability:
     """Heartbeats, the plan manifest, and the workers-status view."""
@@ -390,3 +452,23 @@ class TestObservability:
     def test_clean_runs_do_not_mention_race_accounting(self):
         text = format_worker_summary([WorkerStats(worker_id=0, shards=[1], computed=2)])
         assert "lost races" not in text and "abandoned" not in text
+
+    def test_status_flags_heartbeats_older_than_the_lease_ttl(self, tmp_path):
+        """A record with no beat for over a TTL belongs to a dead worker.
+
+        Regression: heartbeat files were never aged, so `repro workers
+        status` showed long-dead workers indistinguishably from live ones.
+        """
+        from repro.parallel import collect_workers_status, format_workers_status
+
+        store = ExperimentStore(tmp_path / "store")
+        board = LeaseBoard(store.root, "ns-stale", ttl=30.0)
+        board.write_plan({"names": ["fig7"], "nshards": 4, "lease_ttl": 30.0})
+        board.beat("worker-0-gone")
+        statuses = collect_workers_status(store)
+        assert statuses[0].ttl == 30.0
+        fresh = format_workers_status(statuses, now=time.time())
+        assert "STALE" not in fresh
+        aged = format_workers_status(statuses, now=time.time() + 100.0)
+        assert "STALE" in aged
+        assert "ttl 30s" in aged

@@ -1,0 +1,68 @@
+"""Token-bucket rate limiter: refill arithmetic under a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate_per_minute=60, capacity=3, now=0.0)
+        assert [bucket.take(0.0)[0] for _ in range(3)] == [True, True, True]
+        allowed, retry = bucket.take(0.0)
+        assert not allowed
+        assert retry == pytest.approx(1.0)  # 60/min = 1 token per second
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate_per_minute=60, capacity=1, now=0.0)
+        assert bucket.take(0.0)[0]
+        assert not bucket.take(0.5)[0]
+        assert bucket.take(1.0)[0]
+
+    def test_refill_never_exceeds_capacity(self):
+        bucket = TokenBucket(rate_per_minute=600, capacity=2, now=0.0)
+        bucket.take(0.0)
+        bucket._refill(1000.0)
+        assert bucket.tokens == 2.0
+
+    @pytest.mark.parametrize("rate, capacity", [(0, 1), (-5, 1), (60, 0)])
+    def test_invalid_parameters_rejected(self, rate, capacity):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_minute=rate, capacity=capacity, now=0.0)
+
+
+class TestRateLimiter:
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_minute=60, burst=1, clock=clock)
+        assert limiter.check("alice")[0]
+        assert not limiter.check("alice")[0]
+        assert limiter.check("bob")[0]
+
+    def test_retry_after_names_the_next_token(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_minute=30, burst=1, clock=clock)
+        assert limiter.check("c")[0]
+        allowed, retry = limiter.check("c")
+        assert not allowed
+        assert retry == pytest.approx(2.0)  # 30/min = one token every 2 s
+        clock.advance(2.0)
+        assert limiter.check("c")[0]
+
+    def test_zero_rate_disables_limiting(self):
+        limiter = RateLimiter(rate_per_minute=0, burst=1, clock=FakeClock())
+        assert not limiter.enabled
+        assert all(limiter.check("d")[0] for _ in range(100))

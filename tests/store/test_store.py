@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -158,6 +159,48 @@ class TestMaintenance:
         assert stats.removed >= 1
         assert not (store.root / "v0").exists()
         assert store.get("k", FP) == {"v": 1}
+
+    def test_gc_prunes_stale_heartbeats_per_namespace_ttl(self, store):
+        """gc drops dead workers' heartbeat records, judged by each
+        namespace's own lease TTL (from its plan manifest).
+
+        Regression: heartbeat files were never pruned, so every crashed or
+        interrupted sweep's workers haunted `repro workers status` forever.
+        """
+        import os
+
+        from repro.store import LeaseBoard
+
+        board = LeaseBoard(store.root, "crashed-run", ttl=30.0)
+        board.write_plan({"names": ["fig7"], "nshards": 4, "lease_ttl": 5.0})
+        board.beat("worker-0-dead")
+        board.beat("worker-1-live")
+        dead = board.heartbeat_path("worker-0-dead")
+        stale_at = time.time() - 60.0
+        os.utime(dead, (stale_at, stale_at))
+        # Age the record's own beat field too (pruning reads it first).
+        record = json.loads(dead.read_text())
+        record["beat"] = stale_at
+        dead.write_text(json.dumps(record))
+
+        stats = store.gc()
+        assert stats.heartbeats_pruned == 1
+        assert not dead.exists()
+        assert board.heartbeat_path("worker-1-live").exists()
+
+    def test_gc_removes_namespaces_left_empty_by_pruning(self, store):
+        from repro.store import LeaseBoard
+
+        board = LeaseBoard(store.root, "long-gone", ttl=30.0)
+        board.beat("worker-0")
+        record_path = board.heartbeat_path("worker-0")
+        record = json.loads(record_path.read_text())
+        record["beat"] = time.time() - 3600.0
+        record_path.write_text(json.dumps(record))
+
+        stats = store.gc()
+        assert stats.heartbeats_pruned == 1
+        assert not board.directory.exists()
 
     def test_clear_removes_everything(self, store):
         store.put("a", FP, {"v": 1})

@@ -169,6 +169,24 @@ class TestStoreCli:
         finally:
             default_decomposition_cache.detach_store()
 
+    def test_store_gc_reports_pruned_heartbeats(self, tmp_path, capsys):
+        import json
+        import time
+
+        from repro.store import LeaseBoard
+
+        store_dir = tmp_path / "store"
+        board = LeaseBoard(store_dir, "crashed-run", ttl=30.0)
+        board.beat("worker-0")
+        record_path = board.heartbeat_path("worker-0")
+        record = json.loads(record_path.read_text())
+        record["beat"] = time.time() - 3600.0
+        record_path.write_text(json.dumps(record))
+
+        assert main(["--store", str(store_dir), "store", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale worker heartbeats" in out
+
     def test_store_env_var_is_the_default(self, tmp_path, capsys, monkeypatch):
         from repro.engine.cache import default_decomposition_cache
 
