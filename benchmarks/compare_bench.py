@@ -24,8 +24,19 @@ possible:
 
 A kernel regresses when its metric degrades by more than ``--tolerance``
 (default 1.25x, overridable via ``$BENCH_TOLERANCE``).  Kernels present in
-the baseline but missing from the current run fail; new kernels are reported
-but pass (commit a refreshed baseline to start gating them).  The markdown
+the baseline but missing from the current run fail — individually and with
+one aggregated stderr line listing every absent name, so a renamed or
+removed bench is impossible to miss; new kernels are reported but pass
+(commit a refreshed baseline to start gating them).
+
+Optional-dependency benches may emit explicit ``skipped`` records (e.g. the
+``compiled_backend_*`` entries on a host without numba) instead of dropping
+out of the document.  A skip in the current run passes by default and is
+listed as such; ``--require-all`` turns current-run skips into failures —
+the bench-regression job passes it, because its runner installs every extra
+and a skip there means the environment silently lost one.  A skip marker in
+the *baseline* makes the kernel ``ungated`` (there is nothing to compare
+against) until a refreshed baseline with real numbers is committed.  The markdown
 delta summary is written for CI to upload as an artifact — and, when the run
 is a GitHub Actions job (``$GITHUB_STEP_SUMMARY`` is set), appended to the
 job summary so a regression is readable straight from the run page without
@@ -81,10 +92,9 @@ class Delta:
         self.ratio = ratio
         self.status = status
         self.note = note
-
-    @property
-    def failed(self) -> bool:
-        return self.status in ("regressed", "missing", "incorrect")
+        # An assignable verdict (not derived on the fly) so policy flags like
+        # --require-all can escalate an otherwise-passing status.
+        self.failed = status in ("regressed", "missing", "incorrect")
 
 
 def _by_kernel(document: Dict) -> Dict[str, Dict]:
@@ -95,8 +105,14 @@ def _failed_flags(entry: Dict) -> List[str]:
     return [flag for flag in CORRECTNESS_FLAGS if entry.get(flag) is False]
 
 
-def compare(baseline: Dict, current: Dict, tolerance: float) -> List[Delta]:
-    """Per-kernel deltas, baseline order first, new kernels appended."""
+def compare(
+    baseline: Dict, current: Dict, tolerance: float, require_all: bool = False
+) -> List[Delta]:
+    """Per-kernel deltas, baseline order first, new kernels appended.
+
+    ``require_all`` escalates explicit current-run skips to failures: every
+    baseline kernel must have been *measured*, not merely accounted for.
+    """
     if tolerance <= 1.0:
         raise ValueError(f"tolerance must exceed 1.0, got {tolerance}")
     base_entries = _by_kernel(baseline)
@@ -107,6 +123,25 @@ def compare(baseline: Dict, current: Dict, tolerance: float) -> List[Delta]:
         if entry is None:
             deltas.append(
                 Delta(kernel, "-", None, None, None, "missing", "kernel absent from current run")
+            )
+            continue
+        if "skipped" in entry:
+            delta = Delta(
+                kernel, "-", None, None, None, "skipped",
+                f"skipped in current run: {entry['skipped']}",
+            )
+            delta.failed = require_all
+            deltas.append(delta)
+            continue
+        if "skipped" in base:
+            # The committed baseline is a skip marker (e.g. recorded on a
+            # host without the backend's extra): the current measurement has
+            # nothing to be gated against until a refreshed baseline lands.
+            deltas.append(
+                Delta(
+                    kernel, "-", None, entry.get("engine_seconds"), None, "ungated",
+                    "baseline is a skip marker (commit a refreshed baseline to gate it)",
+                )
             )
             continue
         bad_flags = _failed_flags(entry)
@@ -230,6 +265,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--markdown", default="", help="also write the delta summary to this markdown file"
     )
+    parser.add_argument(
+        "--require-all", action="store_true",
+        help="fail on explicit current-run skips too: every baseline kernel "
+             "must have been measured (the bench-regression job's mode — its "
+             "runner installs every extra, so a skip means a lost dependency)",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
@@ -237,7 +278,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, ValueError) as error:
         print(f"cannot load benchmark documents: {error}", file=sys.stderr)
         return 2
-    deltas = compare(baseline, current, args.tolerance)
+    deltas = compare(baseline, current, args.tolerance, require_all=args.require_all)
     report = render_markdown(deltas, args.tolerance)
     if args.markdown:
         Path(args.markdown).write_text(report, encoding="utf-8")
@@ -252,6 +293,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"cannot write job summary: {error}", file=sys.stderr)
     print(report)
     failures = [delta for delta in deltas if delta.failed]
+    absent = [
+        delta.kernel
+        for delta in deltas
+        if delta.status == "missing" and delta.metric == "-"
+    ]
+    if absent:
+        # One aggregated, unambiguous line on top of the per-kernel records: a
+        # renamed/removed bench must name itself, not just shrink the table.
+        print(
+            f"baseline entries missing from the current run: {', '.join(absent)} "
+            "(a renamed or removed bench must ship a refreshed "
+            "benchmarks/baseline/BENCH_kernels.json in the same change)",
+            file=sys.stderr,
+        )
     for delta in failures:
         print(
             f"REGRESSION {delta.kernel}: {delta.metric} "

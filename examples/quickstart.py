@@ -149,7 +149,14 @@ def main() -> None:
         "to share the sweep machinery over HTTP instead (deduplicated jobs,\n"
         "reports byte-identical to the CLI's --json output):\n"
         "    python -m repro --store .repro-store serve --port 8321\n"
-        "    curl -X POST localhost:8321/sweeps -d '{\"workers\": 4}'"
+        "    curl -X POST localhost:8321/sweeps -d '{\"workers\": 4}'\n"
+        "\n"
+        "for large single-host sweeps, the numba-compiled backend (an optional\n"
+        "extra: pip install 'repro[compiled]') runs the fused tile kernel\n"
+        "JIT-compiled and parallel, within a documented ULP-scale tolerance\n"
+        "envelope of the float64 reference:\n"
+        "    python -m repro backends                    # list + availability\n"
+        "    python -m repro --backend compiled report"
     )
 
 

@@ -46,9 +46,12 @@ __all__ = [
     "PrecisionPolicy",
     "TileLayout",
     "Backend",
+    "BackendUnavailableError",
     "NumpyBackend",
     "register_backend",
     "backend_names",
+    "backend_availability",
+    "backend_policy",
     "get_backend",
     "resolve_backend",
     "active_backend",
@@ -287,12 +290,37 @@ class NumpyBackend(Backend):
         self.policy = policy
 
 
+class BackendUnavailableError(ValueError):
+    """A *registered* backend whose optional dependency is missing.
+
+    Subclasses :class:`ValueError` so every existing call site that treats a
+    bad ``--backend`` / ``$REPRO_BACKEND`` / sweep-spec value as a user error
+    (CLI ``parser.error``, server 400) handles "installed package lacks the
+    extra" the same way as "no such backend" — with a message that names the
+    pip extra to install instead of a traceback.
+    """
+
+    def __init__(self, name: str, reason: str, install_hint: Optional[str]) -> None:
+        message = f"execution backend {name!r} is unavailable: {reason}"
+        if install_hint:
+            message = f"{message} (install it with: {install_hint})"
+        super().__init__(message)
+        self.backend_name = name
+        self.reason = reason
+        self.install_hint = install_hint
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 _REGISTRY: Dict[str, Callable[[], Backend]] = {}
 _POLICIES: Dict[str, PrecisionPolicy] = {}
 _INSTANCES: Dict[str, Backend] = {}
+#: Optional availability probe per backend: returns ``None`` when the
+#: backend can run here, else a short human-readable reason it cannot.
+_AVAILABILITY: Dict[str, Callable[[], Optional[str]]] = {}
+#: Optional pip-install hint per backend, surfaced by BackendUnavailableError.
+_HINTS: Dict[str, str] = {}
 _REGISTRY_LOCK = threading.Lock()
 
 #: Open using_backend scopes, innermost last.  Entries are unique token
@@ -314,7 +342,12 @@ _PROCESS_DEFAULT: Optional[str] = None
 
 
 def register_backend(
-    name: str, factory: Callable[[], Backend], policy: PrecisionPolicy
+    name: str,
+    factory: Callable[[], Backend],
+    policy: PrecisionPolicy,
+    *,
+    availability: Optional[Callable[[], Optional[str]]] = None,
+    install_hint: Optional[str] = None,
 ) -> None:
     """Register (or replace) a backend factory under ``name``.
 
@@ -323,11 +356,25 @@ def register_backend(
     staleness — never require *constructing* the backend (a misconfigured
     ``$REPRO_BACKEND_THREADS`` must not break store maintenance under an
     unrelated backend).
+
+    ``availability`` lets a backend with an optional native dependency
+    register unconditionally (so it is always *listed*, and its salt token
+    always counts as valid for store maintenance) while deferring the import
+    to first use: the probe returns ``None`` when the backend can run in this
+    environment, else a short reason string.  Resolving an unavailable
+    backend raises :class:`BackendUnavailableError` naming ``install_hint``
+    (e.g. ``pip install 'repro[compiled]'``) instead of crashing on import.
     """
     with _REGISTRY_LOCK:
         _REGISTRY[name] = factory
         _POLICIES[name] = policy
         _INSTANCES.pop(name, None)
+        _AVAILABILITY.pop(name, None)
+        _HINTS.pop(name, None)
+        if availability is not None:
+            _AVAILABILITY[name] = availability
+        if install_hint is not None:
+            _HINTS[name] = install_hint
 
 
 def backend_names() -> Tuple[str, ...]:
@@ -335,22 +382,66 @@ def backend_names() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def backend_availability() -> Dict[str, Optional[str]]:
+    """Availability of every registered backend, sorted by name.
+
+    Maps each name to ``None`` (available) or the probe's reason string
+    (unavailable).  Probes run outside the registry lock and never construct
+    the backend, so listing availability is always safe — even when a probe
+    is what would fail.
+    """
+    with _REGISTRY_LOCK:
+        probes = {name: _AVAILABILITY.get(name) for name in sorted(_REGISTRY)}
+    return {
+        name: (probe() if probe is not None else None)
+        for name, probe in probes.items()
+    }
+
+
+def backend_policy(name: str) -> PrecisionPolicy:
+    """The declared precision policy of ``name`` (never constructs it)."""
+    with _REGISTRY_LOCK:
+        policy = _POLICIES.get(name)
+    if policy is None:
+        known = ", ".join(backend_names()) or "<none>"
+        raise ValueError(
+            f"unknown execution backend {name!r}; registered backends: {known} "
+            f"(select one with --backend or ${ENV_VAR})"
+        )
+    return policy
+
+
 def get_backend(name: str) -> Backend:
-    """The (process-wide, memoized) backend registered under ``name``."""
+    """The (process-wide, memoized) backend registered under ``name``.
+
+    A backend registered with an availability probe is checked first; an
+    unavailable one raises :class:`BackendUnavailableError` (a ValueError)
+    with its install hint rather than letting the factory crash on import.
+    """
     with _REGISTRY_LOCK:
         instance = _INSTANCES.get(name)
         if instance is not None:
             return instance
         factory = _REGISTRY.get(name)
-        if factory is None:
-            known = ", ".join(backend_names()) or "<none>"
-            raise ValueError(
-                f"unknown execution backend {name!r}; registered backends: {known} "
-                f"(select one with --backend or ${ENV_VAR})"
-            )
-        instance = factory()
-        _INSTANCES[name] = instance
-        return instance
+        probe = _AVAILABILITY.get(name)
+        hint = _HINTS.get(name)
+    if factory is None:
+        known = ", ".join(backend_names()) or "<none>"
+        raise ValueError(
+            f"unknown execution backend {name!r}; registered backends: {known} "
+            f"(select one with --backend or ${ENV_VAR})"
+        )
+    # Probe and construct outside the lock: probes may import, factories may
+    # spin up thread pools, and neither should serialize unrelated lookups.
+    if probe is not None:
+        reason = probe()
+        if reason is not None:
+            raise BackendUnavailableError(name, reason, hint)
+    instance = factory()
+    with _REGISTRY_LOCK:
+        # Another thread may have raced us through the same factory; keep
+        # the first instance so memoization stays process-wide stable.
+        return _INSTANCES.setdefault(name, instance)
 
 
 def registered_salt_tokens() -> Tuple[str, ...]:

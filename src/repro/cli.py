@@ -29,11 +29,16 @@ store as their shared medium::
 
 ``--backend NAME`` (or ``$REPRO_BACKEND``) selects the execution backend for
 every kernel and SVD: ``numpy64`` (default float64 reference), ``threaded``
-(multicore tile executor, bit-identical to numpy64) or ``numpy32`` (float32
-precision policy; its store artifacts are salted separately)::
+(multicore tile executor, bit-identical to numpy64), ``numpy32`` (float32
+precision policy; its store artifacts are salted separately) or ``compiled``
+(numba-JIT fused tile executor — requires the ``repro[compiled]`` extra;
+without it the backend is listed but resolving it explains what to
+install).  ``repro backends`` lists every registered backend with its
+precision policy and availability on this host::
 
     python -m repro --backend threaded report
     REPRO_BACKEND=numpy32 python -m repro robustness --trials 16
+    python -m repro backends
 
 ``--workers N`` (or ``$REPRO_WORKERS``) runs any experiment sweep in ``N``
 worker processes: the grid is partitioned into fingerprint-hash store shards,
@@ -70,7 +75,14 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from .backend import backend_names, resolve_backend, using_backend
+from .backend import (
+    backend_availability,
+    backend_names,
+    backend_policy,
+    default_backend_name,
+    resolve_backend,
+    using_backend,
+)
 from .experiments.fig6 import format_fig6, run_fig6
 from .experiments.fig7 import format_fig7, run_fig7
 from .experiments.fig8 import format_fig8, run_fig8
@@ -142,6 +154,27 @@ def _store_text(args: argparse.Namespace, store: ExperimentStore) -> str:
     raise ValueError(f"unknown store action {args.action!r}")
 
 
+def _backends_text() -> str:
+    """One line per registered backend: policy, salt, availability.
+
+    Reads only declared policies and availability probes — never constructs
+    a backend — so the listing works (and diagnoses) even when the currently
+    selected backend is the unavailable one.
+    """
+    availability = backend_availability()
+    default = default_backend_name()
+    lines = [f"{len(availability)} registered execution backends (default: {default})"]
+    for name, reason in availability.items():
+        policy = backend_policy(name)
+        contract = "bit-identical" if policy.bit_identical else "tolerance envelope"
+        status = "available" if reason is None else f"unavailable: {reason}"
+        lines.append(
+            f"  {name:10s} {policy.name:14s} {contract:19s} "
+            f"salt={policy.salt_token or '<none>':10s} {status}"
+        )
+    return "\n".join(lines)
+
+
 def _compare_text(args: argparse.Namespace) -> str:
     geometries = compressible_geometries(args.network)
     array = ArrayDims.square(args.array)
@@ -184,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("table1", help="reproduce Table I")
+
+    subparsers.add_parser(
+        "backends",
+        help="list registered execution backends, their precision policies "
+             "and availability on this host",
+    )
 
     fig6 = subparsers.add_parser("fig6", help="reproduce Fig. 6 (vs. pattern pruning)")
     fig6.add_argument("--network", choices=("resnet20", "wrn16_4"), default=None)
@@ -297,12 +336,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit(text: str, args: argparse.Namespace) -> int:
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "backends":
+        # The diagnostic listing must work precisely when the selected
+        # backend is the broken one (--backend/$REPRO_BACKEND naming an
+        # unavailable or unknown backend), so it dispatches before the
+        # eager resolution below and never constructs a backend.
+        return _emit(_backends_text(), args)
     try:
-        # Resolve eagerly: an unknown --backend (or $REPRO_BACKEND) must fail
-        # with the registered-name listing before any work starts.
+        # Resolve eagerly: an unknown or unavailable --backend (or
+        # $REPRO_BACKEND) must fail with the registered-name listing or the
+        # extras-install hint before any work starts.
         backend = resolve_backend(args.backend)
     except ValueError as error:
         parser.error(str(error))
@@ -322,11 +376,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     with using_backend(backend):
         text = _dispatch(args, parser, store)
 
-    print(text)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-    return 0
+    return _emit(text, args)
 
 
 def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) -> str:

@@ -1,0 +1,258 @@
+"""The compiled (numba) backend: availability contract and kernel numerics.
+
+Two independent surfaces, each testable without numba installed:
+
+* **Degradation** (``without_numba``): the backend must stay *registered* —
+  listed, policy-queryable, salt-valid — while resolving it raises
+  :class:`BackendUnavailableError` naming the ``repro[compiled]`` extra.
+  CI's compiled matrix legs run this suite *with* numba present, so the
+  fixture simulates absence with an import blocker rather than relying on
+  the host.
+
+* **Numerics** (``CompiledBackend(force_python=True)``): the pure-Python
+  seam runs the very same kernel function the JIT compiles — same code
+  object, same arithmetic — so the tolerance-envelope contract against the
+  numpy64 reference is exercised on every host, numba or not.  When numba
+  *is* installed (the CI compiled legs), the JIT path runs the battery too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BackendUnavailableError,
+    CompiledBackend,
+    COMPILED_POLICY,
+    backend_availability,
+    backend_names,
+    backend_policy,
+    get_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.backend.compiled import COMPILED_EXTRA_HINT, numba_unavailable_reason
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+def _engine_pair(matrix, rng, monte_carlo=False, **kwargs):
+    """(reference, compiled) engine kernels over the same programming."""
+    from repro.engine.kernels import BatchedTiledMatrix, MonteCarloTiledMatrix
+    from repro.imc.noise import NoiseModel
+    from repro.mapping.geometry import ArrayDims
+
+    array = ArrayDims.square(32)
+    kwargs.setdefault("noise", NoiseModel.typical())
+    cls = MonteCarloTiledMatrix if monte_carlo else BatchedTiledMatrix
+    reference = cls(matrix, array, backend="numpy64", **kwargs)
+    compiled = cls(matrix, array, backend=CompiledBackend(force_python=True), **kwargs)
+    return reference, compiled
+
+
+def _assert_within_envelope(compiled_out, reference_out):
+    np.testing.assert_allclose(
+        compiled_out,
+        reference_out,
+        rtol=COMPILED_POLICY.output_rtol,
+        atol=COMPILED_POLICY.output_atol,
+    )
+
+
+class TestAvailabilityContract:
+    def test_registered_even_without_numba(self, without_numba):
+        """Absence of the extra must never unregister the backend."""
+        assert "compiled" in backend_names()
+
+    def test_availability_listing_names_numba(self, without_numba):
+        availability = backend_availability()
+        assert "compiled" in availability
+        reason = availability["compiled"]
+        assert reason is not None and "numba" in reason
+
+    def test_other_backends_stay_available(self, without_numba):
+        availability = backend_availability()
+        for name in ("numpy64", "numpy32", "threaded"):
+            assert availability[name] is None
+
+    def test_get_backend_raises_with_extras_hint(self, without_numba):
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            get_backend("compiled")
+        message = str(excinfo.value)
+        assert "'compiled' is unavailable" in message
+        assert "numba" in message
+        assert "repro[compiled]" in message  # actionable: names the extra
+        assert excinfo.value.backend_name == "compiled"
+        assert excinfo.value.install_hint == COMPILED_EXTRA_HINT
+
+    def test_unavailable_is_a_value_error(self, without_numba):
+        """CLI parser.error / server 400 paths catch ValueError."""
+        with pytest.raises(ValueError):
+            get_backend("compiled")
+
+    def test_resolve_backend_propagates_unavailability(self, without_numba):
+        with pytest.raises(BackendUnavailableError):
+            resolve_backend("compiled")
+
+    def test_env_precedence_fall_through_fails_loud(self, without_numba, monkeypatch):
+        """$REPRO_BACKEND=compiled on a numba-less host: actionable error,
+        not a silent fallback to numpy64."""
+        from repro.backend import active_backend
+
+        monkeypatch.setenv("REPRO_BACKEND", "compiled")
+        with pytest.raises(BackendUnavailableError, match=r"repro\[compiled\]"):
+            active_backend()
+
+    def test_set_default_validates_availability_eagerly(self, without_numba):
+        with pytest.raises(BackendUnavailableError):
+            set_default_backend("compiled")
+
+    def test_policy_and_salt_queryable_without_numba(self, without_numba):
+        """Store maintenance never constructs the backend."""
+        policy = backend_policy("compiled")
+        assert policy.name == "float64-fused"
+        assert policy.salt_token == "compiled"
+        assert not policy.bit_identical
+
+    def test_probe_reports_available_when_numba_importable(self):
+        """On a host with numba (or the purepy seam) the probe says None."""
+        pytest.importorskip("numba")
+        assert numba_unavailable_reason() is None
+
+    def test_purepy_seam_counts_as_available(self, without_numba, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_PUREPY", "1")
+        assert numba_unavailable_reason() is None
+        assert backend_availability()["compiled"] is None
+
+
+class TestPolicy:
+    def test_envelope_is_float64_scale(self):
+        """The compiled envelope must sit far inside float32's: it is a ULP
+        reassociation effect, not a precision trade."""
+        from repro.backend.core import FLOAT32_POLICY
+
+        assert COMPILED_POLICY.dtype == "float64"
+        assert COMPILED_POLICY.output_rtol < FLOAT32_POLICY.output_rtol / 1e6
+        assert COMPILED_POLICY.quantized_step_slack < FLOAT32_POLICY.quantized_step_slack
+
+    def test_salt_token_distinct_from_float64_family(self):
+        assert COMPILED_POLICY.salt_token == "compiled"
+        assert COMPILED_POLICY.salt_token != ""
+
+
+class TestKernelEquivalence:
+    """Pure-Python seam vs. the numpy64 reference, within the policy envelope."""
+
+    @pytest.mark.parametrize("bits", [None, 6])
+    @pytest.mark.parametrize("shape", [(40, 70), (33, 65), (100, 1), (64, 64)])
+    def test_batched_within_envelope(self, rng, shape, bits):
+        matrix = rng.standard_normal(shape)
+        reference, compiled = _engine_pair(
+            matrix, rng, seed=7, input_bits=bits, output_bits=bits
+        )
+        inputs = rng.standard_normal((9, shape[1]))
+        _assert_within_envelope(compiled.mvm_batch(inputs), reference.mvm_batch(inputs))
+
+    @pytest.mark.parametrize("bits", [None, 5])
+    @pytest.mark.parametrize("per_trial_inputs", [False, True])
+    def test_monte_carlo_within_envelope(self, rng, bits, per_trial_inputs):
+        matrix = rng.standard_normal((40, 70))
+        reference, compiled = _engine_pair(
+            matrix, rng, monte_carlo=True, trials=3, seed=5,
+            input_bits=bits, output_bits=bits,
+        )
+        inputs = (
+            rng.standard_normal((3, 6, 70)) if per_trial_inputs else rng.standard_normal((6, 70))
+        )
+        _assert_within_envelope(compiled.mvm_batch(inputs), reference.mvm_batch(inputs))
+
+    def test_zero_inputs_pass_quantizer_untouched(self, rng):
+        """All-zero vectors hit the quantizer's zero-max passthrough."""
+        matrix = rng.standard_normal((40, 70))
+        reference, compiled = _engine_pair(matrix, rng, seed=3, output_bits=6)
+        inputs = np.zeros((4, 70))
+        np.testing.assert_array_equal(
+            compiled.mvm_batch(inputs), reference.mvm_batch(inputs)
+        )
+
+    def test_deterministic_across_calls(self, rng):
+        matrix = rng.standard_normal((33, 65))
+        _, compiled = _engine_pair(matrix, rng, seed=11, output_bits=6)
+        inputs = rng.standard_normal((5, 65))
+        np.testing.assert_array_equal(
+            compiled.mvm_batch(inputs), compiled.mvm_batch(inputs)
+        )
+
+    def test_stored_matrix_matches_reference(self, rng):
+        """Programming (write noise, quantization) is backend-independent."""
+        matrix = rng.standard_normal((40, 70))
+        reference, compiled = _engine_pair(matrix, rng, seed=9)
+        np.testing.assert_array_equal(compiled.stored_matrix(), reference.stored_matrix())
+
+    def test_empty_batch(self, rng):
+        matrix = rng.standard_normal((40, 70))
+        reference, compiled = _engine_pair(matrix, rng, seed=2, output_bits=6)
+        inputs = np.zeros((0, 70))
+        out = compiled.mvm_batch(inputs)
+        assert out.shape == reference.mvm_batch(inputs).shape
+        assert out.shape[0] == 0
+
+    def test_base_protocol_ops_inherited(self, rng):
+        """matmul / batched_matmul / einsum / svd are the numpy fallbacks."""
+        backend = CompiledBackend(force_python=True)
+        a = rng.standard_normal((4, 5))
+        b = rng.standard_normal((5, 3))
+        np.testing.assert_array_equal(backend.matmul(a, b), a @ b)
+        stack_a = rng.standard_normal((3, 4, 5))
+        stack_b = rng.standard_normal((3, 5, 2))
+        np.testing.assert_array_equal(
+            backend.batched_matmul(stack_a, stack_b), np.matmul(stack_a, stack_b)
+        )
+        np.testing.assert_array_equal(
+            backend.einsum("ij,jk->ik", a, b), np.einsum("ij,jk->ik", a, b)
+        )
+        u, s, vt = backend.svd(a)
+        np.testing.assert_allclose((u * s) @ vt, a, atol=1e-12)
+
+    def test_warmup_runs_on_purepy_seam(self):
+        CompiledBackend(force_python=True).warmup()
+
+    def test_jit_path_within_envelope_when_numba_present(self, rng):
+        """The actual JIT kernel (exercised on CI's compiled legs)."""
+        pytest.importorskip("numba")
+        from repro.engine.kernels import BatchedTiledMatrix
+        from repro.imc.noise import NoiseModel
+        from repro.mapping.geometry import ArrayDims
+
+        matrix = rng.standard_normal((33, 65))
+        array = ArrayDims.square(32)
+        kwargs = dict(noise=NoiseModel.typical(), seed=7, input_bits=6, output_bits=6)
+        reference = BatchedTiledMatrix(matrix, array, backend="numpy64", **kwargs)
+        jitted = BatchedTiledMatrix(matrix, array, backend=get_backend("compiled"), **kwargs)
+        inputs = rng.standard_normal((6, 65))
+        _assert_within_envelope(jitted.mvm_batch(inputs), reference.mvm_batch(inputs))
+
+    def test_jit_matches_purepy_seam_exactly_when_numba_present(self, rng):
+        """JIT and pure-Python run the same code object: identical results
+        would be ideal, but LLVM may still fuse/reassociate — so hold the
+        two variants to the policy envelope against each other."""
+        pytest.importorskip("numba")
+        from repro.engine.kernels import BatchedTiledMatrix
+        from repro.imc.noise import NoiseModel
+        from repro.mapping.geometry import ArrayDims
+
+        matrix = rng.standard_normal((40, 70))
+        array = ArrayDims.square(32)
+        kwargs = dict(noise=NoiseModel.typical(), seed=13, output_bits=5)
+        pure = BatchedTiledMatrix(
+            matrix, array, backend=CompiledBackend(force_python=True), **kwargs
+        )
+        jitted = BatchedTiledMatrix(matrix, array, backend=get_backend("compiled"), **kwargs)
+        inputs = rng.standard_normal((6, 70))
+        _assert_within_envelope(jitted.mvm_batch(inputs), pure.mvm_batch(inputs))

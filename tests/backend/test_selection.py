@@ -30,7 +30,7 @@ def _clean_default():
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert set(backend_names()) >= {"numpy64", "numpy32", "threaded"}
+        assert set(backend_names()) >= {"numpy64", "numpy32", "threaded", "compiled"}
 
     def test_instances_are_memoized(self):
         assert get_backend("numpy64") is get_backend("numpy64")
@@ -148,5 +148,16 @@ class TestPolicyRegistry:
 
         monkeypatch.setenv("REPRO_BACKEND_THREADS", "0")
         monkeypatch.delitem(_INSTANCES, "threaded", raising=False)
-        assert set(registered_salt_tokens()) == {"", "float32"}
+        assert set(registered_salt_tokens()) == {"", "float32", "compiled"}
         assert "threaded" not in _INSTANCES
+
+    def test_compiled_salt_known_without_numba(self, without_numba):
+        """Store staleness must count 'compiled' valid even when numba is absent.
+
+        The compiled backend's salt token comes from its declared policy, so
+        gc on a host without the extra never treats compiled-salted artifacts
+        (written elsewhere, e.g. on a shared NFS store) as stale garbage.
+        """
+        from repro.backend import registered_salt_tokens
+
+        assert "compiled" in registered_salt_tokens()

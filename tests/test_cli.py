@@ -220,6 +220,57 @@ class TestStoreCli:
             default_decomposition_cache.detach_store()
 
 
+class TestBackendsCli:
+    """``repro backends``: the availability listing and --backend failures."""
+
+    def test_backends_lists_every_registered_backend(self, capsys):
+        exit_code = main(["backends"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("numpy64", "numpy32", "threaded", "compiled"):
+            assert name in out
+        assert "registered execution backends" in out
+        assert "bit-identical" in out and "tolerance envelope" in out
+
+    def test_backends_reports_unavailable_with_reason(self, capsys, without_numba):
+        exit_code = main(["backends"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "unavailable: " in out and "numba" in out
+
+    def test_backends_survives_a_broken_selected_backend(self, capsys, monkeypatch, without_numba):
+        """The listing is the diagnostic tool, so it must work even when the
+        environment selects the very backend that cannot load."""
+        monkeypatch.setenv("REPRO_BACKEND", "compiled")
+        exit_code = main(["backends"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "(default: compiled)" in out
+
+    def test_backends_output_file(self, tmp_path, capsys):
+        target = tmp_path / "backends.txt"
+        exit_code = main(["--output", str(target), "backends"])
+        capsys.readouterr()
+        assert exit_code == 0
+        assert "compiled" in target.read_text()
+
+    def test_unavailable_backend_flag_rejected_with_hint(self, capsys, without_numba):
+        with pytest.raises(SystemExit):
+            main(["--backend", "compiled", "table1"])
+        err = capsys.readouterr().err
+        assert "unavailable" in err and "repro[compiled]" in err
+
+    def test_unavailable_env_backend_rejected_with_hint(self, capsys, monkeypatch, without_numba):
+        monkeypatch.setenv("REPRO_BACKEND", "compiled")
+        with pytest.raises(SystemExit):
+            main(["table1"])
+        err = capsys.readouterr().err
+        assert "repro[compiled]" in err
+
+    def test_compiled_backend_parses(self):
+        assert build_parser().parse_args(["--backend", "compiled", "table1"]).backend == "compiled"
+
+
 class TestWorkersCli:
     """The global --workers flag: validation, placement, shard interplay."""
 
