@@ -1,0 +1,131 @@
+"""Walk a modern layer through the zoo: geometry → lowering → tiles → noise.
+
+The paper maps plain CNN convolutions; this example follows one grouped
+convolution, one depthwise convolution and one fused attention projection from
+the workload zoo (:mod:`repro.workloads`) through the block-diagonal lowering
+(:mod:`repro.mapping.grouped`) and onto noisy crossbar tiles, showing at each
+step what the ``layer_families`` experiment measures in aggregate:
+
+1. how many tiles the block-diagonal placement allocates vs. the dense
+   bounding box (the closed form matches the tile layer exactly),
+2. how much of the allocated cell capacity actually stores weights,
+3. the Monte-Carlo output-error spread on a non-ideal scenario.
+
+Run with:  python examples/layer_families.py [--trials 4] [--scenario typical_rram]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.mapping.geometry import (
+    ArrayDims,
+    AttentionProjectionGeometry,
+    GroupedConvGeometry,
+    layer_family,
+)
+from repro.mapping.grouped import grouped_utilization, tiles_for_grouped_conv
+from repro.mapping.cycles import tiles_for_matrix
+from repro.scenarios import get_scenario, scenario_names
+from repro.workloads import network_geometries
+
+
+def pick_layer(network: str, family: str):
+    """The middle layer of ``family`` in ``network`` — the experiment's convention."""
+    matching = [g for g in network_geometries(network) if layer_family(g) == family]
+    return matching[len(matching) // 2]
+
+
+def random_weight(geometry, rng):
+    """Weights in the family's native layout (kernel tensor or GEMM matrix)."""
+    if isinstance(geometry, GroupedConvGeometry):
+        return rng.normal(
+            0.0,
+            1.0 / np.sqrt(geometry.block_in_cols),
+            size=(geometry.out_channels, geometry.group_in_channels,
+                  geometry.kernel_h, geometry.kernel_w),
+        )
+    return rng.normal(0.0, 1.0 / np.sqrt(geometry.n), size=(geometry.m, geometry.n))
+
+
+def plan_for(ctx, geometry, weight, trials):
+    if isinstance(geometry, GroupedConvGeometry):
+        return ctx.grouped_conv_monte_carlo_plan(weight, geometry, trials=trials)
+    if isinstance(geometry, AttentionProjectionGeometry):
+        return ctx.attention_monte_carlo_plan(weight, geometry, trials=trials)
+    return ctx.dense_monte_carlo_plan(weight, trials=trials, geometry=geometry)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=4,
+                        help="independent noisy programmings per layer")
+    parser.add_argument("--scenario", choices=scenario_names(), default="typical_rram",
+                        help="hardware scenario of the Monte-Carlo pass")
+    parser.add_argument("--array", type=int, default=64, help="crossbar array size")
+    args = parser.parse_args()
+
+    array = ArrayDims.square(args.array)
+    ctx = get_scenario(args.scenario).context(array, seed=0)
+    rng = np.random.default_rng(0)
+
+    layers = [
+        ("grouped", "resnext20", pick_layer("resnext20", "grouped")),
+        ("depthwise", "mobilenet_cifar", pick_layer("mobilenet_cifar", "depthwise")),
+        ("attention", "tiny_transformer", pick_layer("tiny_transformer", "attention")),
+    ]
+
+    rows = []
+    for family, network, geometry in layers:
+        weight = random_weight(geometry, rng)
+        plan = plan_for(ctx, geometry, weight, args.trials)
+        inputs = rng.standard_normal((16, geometry.n))
+        result = plan.run(inputs)
+
+        dense_tiles = tiles_for_matrix(geometry.m, geometry.n, array)
+        if isinstance(geometry, GroupedConvGeometry):
+            predicted = tiles_for_grouped_conv(geometry, array)
+            assert plan.allocated_tiles == predicted, "closed form must match tiles"
+            utilization = grouped_utilization(geometry, array)
+            used = utilization.used_cells / utilization.allocated_cells
+        else:
+            used = geometry.weight_count / (
+                plan.allocated_tiles * array.rows * array.logical_cols
+            )
+        rows.append(
+            [
+                f"{family} ({network})",
+                geometry.name,
+                f"{geometry.m}x{geometry.n}",
+                f"{plan.allocated_tiles} / {dense_tiles}",
+                f"{100.0 * used:.1f}%",
+                f"{result.mean_relative_error:.3f} ± {result.std_relative_error:.3f}",
+            ]
+        )
+
+    print(format_table(
+        ["family", "layer", "im2col shape", "tiles (block-diag / dense)",
+         "cells used", "rel. error"],
+        rows,
+        title=(
+            f"modern layers on a {array} crossbar, scenario {args.scenario!r} "
+            f"({args.trials} Monte-Carlo trials)"
+        ),
+    ))
+    print()
+    print(
+        "Grouped and depthwise convolutions lower to block-diagonal im2col\n"
+        "matrices; programming them through the ordinary dense path skips every\n"
+        "all-zero tile, so the allocation matches the closed-form block-diagonal\n"
+        "count exactly (asserted above).  The depthwise row shows the catch: far\n"
+        "fewer tiles than the dense bound, but the blocks are so skinny that the\n"
+        "allocated cells sit almost entirely idle.  Run `python -m repro\n"
+        "layer_families` for the full family x scenario sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

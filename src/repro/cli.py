@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro fig9                        # vs. traditional low-rank
     python -m repro report                      # everything (Table I + Figs. 6-9)
     python -m repro robustness --trials 16      # Monte-Carlo hardware-scenario sweep
+    python -m repro layer_families              # modern-layer mapping-efficiency sweep
     python -m repro compare --network resnet20 --array 64
                                                 # deployment-style method comparison
 
@@ -89,6 +90,11 @@ from .experiments.fig8 import format_fig8, run_fig8
 from .experiments.fig9 import format_fig9, run_fig9
 from .engine.cache import default_decomposition_cache
 from .engine.sweep import parse_shard, to_jsonable
+from .experiments.layer_families import (
+    FAMILIES,
+    format_layer_families,
+    run_layer_families,
+)
 from .experiments.robustness import format_robustness, run_robustness
 from .experiments.runner import (
     format_report,
@@ -294,6 +300,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="same as the global --workers, accepted after the subcommand too",
     )
 
+    layer_families = subparsers.add_parser(
+        "layer_families",
+        help="mapping-efficiency sweep of modern layer families "
+             "(conv/grouped/depthwise/attention) across hardware scenarios",
+    )
+    layer_families.add_argument(
+        "--families", nargs="+", choices=FAMILIES, default=None, metavar="NAME",
+        help=f"restrict the family sweep (default: all of {', '.join(FAMILIES)})",
+    )
+    layer_families.add_argument(
+        "--scenarios", nargs="+", choices=scenario_names(), default=None, metavar="NAME",
+        help=f"restrict the scenario sweep (default: all of {', '.join(scenario_names())})",
+    )
+    layer_families.add_argument(
+        "--trials", type=int, default=8, help="independent noisy programmings per point"
+    )
+    layer_families.add_argument(
+        "--array", type=int, choices=(32, 64, 128), default=64, help="crossbar array size"
+    )
+    layer_families.add_argument(
+        "--jobs", type=int, default=1,
+        help="run the (family, scenario) sweep cells concurrently with this many workers",
+    )
+    layer_families.add_argument(
+        "--json", type=str, default="", dest="json_path",
+        help="also write the machine-readable layer-families result to this file",
+    )
+    layer_families.add_argument(
+        "--workers", type=int, dest="workers", default=argparse.SUPPRESS, metavar="N",
+        help="same as the global --workers, accepted after the subcommand too",
+    )
+
     store = subparsers.add_parser(
         "store", help="inspect or maintain the persistent experiment store"
     )
@@ -447,6 +485,24 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser, store) 
             workers=args.workers,
         )
         text = format_robustness(result)
+        if args.json_path:
+            import json
+
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(to_jsonable(result), handle, indent=2)
+                handle.write("\n")
+    elif args.command == "layer_families":
+        result = run_layer_families(
+            families=tuple(args.families) if args.families else FAMILIES,
+            scenarios=tuple(args.scenarios) if args.scenarios else None,
+            trials=args.trials,
+            array_size=args.array,
+            parallel=args.jobs > 1,
+            max_workers=args.jobs if args.jobs > 1 else None,
+            store=store,
+            workers=args.workers,
+        )
+        text = format_layer_families(result)
         if args.json_path:
             import json
 

@@ -23,7 +23,13 @@ from ..backend import Backend, get_backend, resolve_backend
 from ..imc.noise import NoiseModel
 from ..imc.peripherals import PeripheralSuite, default_peripherals
 from ..imc.tiles import TiledMatrix
-from ..mapping.geometry import ArrayDims, ConvGeometry
+from ..mapping.geometry import (
+    ArrayDims,
+    AttentionProjectionGeometry,
+    ConvGeometry,
+    GroupedConvGeometry,
+)
+from ..mapping.grouped import expand_grouped_kernel, stack_attention_weights
 from .cache import DecompositionCache, default_decomposition_cache
 from .kernels import (
     STAGE_SEED_STRIDE,
@@ -346,6 +352,54 @@ class ExecutionContext:
         """Dense plan of a convolution given its (out, in, kh, kw) kernel."""
         return self.dense_plan(weight.reshape(geometry.m, geometry.n), geometry=geometry)
 
+    def grouped_conv_plan(
+        self, weight: np.ndarray, geometry: GroupedConvGeometry
+    ) -> LayerPlan:
+        """Plan a grouped/depthwise conv via block-diagonal tile placement.
+
+        ``weight`` is the framework kernel ``(out_channels, group_in_channels,
+        kh, kw)``; lowering it to the block-diagonal im2col matrix and
+        programming that through the ordinary dense path allocates exactly the
+        tiles :func:`repro.mapping.grouped.tiles_for_grouped_conv` predicts —
+        off-diagonal all-zero tiles are structurally skipped, on both engines.
+        """
+        matrix = expand_grouped_kernel(weight, geometry)
+        method = "depthwise" if geometry.is_depthwise else f"grouped(g={geometry.groups})"
+        return LayerPlan(
+            method=method,
+            stages=[self.tiled(matrix)],
+            exact_matrix=matrix,
+            geometry=geometry,
+        )
+
+    def attention_projection_plan(
+        self,
+        weights: Union[np.ndarray, List[np.ndarray]],
+        geometry: AttentionProjectionGeometry,
+    ) -> LayerPlan:
+        """Plan an attention projection as one row-stacked dense GEMM.
+
+        ``weights`` is either the fused ``(m, d_model)`` matrix or a sequence
+        of per-projection ``(d_out, d_model)`` matrices (Q/K/V) that share
+        their input and are stacked before mapping.
+        """
+        if isinstance(weights, np.ndarray) and weights.ndim == 2:
+            matrix = weights
+        else:
+            matrix = stack_attention_weights(list(weights))
+        if matrix.shape != (geometry.m, geometry.n):
+            raise ValueError(
+                f"stacked projection shape {matrix.shape} != geometry's "
+                f"({geometry.m}, {geometry.n})"
+            )
+        method = "attention" if geometry.projections == 1 else f"attention(p={geometry.projections})"
+        return LayerPlan(
+            method=method,
+            stages=[self.tiled(matrix)],
+            exact_matrix=matrix,
+            geometry=geometry,
+        )
+
     # ------------------------------------------------------------------
     # Monte-Carlo plans (batched robustness trials)
     # ------------------------------------------------------------------
@@ -426,6 +480,55 @@ class ExecutionContext:
             method=f"lowrank(g={groups},k={rank})",
             stages=[stage1, stage2],
             exact_matrix=weight_matrix,
+            trials=trials,
+            geometry=geometry,
+        )
+
+    def grouped_conv_monte_carlo_plan(
+        self,
+        weight: np.ndarray,
+        geometry: GroupedConvGeometry,
+        trials: int,
+        trial_stride: int = TRIAL_SEED_STRIDE,
+    ) -> MonteCarloPlan:
+        """Monte-Carlo plan of the block-diagonal grouped/depthwise mapping.
+
+        Trial ``t`` is bit-identical to
+        ``trial_context(t).grouped_conv_plan(weight, geometry)`` — same tile
+        allocation, same per-tile seed offsets.
+        """
+        matrix = expand_grouped_kernel(weight, geometry)
+        method = "depthwise" if geometry.is_depthwise else f"grouped(g={geometry.groups})"
+        return MonteCarloPlan(
+            method=method,
+            stages=[self.monte_carlo_tiled(matrix, trials, trial_stride=trial_stride)],
+            exact_matrix=matrix,
+            trials=trials,
+            geometry=geometry,
+        )
+
+    def attention_monte_carlo_plan(
+        self,
+        weights: Union[np.ndarray, List[np.ndarray]],
+        geometry: AttentionProjectionGeometry,
+        trials: int,
+        trial_stride: int = TRIAL_SEED_STRIDE,
+    ) -> MonteCarloPlan:
+        """Monte-Carlo plan of a stacked attention-projection GEMM."""
+        if isinstance(weights, np.ndarray) and weights.ndim == 2:
+            matrix = weights
+        else:
+            matrix = stack_attention_weights(list(weights))
+        if matrix.shape != (geometry.m, geometry.n):
+            raise ValueError(
+                f"stacked projection shape {matrix.shape} != geometry's "
+                f"({geometry.m}, {geometry.n})"
+            )
+        method = "attention" if geometry.projections == 1 else f"attention(p={geometry.projections})"
+        return MonteCarloPlan(
+            method=method,
+            stages=[self.monte_carlo_tiled(matrix, trials, trial_stride=trial_stride)],
+            exact_matrix=matrix,
             trials=trials,
             geometry=geometry,
         )

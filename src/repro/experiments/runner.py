@@ -28,6 +28,7 @@ from .fig6 import Fig6Result, format_fig6, headline_metrics
 from .fig7 import Fig7Result, format_fig7
 from .fig8 import Fig8Result, format_fig8, quantization_speedup
 from .fig9 import Fig9Result, format_fig9, iso_accuracy_speedup
+from .layer_families import LayerFamiliesResult, format_layer_families
 from .robustness import RobustnessResult, format_robustness
 from .table1 import Table1Result, format_table1
 
@@ -42,7 +43,7 @@ __all__ = [
 ]
 
 #: Report order of the combined suite (also the sharded execution order).
-SUITE_EXPERIMENTS = ("table1", "fig6", "fig7", "fig8", "fig9", "robustness")
+SUITE_EXPERIMENTS = ("table1", "fig6", "fig7", "fig8", "fig9", "robustness", "layer_families")
 
 
 @dataclass
@@ -55,6 +56,7 @@ class ExperimentSuite:
     fig8: Fig8Result
     fig9: Fig9Result
     robustness: Optional[RobustnessResult] = None
+    layer_families: Optional[LayerFamiliesResult] = None
 
     def headline_summary(self) -> str:
         """One-paragraph summary mirroring the paper's abstract-level claims."""
@@ -86,6 +88,7 @@ def _suite_overrides(
 ) -> Dict[str, Dict[str, Any]]:
     overrides: Dict[str, Dict[str, Any]] = {
         "robustness": {"trials": robustness_trials},
+        "layer_families": {"trials": robustness_trials},
     }
     if include_fig6_arrays is not None:
         overrides["fig6"] = {"array_sizes": tuple(include_fig6_arrays)}
@@ -111,7 +114,7 @@ def run_all(
     ``include_fig6_arrays`` restricts the Fig. 6 array-size sweep (the CLI's
     ``--arrays``); ``parallel`` runs the harnesses concurrently through the
     registry runner; ``robustness_trials`` sets the Monte-Carlo trial count of
-    the scenario robustness sweep.  With ``store`` the run is incremental:
+    the scenario robustness and layer-families sweeps.  With ``store`` the run is incremental:
     grid cells already materialized in the store are decoded instead of
     recomputed (a fully warm store makes this a pure assembly pass), and every
     fresh cell is persisted as it completes, so interrupted runs resume.
@@ -227,6 +230,8 @@ def format_report(suite: ExperimentSuite, include_plots: bool = False) -> str:
     ]
     if suite.robustness is not None:
         sections += ["", format_robustness(suite.robustness, include_plots=include_plots)]
+    if suite.layer_families is not None:
+        sections += ["", format_layer_families(suite.layer_families, include_plots=include_plots)]
     return "\n".join(sections)
 
 
@@ -238,9 +243,9 @@ def suite_to_json(suite: ExperimentSuite) -> Dict[str, Any]:
         "headline": suite.headline_summary(),
         "experiments": {},
     }
-    for name in ("table1", "fig6", "fig7", "fig8", "fig9", "robustness"):
+    for name in ("table1", "fig6", "fig7", "fig8", "fig9", "robustness", "layer_families"):
         result = getattr(suite, name)
-        if result is None:  # robustness is optional on hand-built suites
+        if result is None:  # robustness/layer_families are optional on hand-built suites
             continue
         spec = registry[name]
         document["experiments"][name] = {
@@ -275,7 +280,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         "--trials",
         type=int,
         default=8,
-        help="Monte-Carlo trial count of the robustness scenario sweep",
+        help="Monte-Carlo trial count of the robustness and layer-families sweeps",
     )
     parser.add_argument(
         "--store", type=str, default="",

@@ -7,6 +7,8 @@ This package implements the mapping substrate of the paper:
 * :mod:`repro.mapping.sdk`          — shift-and-duplicate-kernel mapping with the
   padding-matrix formulation of Theorem 2 (Fig. 2b/d),
 * :mod:`repro.mapping.vw_sdk`       — variable-window SDK parallel-window search,
+* :mod:`repro.mapping.grouped`      — block-diagonal lowering of grouped and
+  depthwise convolutions, and stacked attention-projection GEMMs,
 * :mod:`repro.mapping.cycles`       — the AR/AC computing-cycle model for every
   compression method compared in the paper,
 * :mod:`repro.mapping.utilization`  — cell/row/column utilization metrics.
@@ -24,7 +26,25 @@ from .cycles import (
     tiles_for_block_diagonal,
     tiles_for_matrix,
 )
-from .geometry import ArrayDims, ConvGeometry, ceil_div, standard_array_sizes
+from .geometry import (
+    ArrayDims,
+    AttentionProjectionGeometry,
+    ConvGeometry,
+    GroupedConvGeometry,
+    ceil_div,
+    layer_family,
+    standard_array_sizes,
+)
+from .grouped import (
+    expand_grouped_kernel,
+    extract_group_blocks,
+    group_slices,
+    grouped_im2col_cycles,
+    grouped_utilization,
+    grouped_weight_matrix,
+    stack_attention_weights,
+    tiles_for_grouped_conv,
+)
 from .im2col import Im2colMapping, im2col_weight_matrix, unroll_kernel
 from .sdk import ParallelWindow, SDKMapping, build_padding_matrix, sdk_operator
 from .utilization import (
@@ -38,8 +58,19 @@ from .vw_sdk import WindowSearchResult, best_mapping, candidate_windows, search_
 __all__ = [
     "ArrayDims",
     "ConvGeometry",
+    "GroupedConvGeometry",
+    "AttentionProjectionGeometry",
+    "layer_family",
     "ceil_div",
     "standard_array_sizes",
+    "group_slices",
+    "expand_grouped_kernel",
+    "grouped_weight_matrix",
+    "extract_group_blocks",
+    "stack_attention_weights",
+    "tiles_for_grouped_conv",
+    "grouped_im2col_cycles",
+    "grouped_utilization",
     "Im2colMapping",
     "unroll_kernel",
     "im2col_weight_matrix",

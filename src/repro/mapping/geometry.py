@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-__all__ = ["ConvGeometry", "ArrayDims", "ceil_div"]
+__all__ = [
+    "ConvGeometry",
+    "GroupedConvGeometry",
+    "AttentionProjectionGeometry",
+    "ArrayDims",
+    "ceil_div",
+    "layer_family",
+]
 
 
 def ceil_div(a: int, b: int) -> int:
@@ -118,6 +125,177 @@ class ConvGeometry:
             padding=self.padding,
             name=self.name,
         )
+
+
+@dataclass(frozen=True)
+class GroupedConvGeometry(ConvGeometry):
+    """A grouped (or depthwise) convolution layer.
+
+    The im2col weight matrix of a grouped convolution is **block-diagonal**:
+    output channels of group ``g`` read only the input channels of group
+    ``g``, and because im2col columns are flattened channel-major each group's
+    inputs occupy a contiguous column range.  The matrix is therefore ``m × n``
+    (the same frame as :class:`ConvGeometry`) with ``groups`` dense blocks of
+    ``block_out_rows × block_in_cols`` on the diagonal and structural zeros
+    everywhere else — which the tile layer never allocates
+    (:func:`repro.imc.tiles.iter_tile_blocks` skips all-zero tiles), so the
+    block-diagonal placement of :func:`repro.mapping.cycles.tiles_for_block_diagonal`
+    falls out of the ordinary dense-plan path.
+
+    ``groups == in_channels`` (and ``== out_channels``) is a depthwise
+    convolution: one 1-channel block per channel.
+    """
+
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.groups <= 0:
+            raise ValueError(f"groups must be positive, got {self.groups}")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(
+                f"channel counts must be divisible by groups: "
+                f"in={self.in_channels}, out={self.out_channels}, groups={self.groups}"
+            )
+
+    # -- per-group block dimensions -------------------------------------
+    @property
+    def group_in_channels(self) -> int:
+        return self.in_channels // self.groups
+
+    @property
+    def group_out_channels(self) -> int:
+        return self.out_channels // self.groups
+
+    @property
+    def block_out_rows(self) -> int:
+        """Output rows of one diagonal block (= m / groups)."""
+        return self.m // self.groups
+
+    @property
+    def block_in_cols(self) -> int:
+        """Input columns of one diagonal block (= n / groups)."""
+        return self.n // self.groups
+
+    @property
+    def is_depthwise(self) -> bool:
+        return self.groups == self.in_channels and self.groups == self.out_channels
+
+    # -- true layer cost (the zeros are structural, never stored/computed)
+    @property
+    def weight_count(self) -> int:
+        """Stored parameters: ``groups`` dense blocks, not the full ``m·n``."""
+        return self.groups * self.block_out_rows * self.block_in_cols
+
+    @property
+    def macs(self) -> int:
+        return self.num_windows * self.weight_count
+
+    @property
+    def dense_weight_count(self) -> int:
+        """Cells of the dense bounding box an unstructured mapping would use."""
+        return self.m * self.n
+
+    def scaled(self, channel_scale: float = 1.0, spatial_scale: float = 1.0) -> "GroupedConvGeometry":
+        """Scaled copy that keeps ``groups`` and channel divisibility intact."""
+        def scale_channels(channels: int) -> int:
+            per_group = max(1, int(round(channels / self.groups * channel_scale)))
+            return per_group * self.groups
+
+        return GroupedConvGeometry(
+            in_channels=scale_channels(self.in_channels),
+            out_channels=scale_channels(self.out_channels),
+            kernel_h=self.kernel_h,
+            kernel_w=self.kernel_w,
+            input_h=max(self.kernel_h, int(round(self.input_h * spatial_scale))),
+            input_w=max(self.kernel_w, int(round(self.input_w * spatial_scale))),
+            stride=self.stride,
+            padding=self.padding,
+            name=self.name,
+            groups=self.groups,
+        )
+
+
+@dataclass(frozen=True)
+class AttentionProjectionGeometry(ConvGeometry):
+    """A stacked attention projection (e.g. the fused QKV GEMM) over a token axis.
+
+    A per-token linear projection ``y_t = W x_t`` is exactly a pointwise
+    convolution over a ``1 × seq_len`` feature map: ``in_channels = d_model``,
+    ``out_channels = projections · d_out`` (the Q/K/V matrices stacked
+    row-wise into one im2col matrix) and one sliding-window position per
+    token, so every mapping, cycle and energy computation of the conv substrate
+    applies unchanged.
+    """
+
+    projections: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.projections <= 0:
+            raise ValueError(f"projections must be positive, got {self.projections}")
+        if not self.is_pointwise or self.input_h != 1:
+            raise ValueError(
+                "attention projections are per-token GEMMs: kernel must be 1x1 "
+                f"over a 1 x seq_len token axis, got {self}"
+            )
+        if self.out_channels % self.projections:
+            raise ValueError(
+                f"out_channels ({self.out_channels}) must be divisible by the "
+                f"number of stacked projections ({self.projections})"
+            )
+
+    @property
+    def d_model(self) -> int:
+        """Embedding width of the incoming tokens (= in_channels)."""
+        return self.in_channels
+
+    @property
+    def d_out(self) -> int:
+        """Output width of one stacked projection."""
+        return self.out_channels // self.projections
+
+    @property
+    def seq_len(self) -> int:
+        """Tokens per forward pass (= sliding-window positions)."""
+        return self.input_w
+
+    @classmethod
+    def gemm(
+        cls,
+        d_model: int,
+        d_out: int,
+        seq_len: int,
+        projections: int = 1,
+        name: str = "",
+    ) -> "AttentionProjectionGeometry":
+        """A ``projections``-way stacked ``d_out × d_model`` GEMM over ``seq_len`` tokens."""
+        return cls(
+            in_channels=d_model,
+            out_channels=projections * d_out,
+            kernel_h=1,
+            kernel_w=1,
+            input_h=1,
+            input_w=seq_len,
+            stride=1,
+            padding=0,
+            name=name,
+            projections=projections,
+        )
+
+
+def layer_family(geometry: ConvGeometry) -> str:
+    """Classify a geometry into the mapping-relevant layer family.
+
+    ``"conv"`` (plain dense convolution / FC), ``"grouped"`` (block-diagonal
+    grouped convolution), ``"depthwise"`` (the one-channel-per-group extreme)
+    or ``"attention"`` (stacked per-token projection GEMM).
+    """
+    if isinstance(geometry, AttentionProjectionGeometry):
+        return "attention"
+    if isinstance(geometry, GroupedConvGeometry) and geometry.groups > 1:
+        return "depthwise" if geometry.is_depthwise else "grouped"
+    return "conv"
 
 
 @dataclass(frozen=True)

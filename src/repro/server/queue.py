@@ -82,6 +82,8 @@ def _sweep_overrides(spec: SweepSpec) -> Dict[str, Dict[str, Any]]:
     overrides: Dict[str, Dict[str, Any]] = {name: {} for name in spec.experiments}
     if "robustness" in overrides:
         overrides["robustness"]["trials"] = spec.trials
+    if "layer_families" in overrides:
+        overrides["layer_families"]["trials"] = spec.trials
     if "fig6" in overrides and spec.arrays is not None:
         overrides["fig6"]["array_sizes"] = tuple(spec.arrays)
     return overrides

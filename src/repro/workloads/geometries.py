@@ -20,17 +20,14 @@ from __future__ import annotations
 
 from typing import List
 
-from .mapping.geometry import ConvGeometry
+from ..mapping.geometry import ConvGeometry
+from .registry import network_geometries, register_network
 
 __all__ = [
     "resnet20_geometries",
     "wrn16_4_geometries",
     "compressible_geometries",
-    "network_geometries",
-    "NETWORKS",
 ]
-
-NETWORKS = ("resnet20", "wrn16_4")
 
 
 def _stage(
@@ -116,15 +113,6 @@ def wrn16_4_geometries(input_size: int = 32, include_shortcuts: bool = True) -> 
     return geometries
 
 
-def network_geometries(network: str, input_size: int = 32) -> List[ConvGeometry]:
-    """Dispatch by network name ("resnet20" or "wrn16_4")."""
-    if network == "resnet20":
-        return resnet20_geometries(input_size)
-    if network == "wrn16_4":
-        return wrn16_4_geometries(input_size)
-    raise ValueError(f"unknown network {network!r}; expected one of {NETWORKS}")
-
-
 def compressible_geometries(network: str, input_size: int = 32) -> List[ConvGeometry]:
     """The layers the paper compresses: 3×3 convolutions except the first layer.
 
@@ -141,3 +129,15 @@ def compressible_geometries(network: str, input_size: int = 32) -> List[ConvGeom
             continue
         compressible.append(geometry)
     return compressible
+
+
+register_network(
+    "resnet20",
+    resnet20_geometries,
+    description="ResNet-20 on CIFAR-10 — the paper's first evaluation network",
+)
+register_network(
+    "wrn16_4",
+    wrn16_4_geometries,
+    description="WRN16-4 on CIFAR-100 — the paper's second evaluation network",
+)

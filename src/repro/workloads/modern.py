@@ -1,0 +1,176 @@
+"""Modern-layer network presets: grouped, depthwise and attention workloads.
+
+The paper evaluates plain CNNs only; these zoo presets open the workload axis
+ROADMAP's "scenario diversity" item calls for, one preset per modern layer
+family:
+
+* ``resnext20``        — a ResNeXt-style CIFAR network whose 3×3 convolutions
+  are grouped (cardinality 8): block-diagonal im2col matrices with
+  ``groups`` medium-sized diagonal blocks,
+* ``mobilenet_cifar``  — a MobileNet-style depthwise-separable stack: the
+  depthwise 3×3 layers are the one-channel-per-group extreme (``groups ==
+  channels``), the worst case for crossbar utilization,
+* ``tiny_transformer`` — a two-block transformer encoder whose QKV / output /
+  MLP projections are per-token GEMMs
+  (:class:`repro.mapping.geometry.AttentionProjectionGeometry`); ``input_size``
+  is the sequence length.
+
+Every preset registers in the zoo registry (:mod:`.registry`), flows through
+the same :class:`~repro.mapping.geometry.ConvGeometry` substrate as the paper
+networks, and is exercised by the ``layer_families`` experiment
+(:mod:`repro.experiments.layer_families`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..mapping.geometry import (
+    AttentionProjectionGeometry,
+    ConvGeometry,
+    GroupedConvGeometry,
+)
+from .registry import register_network
+
+__all__ = [
+    "resnext20_geometries",
+    "mobilenet_cifar_geometries",
+    "tiny_transformer_geometries",
+]
+
+#: Cardinality of the ResNeXt-style grouped convolutions.
+RESNEXT_CARDINALITY = 8
+
+
+def resnext20_geometries(input_size: int = 32) -> List[ConvGeometry]:
+    """A ResNeXt-style CIFAR network: bottleneck blocks with grouped 3×3 convs.
+
+    Three stages of two blocks (widths 64/128/256), each block a 1×1 reduce,
+    a grouped 3×3 (cardinality 8, carrying the stage's stride) and a 1×1
+    expand — the grouped convolution is where the block-diagonal mapping
+    applies.
+    """
+    geometries: List[ConvGeometry] = [
+        ConvGeometry(3, 64, 3, 3, input_size, input_size, stride=1, padding=1, name="conv1")
+    ]
+    current_in = 64
+    current_hw = input_size
+    for stage, (width, first_stride) in enumerate(((64, 1), (128, 2), (256, 2)), start=1):
+        for block in range(2):
+            stride = first_stride if block == 0 else 1
+            prefix = f"layer{stage}.{block}"
+            geometries.append(
+                ConvGeometry(
+                    current_in, width, 1, 1, current_hw, current_hw,
+                    stride=1, padding=0, name=f"{prefix}.reduce",
+                )
+            )
+            geometries.append(
+                GroupedConvGeometry(
+                    width, width, 3, 3, current_hw, current_hw,
+                    stride=stride, padding=1, name=f"{prefix}.gconv",
+                    groups=RESNEXT_CARDINALITY,
+                )
+            )
+            current_hw = current_hw // stride
+            geometries.append(
+                ConvGeometry(
+                    width, width, 1, 1, current_hw, current_hw,
+                    stride=1, padding=0, name=f"{prefix}.expand",
+                )
+            )
+            current_in = width
+    return geometries
+
+
+def mobilenet_cifar_geometries(input_size: int = 32) -> List[ConvGeometry]:
+    """A MobileNet-style depthwise-separable stack on CIFAR inputs.
+
+    A 3×3 stem followed by five depthwise-separable blocks (depthwise 3×3 +
+    pointwise 1×1); the depthwise layers are ``groups == channels`` grouped
+    convolutions — 1×(kh·kw) diagonal blocks, the crossbar-utilization worst
+    case the ``layer_families`` experiment quantifies.
+    """
+    geometries: List[ConvGeometry] = [
+        ConvGeometry(3, 32, 3, 3, input_size, input_size, stride=1, padding=1, name="conv1")
+    ]
+    current_hw = input_size
+    blocks = (
+        (32, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 256, 2),
+        (256, 256, 1),
+    )
+    for index, (channels, out_channels, stride) in enumerate(blocks):
+        prefix = f"blocks.{index}"
+        geometries.append(
+            GroupedConvGeometry(
+                channels, channels, 3, 3, current_hw, current_hw,
+                stride=stride, padding=1, name=f"{prefix}.dw",
+                groups=channels,
+            )
+        )
+        current_hw = current_hw // stride
+        geometries.append(
+            ConvGeometry(
+                channels, out_channels, 1, 1, current_hw, current_hw,
+                stride=1, padding=0, name=f"{prefix}.pw",
+            )
+        )
+    return geometries
+
+
+def tiny_transformer_geometries(input_size: int = 32) -> List[ConvGeometry]:
+    """A two-block transformer encoder as per-token projection GEMMs.
+
+    ``input_size`` is the sequence length; every layer is an
+    :class:`AttentionProjectionGeometry` (d_model 64, MLP expansion 4): the
+    fused QKV projection (three stacked ``64 × 64`` matrices), the attention
+    output projection and the two MLP projections.  The attention matmuls
+    themselves (``QKᵀ``, ``AV``) carry no trained weights and stay off the
+    crossbars.
+    """
+    d_model = 64
+    seq_len = input_size
+    geometries: List[ConvGeometry] = []
+    for block in range(2):
+        prefix = f"block{block}"
+        geometries.append(
+            AttentionProjectionGeometry.gemm(
+                d_model, d_model, seq_len, projections=3, name=f"{prefix}.attn.qkv"
+            )
+        )
+        geometries.append(
+            AttentionProjectionGeometry.gemm(
+                d_model, d_model, seq_len, name=f"{prefix}.attn.out"
+            )
+        )
+        geometries.append(
+            AttentionProjectionGeometry.gemm(
+                d_model, 4 * d_model, seq_len, name=f"{prefix}.mlp.up"
+            )
+        )
+        geometries.append(
+            AttentionProjectionGeometry.gemm(
+                4 * d_model, d_model, seq_len, name=f"{prefix}.mlp.down"
+            )
+        )
+    return geometries
+
+
+register_network(
+    "resnext20",
+    resnext20_geometries,
+    description="ResNeXt-style grouped-conv CIFAR network (cardinality 8)",
+)
+register_network(
+    "mobilenet_cifar",
+    mobilenet_cifar_geometries,
+    description="MobileNet-style depthwise-separable CIFAR stack",
+)
+register_network(
+    "tiny_transformer",
+    tiny_transformer_geometries,
+    description="two-block transformer encoder (per-token projection GEMMs)",
+)

@@ -1,0 +1,94 @@
+"""Network-zoo registry: name → layer-geometry builder dispatch.
+
+Every evaluation network — the paper's two CIFAR CNNs and the modern-layer
+presets (grouped, depthwise, attention) — registers a builder here, so the
+experiments, CLI and docs all enumerate one list instead of hard-coding
+names.  Unknown names fail with an actionable :class:`ValueError` listing
+everything registered (the same idiom as backend resolution errors), never a
+bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..mapping.geometry import ConvGeometry, layer_family
+
+__all__ = [
+    "NETWORKS",
+    "NetworkEntry",
+    "register_network",
+    "registered_networks",
+    "network_entry",
+    "network_geometries",
+    "network_families",
+]
+
+#: The paper's evaluation networks (Table I / Figs. 6–9 sweep exactly these;
+#: zoo presets registered later extend the registry, not this tuple).
+NETWORKS = ("resnet20", "wrn16_4")
+
+#: A builder maps an input size (spatial extent, or sequence length for
+#: token-axis workloads) to the network's per-layer geometries.
+NetworkBuilder = Callable[[int], List[ConvGeometry]]
+
+
+@dataclass(frozen=True)
+class NetworkEntry:
+    """One registered network: builder plus the metadata the docs table renders."""
+
+    name: str
+    builder: NetworkBuilder
+    description: str = ""
+
+    def geometries(self, input_size: int = 32) -> List[ConvGeometry]:
+        return self.builder(input_size)
+
+    def families(self, input_size: int = 32) -> Tuple[str, ...]:
+        """The distinct layer families this network exercises, in layer order."""
+        seen: List[str] = []
+        for geometry in self.geometries(input_size):
+            family = layer_family(geometry)
+            if family not in seen:
+                seen.append(family)
+        return tuple(seen)
+
+
+#: Registration order doubles as the docs / listing order.
+_REGISTRY: Dict[str, NetworkEntry] = {}
+
+
+def register_network(
+    name: str, builder: NetworkBuilder, description: str = ""
+) -> NetworkEntry:
+    """Add (or replace) a network in the zoo registry; returns the entry."""
+    entry = NetworkEntry(name=name, builder=builder, description=description)
+    _REGISTRY[name] = entry
+    return entry
+
+
+def registered_networks() -> Tuple[str, ...]:
+    """Every registered network name, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def network_entry(network: str) -> NetworkEntry:
+    """Registry lookup with an actionable error on unknown names."""
+    try:
+        return _REGISTRY[network]
+    except KeyError:
+        raise ValueError(
+            f"unknown network {network!r}; registered networks: "
+            f"{', '.join(registered_networks())}"
+        ) from None
+
+
+def network_geometries(network: str, input_size: int = 32) -> List[ConvGeometry]:
+    """Dispatch by registered network name (e.g. "resnet20", "tiny_transformer")."""
+    return network_entry(network).geometries(input_size)
+
+
+def network_families(network: str, input_size: int = 32) -> Tuple[str, ...]:
+    """The layer families a registered network exercises."""
+    return network_entry(network).families(input_size)

@@ -176,7 +176,7 @@ class TestGoldenReport:
     def test_snapshot_covers_all_experiments(self):
         golden = json.loads(GOLDEN_PATH.read_text())
         assert set(golden["experiments"]) == {
-            "table1", "fig6", "fig7", "fig8", "fig9", "robustness",
+            "table1", "fig6", "fig7", "fig8", "fig9", "robustness", "layer_families",
         }
 
 

@@ -1,0 +1,213 @@
+"""Block-diagonal lowering of grouped/depthwise convolutions and stacked GEMMs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imc.tiles import TiledMatrix
+from repro.mapping.cycles import tiles_for_matrix
+from repro.mapping.geometry import (
+    ArrayDims,
+    AttentionProjectionGeometry,
+    ConvGeometry,
+    GroupedConvGeometry,
+    layer_family,
+)
+from repro.mapping.grouped import (
+    expand_grouped_kernel,
+    extract_group_blocks,
+    group_slices,
+    grouped_im2col_cycles,
+    grouped_utilization,
+    grouped_weight_matrix,
+    stack_attention_weights,
+    tiles_for_grouped_conv,
+)
+
+
+@st.composite
+def grouped_geometries(draw):
+    """Random grouped-conv geometries, including the depthwise extreme."""
+    groups = draw(st.sampled_from([1, 2, 4, 8, 16]))
+    in_mult = draw(st.integers(min_value=1, max_value=4))
+    out_mult = draw(st.integers(min_value=1, max_value=4))
+    kernel = draw(st.sampled_from([1, 3]))
+    input_size = draw(st.sampled_from([4, 8, 16]))
+    return GroupedConvGeometry(
+        in_channels=groups * in_mult,
+        out_channels=groups * out_mult,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        input_h=input_size,
+        input_w=input_size,
+        stride=1,
+        padding=kernel // 2,
+        name="prop-grouped",
+        groups=groups,
+    )
+
+
+def _grouped_geometry(groups: int = 4, channels: int = 16) -> GroupedConvGeometry:
+    return GroupedConvGeometry(
+        channels, channels, 3, 3, 8, 8, stride=1, padding=1, name="g", groups=groups
+    )
+
+
+class TestGeometry:
+    def test_group_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            GroupedConvGeometry(6, 8, 3, 3, 8, 8, groups=4)
+        with pytest.raises(ValueError):
+            GroupedConvGeometry(8, 6, 3, 3, 8, 8, groups=4)
+
+    def test_weight_count_counts_stored_blocks_only(self):
+        geometry = _grouped_geometry(groups=4)
+        assert geometry.weight_count == 4 * geometry.block_out_rows * geometry.block_in_cols
+        assert geometry.dense_weight_count == geometry.m * geometry.n
+        assert geometry.weight_count == geometry.dense_weight_count // 4
+
+    def test_depthwise_detection(self):
+        depthwise = GroupedConvGeometry(16, 16, 3, 3, 8, 8, padding=1, groups=16)
+        assert depthwise.is_depthwise
+        assert not _grouped_geometry(groups=4).is_depthwise
+        assert layer_family(depthwise) == "depthwise"
+        assert layer_family(_grouped_geometry(groups=4)) == "grouped"
+        assert layer_family(_grouped_geometry(groups=1)) == "conv"
+
+    def test_attention_geometry_is_pointwise_gemm(self):
+        geometry = AttentionProjectionGeometry.gemm(64, 64, 32, projections=3, name="qkv")
+        assert (geometry.m, geometry.n) == (192, 64)
+        assert geometry.num_windows == 32
+        assert geometry.d_model == 64
+        assert geometry.d_out == 64
+        assert geometry.seq_len == 32
+        assert layer_family(geometry) == "attention"
+        assert layer_family(ConvGeometry(4, 8, 3, 3, 8, 8, padding=1)) == "conv"
+
+    def test_attention_rejects_uneven_projection_split(self):
+        with pytest.raises(ValueError):
+            AttentionProjectionGeometry(64, 100, 1, 1, input_h=1, input_w=8, projections=3)
+
+    def test_scaled_preserves_groups(self):
+        geometry = _grouped_geometry(groups=4)
+        scaled = geometry.scaled(0.5)
+        assert isinstance(scaled, GroupedConvGeometry)
+        assert scaled.groups == 4
+        assert scaled.in_channels % 4 == 0
+
+
+class TestLowering:
+    def test_expand_matches_per_group_placement(self, rng):
+        geometry = _grouped_geometry(groups=4)
+        kernel = rng.standard_normal(
+            (geometry.out_channels, geometry.group_in_channels, 3, 3)
+        )
+        matrix = expand_grouped_kernel(kernel, geometry)
+        assert matrix.shape == (geometry.m, geometry.n)
+        for g, (rows, cols) in enumerate(group_slices(geometry)):
+            block = kernel[
+                g * geometry.group_out_channels : (g + 1) * geometry.group_out_channels
+            ].reshape(geometry.block_out_rows, geometry.block_in_cols)
+            np.testing.assert_array_equal(matrix[rows, cols], block)
+        # Everything off the diagonal blocks is a structural zero.
+        mask = np.ones_like(matrix, dtype=bool)
+        for rows, cols in group_slices(geometry):
+            mask[rows, cols] = False
+        assert not matrix[mask].any()
+
+    def test_expand_rejects_wrong_kernel_shape(self, rng):
+        geometry = _grouped_geometry(groups=4)
+        with pytest.raises(ValueError):
+            expand_grouped_kernel(rng.standard_normal((3, 3, 3, 3)), geometry)
+
+    def test_block_diagonal_matmul_matches_per_group_oracle(self, rng):
+        """The keras-cv GroupConv2D semantics: slice, convolve, concatenate."""
+        geometry = _grouped_geometry(groups=4)
+        blocks = [
+            rng.standard_normal((geometry.block_out_rows, geometry.block_in_cols))
+            for _ in range(geometry.groups)
+        ]
+        matrix = grouped_weight_matrix(blocks, geometry)
+        columns = rng.standard_normal((6, geometry.n))
+        per_group = np.concatenate(
+            [
+                columns[:, cols] @ block.T
+                for block, (_, cols) in zip(blocks, group_slices(geometry))
+            ],
+            axis=1,
+        )
+        np.testing.assert_allclose(columns @ matrix.T, per_group, atol=1e-12)
+
+    def test_stack_attention_weights_validates(self, rng):
+        stacked = stack_attention_weights([rng.standard_normal((8, 16)) for _ in range(3)])
+        assert stacked.shape == (24, 16)
+        with pytest.raises(ValueError):
+            stack_attention_weights([])
+        with pytest.raises(ValueError):
+            stack_attention_weights(
+                [rng.standard_normal((8, 16)), rng.standard_normal((8, 12))]
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(grouped_geometries(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_block_roundtrip_is_exact(self, geometry, seed):
+        rng = np.random.default_rng(seed)
+        blocks = [
+            rng.standard_normal((geometry.block_out_rows, geometry.block_in_cols))
+            for _ in range(geometry.groups)
+        ]
+        recovered = extract_group_blocks(grouped_weight_matrix(blocks, geometry), geometry)
+        assert len(recovered) == geometry.groups
+        for block, back in zip(blocks, recovered):
+            np.testing.assert_array_equal(block, back)
+
+
+class TestTileCounts:
+    @settings(max_examples=40, deadline=None)
+    @given(grouped_geometries(), st.sampled_from([16, 32, 64]))
+    def test_closed_form_matches_allocated_tiles(self, geometry, array_size):
+        """tiles_for_grouped_conv predicts the tile layer's allocation exactly."""
+        array = ArrayDims.square(array_size)
+        rng = np.random.default_rng(geometry.groups)
+        kernel = np.asarray(
+            rng.standard_normal(
+                (geometry.out_channels, geometry.group_in_channels,
+                 geometry.kernel_h, geometry.kernel_w)
+            )
+        )
+        # Structural zeros must survive programming; ensure blocks are non-zero.
+        kernel += np.sign(kernel) + (kernel == 0)
+        tiled = TiledMatrix(matrix=expand_grouped_kernel(kernel, geometry), array=array)
+        assert tiled.num_allocated_tiles == tiles_for_grouped_conv(geometry, array)
+
+    @settings(max_examples=40, deadline=None)
+    @given(grouped_geometries(), st.sampled_from([16, 32, 64]))
+    def test_block_diagonal_never_beats_dense_bound(self, geometry, array_size):
+        array = ArrayDims.square(array_size)
+        grouped = tiles_for_grouped_conv(geometry, array)
+        dense = tiles_for_matrix(geometry.m, geometry.n, array)
+        assert 1 <= grouped <= dense
+
+    def test_depthwise_savings_and_utilization(self):
+        """The experiment's punchline: fewer tiles, nearly idle cells."""
+        geometry = GroupedConvGeometry(128, 128, 3, 3, 16, 16, padding=1, groups=128)
+        array = ArrayDims.square(64)
+        assert tiles_for_grouped_conv(geometry, array) == 18
+        assert tiles_for_matrix(geometry.m, geometry.n, array) == 36
+        report = grouped_utilization(geometry, array)
+        assert report.used_cells == geometry.weight_count == 128 * 9
+        assert report.allocated_cells == 18 * array.rows * array.logical_cols
+        assert report.used_cells / report.allocated_cells < 0.02
+
+    def test_cycles_scale_with_allocated_tiles(self):
+        geometry = _grouped_geometry(groups=4)
+        array = ArrayDims.square(32)
+        cycles = grouped_im2col_cycles(geometry, array)
+        tiles = tiles_for_grouped_conv(geometry, array)
+        assert cycles.arrays == tiles
+        assert cycles.cycles == tiles * geometry.num_windows
+        assert cycles.mapped_rows == geometry.n
+        assert cycles.mapped_cols == geometry.m

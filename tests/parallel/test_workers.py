@@ -34,7 +34,11 @@ from repro.parallel import (
 )
 from repro.store import ExperimentStore, LeaseBoard
 
-RESTRICTED_OVERRIDES = {"fig6": {"array_sizes": (32,)}, "robustness": {"trials": 2}}
+RESTRICTED_OVERRIDES = {
+    "fig6": {"array_sizes": (32,)},
+    "robustness": {"trials": 2},
+    "layer_families": {"trials": 2},
+}
 
 
 @pytest.fixture(autouse=True)

@@ -23,7 +23,8 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("table1", "fig6", "fig7", "fig8", "fig9", "report", "robustness", "compare"):
+        for command in ("table1", "fig6", "fig7", "fig8", "fig9", "report",
+                        "robustness", "layer_families", "compare"):
             args = parser.parse_args([command] if command != "compare" else ["compare"])
             assert args.command == command
 
@@ -100,6 +101,37 @@ class TestExecution:
         assert document["scenarios"] == ["ideal", "faulty"]
         assert len(document["points"]) == 2 * 3  # scenarios × mappings
 
+    def test_layer_families_command_prints_table(self, capsys):
+        exit_code = main(
+            [
+                "layer_families",
+                "--trials", "2",
+                "--scenarios", "ideal", "typical_rram",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Layer families — mapping efficiency" in captured
+        assert "depthwise" in captured and "attention" in captured
+
+    def test_layer_families_families_and_json(self, tmp_path, capsys):
+        target = tmp_path / "layer_families.json"
+        exit_code = main(
+            [
+                "layer_families",
+                "--trials", "2",
+                "--families", "conv", "depthwise",
+                "--scenarios", "ideal", "faulty",
+                "--json", str(target),
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(target.read_text())
+        assert document["trials"] == 2
+        assert document["families"] == ["conv", "depthwise"]
+        assert len(document["points"]) == 2 * 2  # families × scenarios
+
     def test_report_end_to_end_with_arrays_jobs_json(self, tmp_path, capsys):
         """`report --arrays/--jobs/--json` through main(), restricted to stay fast."""
         target = tmp_path / "report.json"
@@ -118,7 +150,7 @@ class TestExecution:
         assert "Robustness —" in captured
         document = json.loads(target.read_text())
         assert set(document["experiments"]) == {
-            "table1", "fig6", "fig7", "fig8", "fig9", "robustness",
+            "table1", "fig6", "fig7", "fig8", "fig9", "robustness", "layer_families",
         }
         assert document["headline"]
         # --arrays restricted the Fig. 6 sweep to the requested sizes.

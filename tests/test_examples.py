@@ -53,9 +53,16 @@ class TestExampleScripts:
         assert "Monte-Carlo trials" in out
         assert "typical_rram" in out and "worst_case_rram" in out
 
+    def test_layer_families_example(self, capsys):
+        out = run_example("layer_families.py", ["--trials", "2"], capsys)
+        assert "modern layers on a 64x64 crossbar" in out
+        assert "depthwise" in out and "attention" in out
+        assert "block-diag / dense" in out
+
     def test_all_examples_present(self):
         expected = {
             "quickstart.py",
+            "layer_families.py",
             "compress_resnet20.py",
             "pareto_sweep.py",
             "imc_energy_report.py",

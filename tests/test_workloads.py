@@ -4,11 +4,23 @@ from __future__ import annotations
 
 import pytest
 
+from repro.mapping.geometry import (
+    AttentionProjectionGeometry,
+    GroupedConvGeometry,
+    layer_family,
+)
 from repro.workloads import (
     NETWORKS,
     compressible_geometries,
+    mobilenet_cifar_geometries,
+    network_entry,
+    network_families,
     network_geometries,
+    register_network,
+    registered_networks,
     resnet20_geometries,
+    resnext20_geometries,
+    tiny_transformer_geometries,
     wrn16_4_geometries,
 )
 
@@ -80,6 +92,93 @@ class TestHelpers:
         assert len(compressible_geometries("wrn16_4")) == 12
 
     def test_all_names_unique(self):
-        for network in NETWORKS:
+        for network in registered_networks():
             names = [g.name for g in network_geometries(network)]
             assert len(names) == len(set(names))
+
+
+class TestRegistry:
+    def test_paper_networks_unchanged(self):
+        assert NETWORKS == ("resnet20", "wrn16_4")
+
+    def test_zoo_presets_registered(self):
+        registered = registered_networks()
+        for name in ("resnet20", "wrn16_4", "resnext20", "mobilenet_cifar", "tiny_transformer"):
+            assert name in registered
+
+    def test_unknown_network_error_lists_registered(self):
+        with pytest.raises(ValueError, match="resnet20.*tiny_transformer"):
+            network_geometries("alexnet")
+
+    def test_entry_carries_description(self):
+        for name in registered_networks():
+            assert network_entry(name).description
+
+    def test_register_network_roundtrip(self):
+        entry = register_network("_test_net", lambda size: resnet20_geometries(size))
+        try:
+            assert network_geometries("_test_net") == resnet20_geometries()
+            assert entry.families() == ("conv",)
+        finally:
+            from repro.workloads.registry import _REGISTRY
+
+            _REGISTRY.pop("_test_net", None)
+
+    def test_network_families(self):
+        assert network_families("resnet20") == ("conv",)
+        assert network_families("resnext20") == ("conv", "grouped")
+        assert network_families("mobilenet_cifar") == ("conv", "depthwise")
+        assert network_families("tiny_transformer") == ("attention",)
+
+
+class TestModernPresets:
+    def test_resnext_grouped_layers(self):
+        geometries = resnext20_geometries()
+        assert len(geometries) == 19  # stem + 3 stages x 2 blocks x 3 convs
+        grouped = [g for g in geometries if isinstance(g, GroupedConvGeometry)]
+        assert len(grouped) == 6
+        assert all(g.groups == 8 for g in grouped)
+        assert all(layer_family(g) == "grouped" for g in grouped)
+
+    def test_resnext_spatial_and_width_progression(self):
+        geometries = {g.name: g for g in resnext20_geometries()}
+        assert geometries["layer1.0.gconv"].out_channels == 64
+        assert geometries["layer2.0.gconv"].out_channels == 128
+        assert geometries["layer3.0.gconv"].out_channels == 256
+        assert geometries["layer2.0.gconv"].stride == 2
+        assert geometries["layer2.1.gconv"].input_h == 16
+        assert geometries["layer3.1.gconv"].input_h == 8
+
+    def test_mobilenet_depthwise_layers(self):
+        geometries = mobilenet_cifar_geometries()
+        depthwise = [g for g in geometries if isinstance(g, GroupedConvGeometry)]
+        assert len(depthwise) == 5
+        for g in depthwise:
+            assert g.is_depthwise
+            assert g.groups == g.in_channels == g.out_channels
+            assert layer_family(g) == "depthwise"
+        pointwise = [g for g in geometries if g.is_pointwise]
+        assert len(pointwise) == 5
+
+    def test_transformer_is_all_attention_gemms(self):
+        geometries = tiny_transformer_geometries(input_size=32)
+        assert len(geometries) == 8  # 2 blocks x (qkv, out, mlp.up, mlp.down)
+        for g in geometries:
+            assert isinstance(g, AttentionProjectionGeometry)
+            assert g.seq_len == 32
+            assert g.num_windows == 32
+        qkv = next(g for g in geometries if g.name == "block0.attn.qkv")
+        assert qkv.projections == 3
+        assert (qkv.m, qkv.n) == (192, 64)
+        up = next(g for g in geometries if g.name == "block0.mlp.up")
+        assert (up.m, up.n) == (256, 64)
+
+    def test_transformer_input_size_is_sequence_length(self):
+        for seq_len in (8, 32):
+            for g in tiny_transformer_geometries(input_size=seq_len):
+                assert g.seq_len == seq_len
+
+    def test_grouped_weight_counts_exclude_structural_zeros(self):
+        for g in resnext20_geometries() + mobilenet_cifar_geometries():
+            if isinstance(g, GroupedConvGeometry):
+                assert g.weight_count * g.groups == g.dense_weight_count

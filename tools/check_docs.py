@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Docs-consistency gate: the registries and the docs must agree.
+
+The README, ENGINE.md and docs/workloads.md enumerate registered names —
+experiments, execution backends, zoo networks.  Those listings rot silently:
+registering a new experiment without documenting it ships an invisible
+feature, and a doc mentioning a renamed backend ships a lie.  This check
+walks the live registries and fails when a registered name is missing from
+the documents that promise to list it:
+
+* every ``experiment_registry()`` name must appear in README.md and ENGINE.md;
+* every ``backend_names()`` name must appear in README.md and ENGINE.md;
+* every ``registered_networks()`` name must appear in docs/workloads.md.
+
+Run from the repository root (CI does, via the docs-consistency job)::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.backend import backend_names  # noqa: E402
+from repro.engine.sweep import experiment_registry  # noqa: E402
+from repro.workloads import registered_networks  # noqa: E402
+import repro.experiments  # noqa: E402,F401  (populates the experiment registry)
+
+
+def missing_names(document: Path, names: Sequence[str]) -> List[str]:
+    """Names with no word-boundary occurrence anywhere in ``document``."""
+    text = document.read_text(encoding="utf-8")
+    return [
+        name for name in names
+        if not re.search(rf"\b{re.escape(name)}\b", text)
+    ]
+
+
+def main() -> int:
+    experiments = tuple(sorted(experiment_registry()))
+    backends = tuple(backend_names())
+    networks = registered_networks()
+
+    requirements: Tuple[Tuple[Path, Tuple[str, ...], str], ...] = (
+        (REPO_ROOT / "README.md", experiments, "registered experiments"),
+        (REPO_ROOT / "README.md", backends, "registered backends"),
+        (REPO_ROOT / "ENGINE.md", experiments, "registered experiments"),
+        (REPO_ROOT / "ENGINE.md", backends, "registered backends"),
+        (REPO_ROOT / "docs" / "workloads.md", networks, "registered zoo networks"),
+    )
+
+    failures: List[str] = []
+    for document, names, label in requirements:
+        relative = document.relative_to(REPO_ROOT)
+        if not document.exists():
+            failures.append(f"{relative}: missing (must list the {label})")
+            continue
+        absent = missing_names(document, names)
+        if absent:
+            failures.append(f"{relative}: {label} not mentioned: {', '.join(absent)}")
+
+    if failures:
+        print("docs-consistency check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "Document every registered name (or unregister it); "
+            "see docs/workloads.md and ENGINE.md.",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        "docs-consistency OK: "
+        f"{len(experiments)} experiments, {len(backends)} backends, "
+        f"{len(networks)} networks all documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
